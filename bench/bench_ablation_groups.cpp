@@ -1,0 +1,37 @@
+// Ablation — groups per partition vs resolution vs diagnosis time.
+//
+// More groups per partition buy resolution but cost sessions: a full run is
+// (partitions x groups) BIST sessions, each re-applying the whole pattern
+// set. The paper picks 4/16/32/8 groups for its four experiments by chain
+// length; this sweep shows the trade-off curve that motivates those choices.
+
+#include "bench_util.hpp"
+#include "core/scandiag.hpp"
+
+using namespace scandiag;
+using namespace scandiag::benchutil;
+
+int main() {
+  banner("Ablation: groups per partition (s9234, 8 partitions, 128 patterns)",
+         "groups buy DR at linear session cost; paper sizes groups to chain length");
+
+  const Netlist nl = generateNamedCircuit("s9234");
+  const CircuitWorkload work = prepareWorkload(nl, presets::table2Workload());
+  row("chain length %zu, %zu detected faults", work.topology.maxChainLength(),
+      work.responses.size());
+  row("");
+  row("%-8s %10s %16s %16s", "groups", "sessions", "DR(random-sel)", "DR(two-step)");
+
+  for (std::size_t groups : {2, 4, 8, 16, 32, 64}) {
+    double dr[2];
+    int i = 0;
+    for (SchemeKind scheme : {SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
+      DiagnosisConfig config = presets::table2(scheme, false);
+      config.groupsPerPartition = groups;
+      const DiagnosisPipeline pipeline(work.topology, config);
+      dr[i++] = pipeline.evaluate(work.responses).dr;
+    }
+    row("%-8zu %10zu %16.3f %16.3f", groups, 8 * groups, dr[0], dr[1]);
+  }
+  return 0;
+}

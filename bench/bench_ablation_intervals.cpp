@@ -1,0 +1,60 @@
+// Ablation — how many interval-based partitions should step 1 use?
+//
+// The paper uses one interval partition in its simulations but notes that "in
+// some cases, the use of more interval-based partitions leads to higher
+// diagnostic resolution". This bench sweeps the split: k interval partitions
+// followed by (8 - k) random-selection partitions, k = 0..4, on a single
+// circuit and on SOC-1. k = 0 is pure random selection; larger k trades
+// fine-grained randomness for more coarse pruning rounds.
+
+#include "bench_util.hpp"
+#include "core/scandiag.hpp"
+
+using namespace scandiag;
+using namespace scandiag::benchutil;
+
+namespace {
+
+DiagnosisConfig withIntervalCount(DiagnosisConfig base, std::size_t k) {
+  base.scheme = k == 0 ? SchemeKind::RandomSelection : SchemeKind::TwoStep;
+  base.schemeConfig.intervalPartitions = k;
+  return base;
+}
+
+}  // namespace
+
+int main() {
+  banner("Ablation: interval partitions in step 1 (k interval + (8-k) random)",
+         "paper uses k=1; more interval partitions sometimes help");
+
+  row("%-12s %8s %8s %8s %8s %8s", "workload", "k=0", "k=1", "k=2", "k=3", "k=4");
+
+  {
+    const Netlist nl = generateNamedCircuit("s9234");
+    const CircuitWorkload work = prepareWorkload(nl, presets::table2Workload());
+    double dr[5];
+    for (std::size_t k = 0; k <= 4; ++k) {
+      const DiagnosisPipeline pipeline(
+          work.topology, withIntervalCount(presets::table2(SchemeKind::TwoStep, false), k));
+      dr[k] = pipeline.evaluate(work.responses).dr;
+    }
+    row("%-12s %8.3f %8.3f %8.3f %8.3f %8.3f", "s9234", dr[0], dr[1], dr[2], dr[3], dr[4]);
+  }
+
+  {
+    const Soc soc = buildSoc1();
+    const WorkloadConfig workload = presets::socWorkload();
+    // Aggregate over all failing cores for a single summary row.
+    double dr[5] = {0, 0, 0, 0, 0};
+    for (std::size_t core = 0; core < soc.coreCount(); ++core) {
+      const auto responses = socResponsesForFailingCore(soc, core, workload);
+      for (std::size_t k = 0; k <= 4; ++k) {
+        const DiagnosisPipeline pipeline(
+            soc.topology(), withIntervalCount(presets::soc1Config(SchemeKind::TwoStep, false), k));
+        dr[k] += pipeline.evaluate(responses).dr / static_cast<double>(soc.coreCount());
+      }
+    }
+    row("%-12s %8.2f %8.2f %8.2f %8.2f %8.2f", "soc1 (mean)", dr[0], dr[1], dr[2], dr[3], dr[4]);
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Baseline comparison — the prior-work schemes the paper positions itself
+// against, on one table:
+//
+//  * random-selection partitioning (Rajski & Tyszer [5]) — the paper's main
+//    comparison, fixed schedule;
+//  * deterministic fixed-length intervals ([8]) — fixed schedule, equal
+//    intervals rotated per partition ("expensive control logic" per the
+//    paper, but a useful software reference point);
+//  * adaptive binary search ([6]) — exact positional resolution at a
+//    data-dependent session cost, requiring tester interaction;
+//  * two-step (the paper).
+//
+// Columns: DR at an 8-partition budget plus the session/clock-cycle cost of
+// reaching it, so resolution and diagnosis time are visible together.
+
+#include "bench_util.hpp"
+#include "core/scandiag.hpp"
+
+using namespace scandiag;
+using namespace scandiag::benchutil;
+
+int main() {
+  banner("Baselines: two-step vs [5] random, [8] deterministic, [6] binary search",
+         "two-step dominates the fixed-schedule baselines; binary search trades "
+         "exactness for adaptivity");
+
+  for (const char* name : {"s9234", "s38417"}) {
+    const Netlist nl = generateNamedCircuit(name);
+    const CircuitWorkload work = prepareWorkload(nl, presets::table2Workload());
+    const std::size_t chain = work.topology.maxChainLength();
+    row("");
+    row("%s: %zu cells, %zu detected faults", name, chain, work.responses.size());
+    row("%-24s %10s %10s %14s", "scheme", "DR", "sessions", "clock cycles");
+
+    for (SchemeKind scheme :
+         {SchemeKind::RandomSelection, SchemeKind::DeterministicInterval,
+          SchemeKind::IntervalBased, SchemeKind::TwoStep}) {
+      const DiagnosisConfig config = presets::table2(scheme, false);
+      const DiagnosisPipeline pipeline(work.topology, config);
+      const DrReport rep = pipeline.evaluate(work.responses);
+      const DiagnosisCost cost = partitionRunCost(config.numPartitions,
+                                                  config.groupsPerPartition,
+                                                  config.numPatterns, chain);
+      row("%-24s %10.3f %10zu %14llu", schemeName(scheme).c_str(), rep.dr, cost.sessions,
+          static_cast<unsigned long long>(cost.clockCycles));
+    }
+
+    // Binary search: DR is positionally exact by construction (0 on a single
+    // chain); its cost is the data-dependent session count.
+    const BinarySearchDiagnoser binary(work.topology, presets::table2Workload().numPatterns);
+    DrAccumulator acc;
+    double sessions = 0;
+    std::uint64_t cycles = 0;
+    for (const FaultResponse& r : work.responses) {
+      const BinarySearchResult b = binary.diagnose(r);
+      acc.add(b.candidates.cellCount(), r.failingCellCount());
+      sessions += static_cast<double>(b.sessions);
+      cycles += b.cost.clockCycles;
+    }
+    row("%-24s %10.3f %10.0f %14llu", "binary-search [6]", acc.dr(),
+        sessions / static_cast<double>(work.responses.size()),
+        static_cast<unsigned long long>(cycles / work.responses.size()));
+    row("(binary-search rows are per-fault means; schedule is adaptive)");
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Extension — multiple faulty cores on the SOC (paper §5: "the effect of
+// multiple faults can be viewed similarly with that of single fault").
+//
+// Two simultaneously defective cores produce two clusters on the meta scan
+// chain (the paper's Fig. 2(a) non-overlapping-cones case, at core
+// granularity). Interval partitions still confine each cluster to a few
+// groups, so two-step's advantage persists — degraded relative to the
+// single-core case because twice as many groups fail per partition.
+
+#include "bench_util.hpp"
+#include "core/scandiag.hpp"
+
+using namespace scandiag;
+using namespace scandiag::benchutil;
+
+int main() {
+  banner("Extension: two faulty cores on SOC-1 (single meta chain, 32 groups)",
+         "two clusters; two-step still wins, by a smaller factor than single-core");
+
+  const Soc soc = buildSoc1();
+  WorkloadConfig workload = presets::socWorkload();
+  workload.numFaults = 250;  // per core; pairs are formed index-wise
+
+  row("%-22s %12s %12s %8s", "failing cores", "rand", "two-step", "gain");
+  const std::vector<std::pair<std::size_t, std::size_t>> pairs = {
+      {0, 1}, {0, 5}, {2, 3}, {1, 4}, {3, 5}};
+  for (const auto& [a, b] : pairs) {
+    const auto responses = socResponsesForFailingCores(soc, {a, b}, workload);
+    double dr[2];
+    int i = 0;
+    for (SchemeKind scheme : {SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
+      const DiagnosisPipeline pipeline(soc.topology(), presets::soc1Config(scheme, false));
+      dr[i++] = pipeline.evaluate(responses).dr;
+    }
+    const std::string label = soc.core(a).name + "+" + soc.core(b).name;
+    row("%-22s %12.2f %12.2f %7sx", label.c_str(), dr[0], dr[1],
+        improvement(dr[0], dr[1]).c_str());
+  }
+
+  // Single-core reference rows for the same budget.
+  row("");
+  row("single-core reference:");
+  for (std::size_t k : {0u, 3u}) {
+    const auto responses = socResponsesForFailingCore(soc, k, workload);
+    double dr[2];
+    int i = 0;
+    for (SchemeKind scheme : {SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
+      const DiagnosisPipeline pipeline(soc.topology(), presets::soc1Config(scheme, false));
+      dr[i++] = pipeline.evaluate(responses).dr;
+    }
+    row("%-22s %12.2f %12.2f %7sx", soc.core(k).name.c_str(), dr[0], dr[1],
+        improvement(dr[0], dr[1]).c_str());
+  }
+  return 0;
+}

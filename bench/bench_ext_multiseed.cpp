@@ -1,0 +1,95 @@
+// Extension — why the paper applies the SAME pattern set in every session.
+//
+// Reseeding the PRPG per partition looks attractive (independent evidence
+// per partition) but is UNSOUND for failing-cell identification: a cell that
+// errs only under seed 3 captures nothing under seed 1, its seed-1 group
+// passes, and the intersection exonerates a genuinely failing cell. The
+// negative DR and the violation counts below measure exactly that loss on
+// s9234 — the quantitative version of the paper's implicit protocol choice
+// (and of why superposition pruning needs identical per-session patterns).
+
+#include "bench_util.hpp"
+#include "core/scandiag.hpp"
+
+using namespace scandiag;
+using namespace scandiag::benchutil;
+
+int main() {
+  banner("Extension: fresh PRPG seed per partition vs one shared pattern set",
+         "reseeding is UNSOUND for failing-cell identification — the paper's protocol wins");
+
+  const Netlist nl = generateNamedCircuit("s9234");
+  const std::size_t numPatterns = 128, numPartitions = 8, groups = 16;
+  const ScanTopology topology = ScanTopology::singleChain(nl.dffs().size());
+
+  // One fault sample, simulated under each seed's pattern set.
+  const FaultList universe = FaultList::enumerateCollapsed(nl);
+  const auto faults = universe.sample(600, 0xFA17);
+  std::vector<std::vector<FaultResponse>> perSeed;  // [partition][fault]
+  for (std::size_t p = 0; p < numPartitions; ++p) {
+    PrpgConfig prpg;
+    prpg.seed = 0x5eed + p;
+    const PatternSet pats = generatePatterns(nl, numPatterns, prpg);
+    const FaultSimulator sim(nl, pats);
+    std::vector<FaultResponse> responses;
+    for (const FaultSite& f : faults) responses.push_back(sim.simulate(f));
+    perSeed.push_back(std::move(responses));
+  }
+
+  row("%-24s %16s %16s %12s", "configuration", "DR(random-sel)", "DR(two-step)",
+      "violations");
+  for (const bool reseed : {false, true}) {
+    double dr[2];
+    std::size_t violations = 0, counted = 0;
+    int i = 0;
+    for (SchemeKind scheme : {SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
+      DiagnosisConfig config;
+      config.scheme = scheme;
+      config.numPartitions = numPartitions;
+      config.groupsPerPartition = groups;
+      config.numPatterns = numPatterns;
+      const std::vector<Partition> partitions =
+          buildPartitions(config, topology.maxChainLength());
+      const SessionEngine engine(topology, SessionConfig{SignatureMode::Exact, numPatterns});
+      const CandidateAnalyzer analyzer(topology);
+
+      DrAccumulator acc;
+      for (std::size_t f = 0; f < faults.size(); ++f) {
+        // A fault must be detected under every seed it is diagnosed with;
+        // restrict to faults detected under all seeds for a fair comparison.
+        bool allDetected = true;
+        for (std::size_t p = 0; p < numPartitions; ++p)
+          allDetected &= perSeed[p][f].detected();
+        if (!allDetected) continue;
+
+        BitVector positions(topology.maxChainLength(), true);
+        BitVector actual(topology.numCells());
+        for (std::size_t p = 0; p < numPartitions; ++p) {
+          const FaultResponse& r = perSeed[reseed ? p : 0][f];
+          actual |= r.failingCells;
+          const GroupVerdicts v = engine.run({partitions[p]}, r);
+          BitVector failingUnion(topology.maxChainLength());
+          for (std::size_t g = 0; g < partitions[p].groupCount(); ++g) {
+            if (v.failing[0].test(g)) failingUnion |= partitions[p].groups[g];
+          }
+          positions &= failingUnion;
+        }
+        const BitVector candidates = topology.expandPositions(positions);
+        acc.add(candidates.count(), actual.count());
+        if (scheme == SchemeKind::TwoStep) {
+          ++counted;
+          violations += !actual.isSubsetOf(candidates);
+        }
+      }
+      dr[i++] = acc.dr();
+    }
+    row("%-24s %16.3f %16.3f %6zu / %zu",
+        reseed ? "fresh seed / partition" : "shared pattern set", dr[0], dr[1], violations,
+        counted);
+  }
+  row("");
+  row("'actual' = union of failing cells across all seeds; a violation is a fault");
+  row("whose candidates lost a genuinely failing cell. Shared patterns: zero by");
+  row("construction. Reseeded: unsound — the reason the paper reuses one set.");
+  return 0;
+}

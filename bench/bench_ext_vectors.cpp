@@ -1,0 +1,48 @@
+// Extension — failing-vector identification (the time axis), after [4].
+//
+// Same partition machinery, selection axis = pattern index. Unlike failing
+// cells, a fault's error-producing *patterns* are scattered pseudorandomly in
+// pattern order (there is no "pattern locality"), so interval-based
+// partitioning loses its structural advantage and random selection is the
+// right tool — the mirror image of the cell-axis result, and the reason the
+// two-step idea is specifically a *space*-axis contribution.
+
+#include "bench_util.hpp"
+#include "core/scandiag.hpp"
+
+using namespace scandiag;
+using namespace scandiag::benchutil;
+
+int main() {
+  banner("Extension: failing-vector identification (axis = pattern index)",
+         "[4]-style; no pattern locality => random selection wins on the time axis");
+
+  const Netlist nl = generateNamedCircuit("s9234");
+  const CircuitWorkload work = prepareWorkload(nl, presets::table2Workload());
+
+  // Average failing vectors per fault (context for DR magnitudes).
+  double avgFailing = 0;
+  for (const FaultResponse& r : work.responses)
+    avgFailing += static_cast<double>(
+        VectorDiagnoser::failingVectors(r, presets::table2Workload().numPatterns).count());
+  avgFailing /= static_cast<double>(work.responses.size());
+  row("s9234: %zu detected faults, %.1f failing vectors/fault of %zu patterns",
+      work.responses.size(), avgFailing, presets::table2Workload().numPatterns);
+  row("");
+  row("%-12s %16s %16s %16s", "#partitions", "DR(interval)", "DR(random-sel)", "DR(two-step)");
+
+  for (std::size_t partitions : {1u, 2u, 4u, 8u}) {
+    double dr[3];
+    int i = 0;
+    for (SchemeKind scheme : {SchemeKind::IntervalBased, SchemeKind::RandomSelection,
+                              SchemeKind::TwoStep}) {
+      DiagnosisConfig config = presets::table2(scheme, false);
+      config.numPartitions = partitions;
+      config.groupsPerPartition = 8;
+      const VectorDiagnoser diagnoser(config);
+      dr[i++] = diagnoser.evaluate(work.responses).dr;
+    }
+    row("%-12zu %16.3f %16.3f %16.3f", partitions, dr[0], dr[1], dr[2]);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 5 — Number of partitions required to reach DR <= 0.5 (without
+// pruning) for each failing module of the single-chain SOC.
+//
+// Paper setup: SOC-1 (six largest ISCAS-89 stitched behind one meta scan
+// chain), 32 groups per partition. Diagnosis time is dominated by the number
+// of partitions (sessions = partitions x groups), so fewer partitions to a
+// target DR means directly shorter diagnosis. Expected shape: two-step needs
+// (often far) fewer partitions than random selection for every failing core.
+
+#include "bench_util.hpp"
+#include "core/scandiag.hpp"
+
+using namespace scandiag;
+using namespace scandiag::benchutil;
+
+namespace {
+
+constexpr std::size_t kMaxPartitions = 16;
+
+/// First partition count (1-based) whose DR <= target, or 0 if never reached.
+std::size_t partitionsToReach(const std::vector<double>& drByPrefix, double target) {
+  for (std::size_t p = 0; p < drByPrefix.size(); ++p) {
+    if (drByPrefix[p] <= target) return p + 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 5: partitions needed for DR <= 0.5, SOC-1 single meta chain (32 groups)",
+         "two-step reaches the target with fewer partitions => shorter diagnosis time");
+
+  const Soc soc = buildSoc1();
+  const WorkloadConfig workload = presets::socWorkload();
+
+  row("%-9s %18s %18s", "failing", "random-selection", "two-step");
+  for (std::size_t k = 0; k < soc.coreCount(); ++k) {
+    const auto responses = socResponsesForFailingCore(soc, k, workload);
+    std::size_t needed[2];
+    int i = 0;
+    for (SchemeKind scheme : {SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
+      const DiagnosisPipeline pipeline(soc.topology(),
+                                       presets::fig5Config(scheme, kMaxPartitions));
+      needed[i++] = partitionsToReach(pipeline.evaluateSweep(responses), 0.5);
+    }
+    auto fmt = [](std::size_t n) {
+      return n == 0 ? std::string(">16") : std::to_string(n);
+    };
+    row("%-9s %18s %18s", soc.core(k).name.c_str(), fmt(needed[0]).c_str(),
+        fmt(needed[1]).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Performance microbenchmarks (google-benchmark): throughput of the hot
+// kernels — bit-parallel logic simulation, cone-restricted fault simulation,
+// LFSR stepping, partition generation, and whole-fault diagnosis.
+
+#include <benchmark/benchmark.h>
+
+#include "core/scandiag.hpp"
+
+using namespace scandiag;
+
+namespace {
+
+const Netlist& circuit() {
+  static const Netlist nl = generateNamedCircuit("s9234");
+  return nl;
+}
+
+const CircuitWorkload& workload() {
+  static const CircuitWorkload work = prepareWorkload(circuit(), presets::table2Workload());
+  return work;
+}
+
+void BM_LogicSimEvaluate(benchmark::State& state) {
+  const Netlist& nl = circuit();
+  const LogicSimulator sim(nl);
+  const PatternSet pats = generatePatterns(nl, 64);
+  std::vector<SimWord> values(nl.gateCount(), 0);
+  for (GateId id = 0; id < nl.gateCount(); ++id)
+    if (pats.isSource(id)) values[id] = pats.word(id, 0);
+  for (auto _ : state) {
+    sim.evaluate(values);
+    benchmark::DoNotOptimize(values.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(nl.combGateCount()) * 64);
+  state.SetLabel("gate-evaluations x 64 patterns");
+}
+BENCHMARK(BM_LogicSimEvaluate);
+
+void BM_FaultSimulateOne(benchmark::State& state) {
+  const Netlist& nl = circuit();
+  const PatternSet pats = generatePatterns(nl, 128);
+  const FaultSimulator sim(nl, pats);
+  const auto faults = FaultList::enumerateCollapsed(nl).sample(64, 1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.simulate(faults[i++ % faults.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_FaultSimulateOne);
+
+void BM_ParallelFaultGrading(benchmark::State& state) {
+  // 64-fault-per-pass grading vs one-fault-at-a-time (BM_FaultSimulateOne).
+  const Netlist& nl = circuit();
+  const PatternSet pats = generatePatterns(nl, 128);
+  const ParallelFaultSimulator sim(nl, pats);
+  const auto faults = FaultList::enumerateCollapsed(nl).sample(256, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.detectFaults(faults));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(faults.size()));
+  state.SetLabel("faults graded");
+}
+BENCHMARK(BM_ParallelFaultGrading);
+
+void BM_LfsrStep(benchmark::State& state) {
+  Lfsr lfsr(LfsrConfig{16, 0}, 0xACE1);
+  for (auto _ : state) benchmark::DoNotOptimize(lfsr.step());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LfsrStep);
+
+void BM_GaloisLfsrStep(benchmark::State& state) {
+  GaloisLfsr lfsr(LfsrConfig{16, 0}, 0xACE1);
+  for (auto _ : state) benchmark::DoNotOptimize(lfsr.step());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GaloisLfsrStep);
+
+void BM_MisrClock(benchmark::State& state) {
+  Misr misr(16, primitiveTapMask(16), 8);
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    misr.clock(++x);
+    benchmark::DoNotOptimize(misr.signature());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MisrClock);
+
+void BM_RandomPartition(benchmark::State& state) {
+  const std::size_t chain = static_cast<std::size_t>(state.range(0));
+  RandomSelectionPartitioner partitioner(RandomSelectionConfig{}, chain, 16);
+  for (auto _ : state) benchmark::DoNotOptimize(partitioner.next());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(chain));
+}
+BENCHMARK(BM_RandomPartition)->Arg(211)->Arg(6173);
+
+void BM_IntervalPartition(benchmark::State& state) {
+  const std::size_t chain = static_cast<std::size_t>(state.range(0));
+  IntervalPartitioner partitioner(IntervalPartitionerConfig{}, chain, 16);
+  for (auto _ : state) benchmark::DoNotOptimize(partitioner.next());
+}
+BENCHMARK(BM_IntervalPartition)->Arg(211)->Arg(6173);
+
+void BM_DiagnoseFault(benchmark::State& state) {
+  const CircuitWorkload& work = workload();
+  const DiagnosisPipeline pipeline(work.topology,
+                                   presets::table2(SchemeKind::TwoStep, false));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.diagnose(work.responses[i++ % work.responses.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DiagnoseFault);
+
+void BM_DiagnoseFaultWithPruning(benchmark::State& state) {
+  const CircuitWorkload& work = workload();
+  const DiagnosisPipeline pipeline(work.topology,
+                                   presets::table2(SchemeKind::TwoStep, true));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.diagnose(work.responses[i++ % work.responses.size()]));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_DiagnoseFaultWithPruning);
+
+void BM_FullDrExperiment(benchmark::State& state) {
+  const CircuitWorkload& work = workload();
+  const DiagnosisPipeline pipeline(work.topology,
+                                   presets::table2(SchemeKind::TwoStep, false));
+  for (auto _ : state) benchmark::DoNotOptimize(pipeline.evaluate(work.responses));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(work.responses.size()));
+}
+BENCHMARK(BM_FullDrExperiment);
+
+}  // namespace

@@ -1,0 +1,45 @@
+// Table 3 — SOC diagnostic resolution, single meta scan chain.
+//
+// Paper setup: SOC-1 is crafted by stitching the six largest ISCAS-89
+// benchmarks behind a single TestRail meta scan chain. One core at a time is
+// assumed faulty; 500 single stuck-at faults are injected into it; 8
+// partitions of 32 groups each (more groups because the meta chain is long).
+// Expected shape: two-step dramatically better than random selection on every
+// failing core — the paper reports up to a 10x improvement — because the
+// faulty core occupies a contiguous run of the meta chain.
+
+#include "bench_util.hpp"
+#include "core/scandiag.hpp"
+
+using namespace scandiag;
+using namespace scandiag::benchutil;
+
+int main() {
+  banner("Table 3: SOC-1 (six largest ISCAS-89, single meta chain), DR per failing core",
+         "two-step >> random selection (up to 10x); holds with and without pruning");
+
+  const Soc soc = buildSoc1();
+  row("SOC-1: %zu cores, %zu cells on one meta scan chain", soc.coreCount(), soc.totalCells());
+  row("");
+
+  const WorkloadConfig workload = presets::socWorkload();
+  row("%-9s | %9s %9s %6s | %9s %9s %6s", "failing", "rand", "two-step", "gain",
+      "rand+pr", "two+pr", "gain");
+
+  // Evaluate per core so each workload is fault-simulated once for all four
+  // configurations.
+  for (std::size_t k = 0; k < soc.coreCount(); ++k) {
+    const auto responses = socResponsesForFailingCore(soc, k, workload);
+    double dr[4];
+    int i = 0;
+    for (bool pruning : {false, true}) {
+      for (SchemeKind scheme : {SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
+        const DiagnosisPipeline pipeline(soc.topology(), presets::soc1Config(scheme, pruning));
+        dr[i++] = pipeline.evaluate(responses).dr;
+      }
+    }
+    row("%-9s | %9.2f %9.2f %5sx | %9.2f %9.2f %5sx", soc.core(k).name.c_str(), dr[0], dr[1],
+        improvement(dr[0], dr[1]).c_str(), dr[2], dr[3], improvement(dr[2], dr[3]).c_str());
+  }
+  return 0;
+}

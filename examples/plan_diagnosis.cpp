@@ -1,0 +1,58 @@
+// Diagnosis planning walkthrough: how a test engineer would size the
+// partition budget before committing it to the BIST controller.
+//
+// Flow: pick a representative fault sample, calibrate with planDiagnosis()
+// across group counts and partition budgets, and compare the cheapest plans
+// for several DR targets against the rule-of-thumb group count (the paper's
+// "more groups on longer chains" strategy).
+//
+// Usage: plan_diagnosis [circuit] [chains]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/scandiag.hpp"
+
+using namespace scandiag;
+
+int main(int argc, char** argv) {
+  const std::string circuit = argc > 1 ? argv[1] : "s13207";
+  const std::size_t chains = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 1;
+
+  const Netlist nl = generateNamedCircuit(circuit);
+  WorkloadConfig wc;
+  wc.numPatterns = 128;
+  wc.numFaults = 200;  // calibration sample
+  const CircuitWorkload work = prepareWorkload(nl, wc, chains);
+
+  std::printf("%s: %zu scan cells on %zu chain(s), selection axis %zu positions\n",
+              circuit.c_str(), work.topology.numCells(), work.topology.numChains(),
+              work.topology.maxChainLength());
+  std::printf("rule-of-thumb groups (paper §5 strategy): %zu\n\n",
+              recommendGroupCount(work.topology.maxChainLength()));
+
+  std::printf("%-10s %12s %10s %10s %12s %14s\n", "target DR", "feasible", "partitions",
+              "groups", "achieved", "sessions");
+  for (double target : {2.0, 1.0, 0.5, 0.2, 0.05, 0.0}) {
+    PlanRequest request;
+    request.targetDr = target;
+    request.maxPartitions = 16;
+    request.numPatterns = wc.numPatterns;
+    const PlanResult plan = planDiagnosis(work.topology, work.responses, request);
+    if (!plan.feasible) {
+      std::printf("%-10.2f %12s\n", target, "no");
+      continue;
+    }
+    std::printf("%-10.2f %12s %10zu %10zu %12.3f %14zu\n", target, "yes",
+                plan.config.numPartitions, plan.config.groupsPerPartition, plan.achievedDr,
+                plan.cost.sessions);
+  }
+
+  std::printf("\nEach session re-applies all %zu patterns; one session costs %llu clock "
+              "cycles here.\n",
+              wc.numPatterns,
+              static_cast<unsigned long long>(
+                  sessionCost(wc.numPatterns, work.topology.maxChainLength()).clockCycles));
+  return 0;
+}

@@ -1,0 +1,59 @@
+// SOC diagnosis walkthrough (paper §5).
+//
+// Builds the d695 variant (8 full-scan ISCAS-89 cores on an 8-bit TAM with 8
+// balanced meta scan chains in daisy-chain order), injects faults into one
+// core, and diagnoses failing scan cells over the meta chains. Shows how the
+// candidate set localizes to the faulty core — the clustering effect that
+// makes two-step partitioning the right tool for TestRail-based SOCs.
+//
+// Usage: soc_diagnosis [core-name]   (default s9234)
+
+#include <cstdio>
+#include <string>
+
+#include "core/scandiag.hpp"
+
+using namespace scandiag;
+
+int main(int argc, char** argv) {
+  const std::string failingCore = argc > 1 ? argv[1] : "s9234";
+
+  const Soc soc = buildD695();
+  std::printf("SOC %s: %zu cores, %zu scan cells, %zu meta chains of up to %zu cells\n",
+              soc.name().c_str(), soc.coreCount(), soc.totalCells(),
+              soc.topology().numChains(), soc.topology().maxChainLength());
+  for (const CoreInstance& core : soc.cores()) {
+    std::printf("  core %-8s cells [%6zu, %6zu)\n", core.name.c_str(), core.cellOffset,
+                core.cellOffset + core.numCells());
+  }
+
+  const std::size_t coreIdx = soc.coreIndex(failingCore);
+  WorkloadConfig workload = presets::socWorkload();
+  workload.numFaults = 50;  // a quick demonstration sample
+  const auto responses = socResponsesForFailingCore(soc, coreIdx, workload);
+  std::printf("\ninjected %zu detected faults into core %s\n", responses.size(),
+              failingCore.c_str());
+
+  for (SchemeKind scheme : {SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
+    const DiagnosisPipeline pipeline(soc.topology(), presets::d695Config(scheme, false));
+    const DrReport report = pipeline.evaluate(responses);
+
+    // How well do candidates localize to the faulty core?
+    std::size_t inCore = 0, outOfCore = 0;
+    for (const FaultResponse& r : responses) {
+      const FaultDiagnosis d = pipeline.diagnose(r);
+      for (std::size_t cell : d.candidates.cells.toIndices()) {
+        (soc.coreOfCell(cell) == coreIdx ? inCore : outOfCore) += 1;
+      }
+    }
+    std::printf("\n%s:\n", schemeName(scheme).c_str());
+    std::printf("  DR = %.2f\n", report.dr);
+    std::printf("  candidate cells inside faulty core: %zu, outside: %zu (%.1f%% localized)\n",
+                inCore, outOfCore,
+                100.0 * static_cast<double>(inCore) / static_cast<double>(inCore + outOfCore));
+  }
+
+  std::printf("\nInterval groups align with core boundaries; random groups straddle all "
+              "cores,\nwhich is why two-step wins on TestRail SOCs (paper Tables 3-4).\n");
+  return 0;
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full reproduction run: build, test, regenerate every table/figure/ablation.
+# Outputs land in results/ (and test_output.txt / bench_output.txt at the
+# repository root, the canonical artifacts EXPERIMENTS.md is checked against).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build -j"$(nproc)" 2>&1 | tee test_output.txt
+
+mkdir -p results
+: > bench_output.txt
+for b in build/bench/*; do
+  if [ -f "$b" ] && [ -x "$b" ]; then
+    name="$(basename "$b")"
+    echo "### ${name}" | tee -a bench_output.txt
+    "$b" | tee "results/${name}.txt" | tee -a bench_output.txt
+    echo | tee -a bench_output.txt
+  fi
+done
+
+echo "done: test_output.txt, bench_output.txt, results/*.txt"

@@ -1,0 +1,307 @@
+#include "atpg/podem.hpp"
+
+#include <array>
+#include <memory>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace scandiag {
+
+namespace {
+
+// 3-valued logic: 0, 1, X.
+enum V3 : std::uint8_t { V0 = 0, V1 = 1, VX = 2 };
+
+V3 v3Not(V3 a) { return a == VX ? VX : (a == V0 ? V1 : V0); }
+
+V3 evalGate3(GateType type, const std::vector<GateId>& fanins,
+             const std::vector<V3>& values, int faultPin, V3 forced) {
+  auto in = [&](std::size_t k) -> V3 {
+    return static_cast<int>(k) == faultPin ? forced : values[fanins[k]];
+  };
+  switch (type) {
+    case GateType::Buf:
+      return in(0);
+    case GateType::Not:
+      return v3Not(in(0));
+    case GateType::And:
+    case GateType::Nand: {
+      bool anyX = false;
+      for (std::size_t k = 0; k < fanins.size(); ++k) {
+        const V3 v = in(k);
+        if (v == V0) return type == GateType::And ? V0 : V1;
+        anyX |= (v == VX);
+      }
+      if (anyX) return VX;
+      return type == GateType::And ? V1 : V0;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      bool anyX = false;
+      for (std::size_t k = 0; k < fanins.size(); ++k) {
+        const V3 v = in(k);
+        if (v == V1) return type == GateType::Or ? V1 : V0;
+        anyX |= (v == VX);
+      }
+      if (anyX) return VX;
+      return type == GateType::Or ? V0 : V1;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      std::uint8_t parity = type == GateType::Xnor ? 1 : 0;
+      for (std::size_t k = 0; k < fanins.size(); ++k) {
+        const V3 v = in(k);
+        if (v == VX) return VX;
+        parity ^= v;
+      }
+      return parity ? V1 : V0;
+    }
+    case GateType::Const0:
+      return V0;
+    case GateType::Const1:
+      return V1;
+    case GateType::Input:
+    case GateType::Dff:
+      break;
+  }
+  throw std::logic_error("evalGate3 on a source gate");
+}
+
+/// Non-controlling input value that lets a D pass through the gate.
+V3 nonControlling(GateType type) {
+  switch (type) {
+    case GateType::And:
+    case GateType::Nand:
+      return V1;
+    case GateType::Or:
+    case GateType::Nor:
+      return V0;
+    default:
+      return V0;  // XOR family propagates under any value
+  }
+}
+
+bool invertingType(GateType type) {
+  return type == GateType::Nand || type == GateType::Nor || type == GateType::Not ||
+         type == GateType::Xnor;
+}
+
+struct Decision {
+  GateId source;
+  bool value;
+  bool flipped;
+};
+
+}  // namespace
+
+void TestCube::applyTo(PatternSet& patterns, std::size_t t, const Netlist& netlist,
+                       std::uint64_t fillSeed) const {
+  Xoroshiro128 rng(fillSeed ^ (0x9e3779b97f4a7c15ULL * (t + 1)));
+  for (GateId id = 0; id < netlist.gateCount(); ++id) {
+    if (!patterns.isSource(id)) continue;
+    const bool bit = (id < care.size() && care.test(id)) ? value.test(id) : rng.nextBool();
+    patterns.stream(id).set(t, bit);
+  }
+}
+
+PodemAtpg::PodemAtpg(const Netlist& netlist) : netlist_(&netlist), lev_(levelize(netlist)) {}
+
+AtpgResult PodemAtpg::generate(const FaultSite& fault, std::size_t backtrackLimit) const {
+  const Netlist& nl = *netlist_;
+  SCANDIAG_REQUIRE(fault.gate < nl.gateCount(), "fault site out of range");
+  AtpgResult result;
+
+  // The "fault line" whose good value must be the complement of the stuck
+  // value: the site's output, or the driver seen by the faulted pin.
+  const GateId faultLine =
+      fault.isOutputFault() ? fault.gate : nl.gate(fault.gate).fanins[fault.pin];
+  const V3 stuck = fault.stuckAt ? V1 : V0;
+  const V3 activate = v3Not(stuck);
+  const bool dffPinFault =
+      !fault.isOutputFault() && nl.gate(fault.gate).type == GateType::Dff;
+
+  std::vector<V3> good(nl.gateCount(), VX);
+  std::vector<V3> faulty(nl.gateCount(), VX);
+  std::vector<Decision> decisions;
+
+  // Observation points: primary outputs and DFF D drivers.
+  std::vector<std::pair<GateId, GateId>> obs;  // (line in good/faulty planes, owner)
+  for (GateId po : nl.outputs()) obs.push_back({po, po});
+  for (GateId dff : nl.dffs()) obs.push_back({nl.gate(dff).fanins[0], dff});
+
+  auto imply = [&] {
+    for (GateId id = 0; id < nl.gateCount(); ++id) {
+      const GateType t = nl.gate(id).type;
+      if (t == GateType::Const0) good[id] = faulty[id] = V0;
+      if (t == GateType::Const1) good[id] = faulty[id] = V1;
+      if (t == GateType::Input || t == GateType::Dff) {
+        good[id] = VX;
+        faulty[id] = VX;
+      }
+    }
+    for (const Decision& d : decisions) good[d.source] = faulty[d.source] = d.value ? V1 : V0;
+    if (fault.isOutputFault() && isSourceType(nl.gate(fault.gate).type))
+      faulty[fault.gate] = stuck;
+    for (GateId id : lev_.order) {
+      const Gate& g = nl.gate(id);
+      good[id] = evalGate3(g.type, g.fanins, good, FaultSite::kOutputPin, VX);
+      if (id == fault.gate && fault.isOutputFault()) {
+        faulty[id] = stuck;
+      } else if (id == fault.gate && !fault.isOutputFault()) {
+        faulty[id] = evalGate3(g.type, g.fanins, faulty, fault.pin, stuck);
+      } else {
+        faulty[id] = evalGate3(g.type, g.fanins, faulty, FaultSite::kOutputPin, VX);
+      }
+    }
+  };
+
+  auto isD = [&](GateId line) {
+    return good[line] != VX && faulty[line] != VX && good[line] != faulty[line];
+  };
+
+  auto observed = [&] {
+    // A DFF D-pin fault is observed at its own cell once activated.
+    if (dffPinFault) return good[faultLine] == activate;
+    for (const auto& [line, owner] : obs) {
+      (void)owner;
+      if (isD(line)) return true;
+    }
+    return false;
+  };
+
+  auto dFrontierPick = [&]() -> std::optional<std::pair<GateId, V3>> {
+    for (GateId id : lev_.order) {
+      if (good[id] != VX && faulty[id] != VX) continue;  // output already set
+      const Gate& g = nl.gate(id);
+      // For a pin fault, the D is injected *inside* the owning gate's
+      // evaluation, so the owner belongs to the frontier as soon as the
+      // fault is activated even though no fanin carries a plane-level D.
+      bool hasD = !fault.isOutputFault() && id == fault.gate && good[faultLine] == activate;
+      GateId xInput = kInvalidGate;
+      for (GateId f : g.fanins) {
+        if (isD(f)) hasD = true;
+        if (good[f] == VX && xInput == kInvalidGate) xInput = f;
+      }
+      if (hasD && xInput != kInvalidGate)
+        return std::make_pair(xInput, nonControlling(g.type));
+    }
+    return std::nullopt;
+  };
+
+  // Backtrace an objective to a source decision through X-valued gates.
+  auto backtrace = [&](GateId line, V3 target) -> std::optional<std::pair<GateId, bool>> {
+    while (!isSourceType(nl.gate(line).type)) {
+      const Gate& g = nl.gate(line);
+      if (invertingType(g.type)) target = v3Not(target);
+      GateId next = kInvalidGate;
+      for (GateId f : g.fanins) {
+        if (good[f] == VX) {
+          next = f;
+          break;
+        }
+      }
+      if (next == kInvalidGate) return std::nullopt;  // no X path: conflict
+      line = next;
+    }
+    return std::make_pair(line, target == V1);
+  };
+
+  auto backtrack = [&]() -> bool {
+    while (!decisions.empty()) {
+      Decision& d = decisions.back();
+      if (!d.flipped) {
+        d.flipped = true;
+        d.value = !d.value;
+        ++result.stats.backtracks;
+        return true;
+      }
+      decisions.pop_back();
+    }
+    return false;
+  };
+
+  while (true) {
+    imply();
+    if (good[faultLine] == activate && observed()) {
+      result.outcome = AtpgOutcome::Detected;
+      result.cube.care = BitVector(nl.gateCount());
+      result.cube.value = BitVector(nl.gateCount());
+      for (const Decision& d : decisions) {
+        result.cube.care.set(d.source);
+        if (d.value) result.cube.value.set(d.source);
+      }
+      return result;
+    }
+
+    // Choose the next objective.
+    std::optional<std::pair<GateId, V3>> objective;
+    bool conflict = false;
+    if (good[faultLine] == stuck) {
+      conflict = true;  // fault can no longer be activated
+    } else if (good[faultLine] == VX) {
+      objective = std::make_pair(faultLine, activate);
+    } else if (!dffPinFault) {
+      objective = dFrontierPick();
+      conflict = !objective.has_value();  // activated but D-frontier dead
+    } else {
+      conflict = true;  // dff pin fault activated implies observed; unreachable
+    }
+
+    std::optional<std::pair<GateId, bool>> decision;
+    if (!conflict) {
+      decision = backtrace(objective->first, objective->second);
+      conflict = !decision.has_value();
+    }
+    if (conflict) {
+      if (result.stats.backtracks >= backtrackLimit) {
+        result.outcome = AtpgOutcome::Aborted;
+        return result;
+      }
+      if (!backtrack()) {
+        result.outcome = AtpgOutcome::Untestable;
+        return result;
+      }
+      continue;
+    }
+    decisions.push_back(Decision{decision->first, decision->second, false});
+    ++result.stats.decisions;
+  }
+}
+
+std::vector<TestCube> PodemAtpg::generateCompactSet(const std::vector<FaultSite>& faults,
+                                                    std::size_t backtrackLimit) const {
+  std::vector<TestCube> cubes;
+  // Fault dropping: a fault already detected by the accumulated patterns gets
+  // no new cube. The simulator is rebuilt in blocks to amortize its setup.
+  std::unique_ptr<PatternSet> patterns;
+  std::unique_ptr<FaultSimulator> sim;
+  std::size_t patternsInSim = 0;
+  auto rebuild = [&] {
+    if (cubes.empty()) return;
+    patterns = std::make_unique<PatternSet>(*netlist_, cubes.size());
+    for (std::size_t t = 0; t < cubes.size(); ++t)
+      cubes[t].applyTo(*patterns, t, *netlist_, 0xF111);
+    sim = std::make_unique<FaultSimulator>(*netlist_, *patterns);
+    patternsInSim = cubes.size();
+  };
+  for (const FaultSite& fault : faults) {
+    if (sim && sim->simulate(fault).detected()) continue;  // dropped
+    const AtpgResult r = generate(fault, backtrackLimit);
+    if (r.outcome != AtpgOutcome::Detected) continue;
+    cubes.push_back(r.cube);
+    if (cubes.size() - patternsInSim >= 32 || !sim) rebuild();
+  }
+  return cubes;
+}
+
+PatternSet patternsFromCubes(const Netlist& netlist, const std::vector<TestCube>& cubes,
+                             std::uint64_t fillSeed) {
+  SCANDIAG_REQUIRE(!cubes.empty(), "no cubes to assemble");
+  PatternSet patterns(netlist, cubes.size());
+  for (std::size_t t = 0; t < cubes.size(); ++t)
+    cubes[t].applyTo(patterns, t, netlist, fillSeed);
+  return patterns;
+}
+
+}  // namespace scandiag

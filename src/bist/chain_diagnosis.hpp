@@ -1,0 +1,78 @@
+// Scan-chain integrity fault diagnosis.
+//
+// The paper's method assumes the scan chains themselves shift correctly and
+// diagnoses *capture* errors. In practice a defect can sit in the shift path
+// itself — a scan cell whose output is stuck — and then every bit passing
+// through the faulty cell is corrupted, which breaks the capture-diagnosis
+// preconditions. This module implements the standard companion flow:
+//
+//  1. Flush test: shift a 0/1 toggle sequence straight through (no capture).
+//     A stuck cell makes the tail of the output constant, revealing the
+//     faulty chain and the stuck value — but not the position, because the
+//     *load* is corrupted too.
+//  2. Hypothesis-based localization (Guo & Venkataraman style): one capture
+//     test writes cells downstream of the fault through their D inputs, i.e.
+//     from the combinational side, bypassing the broken shift path. For each
+//     candidate position p̂ the model predicts the observation under "stuck
+//     at p̂" (load corrupts positions <= p̂, unload corrupts positions >= p̂)
+//     and keeps the hypotheses consistent with silicon.
+//
+// Shift-path fault model: cell at `position` of `chain` presents `stuckAt`
+// to its shift successor and to the combinational logic.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bist/scan_topology.hpp"
+#include "sim/fault_simulator.hpp"
+
+namespace scandiag {
+
+struct ChainFault {
+  std::size_t chain = 0;
+  std::size_t position = 0;
+  bool stuckAt = false;
+
+  friend bool operator==(const ChainFault&, const ChainFault&) = default;
+};
+
+class ChainIntegrityModel {
+ public:
+  ChainIntegrityModel(const Netlist& netlist, const ScanTopology& topology);
+
+  const ScanTopology& topology() const { return *topology_; }
+
+  /// Flush test on one chain: shifts 2L toggle bits (0101...) through with
+  /// capture disabled and returns the 2L observed output bits (initial chain
+  /// contents are 0). With `fault` on this chain the tail goes constant.
+  BitVector flushObservation(std::size_t chain,
+                             const std::optional<ChainFault>& fault = std::nullopt) const;
+
+  struct FlushVerdict {
+    bool pass = true;            // toggle sequence came through intact
+    bool stuckValue = false;     // meaningful when !pass
+  };
+  /// Interprets a flush observation (presence + stuck polarity).
+  FlushVerdict judgeFlush(const BitVector& observation) const;
+
+  /// One capture test under an optional chain fault: load pattern t, one
+  /// functional capture, unload. Returns the observed bits per chain,
+  /// position-indexed (bit p = what the tester sees at unload cycle p).
+  std::vector<BitVector> captureObservation(const PatternSet& patterns, std::size_t t,
+                                            const std::optional<ChainFault>& fault) const;
+
+  /// Positions on `chain` whose stuck-at-`stuckValue` hypothesis reproduces
+  /// `observed` exactly. The true position is always included; with several
+  /// capture tests the set typically collapses to one.
+  std::vector<std::size_t> locateFault(const PatternSet& patterns, std::size_t t,
+                                       const std::vector<BitVector>& observed,
+                                       std::size_t chain, bool stuckValue) const;
+
+ private:
+  const Netlist* netlist_;
+  const ScanTopology* topology_;
+  LogicSimulator sim_;
+};
+
+}  // namespace scandiag

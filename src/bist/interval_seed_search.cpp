@@ -1,0 +1,103 @@
+#include "bist/interval_seed_search.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+std::size_t intervalLengthFromBits(std::uint64_t bits, unsigned rlen) {
+  const std::uint64_t mask = (std::uint64_t{1} << rlen) - 1;
+  const std::uint64_t v = bits & mask;
+  return v == 0 ? (std::size_t{1} << rlen) : static_cast<std::size_t>(v);
+}
+
+std::vector<std::size_t> intervalLengths(const LfsrConfig& config, std::uint64_t seed,
+                                         unsigned rlen, std::size_t groups,
+                                         std::size_t chainLength) {
+  SCANDIAG_REQUIRE(rlen >= 1 && rlen <= config.degree, "interval field exceeds LFSR degree");
+  SCANDIAG_REQUIRE(groups >= 1, "need at least one group");
+  SCANDIAG_REQUIRE(chainLength >= groups, "chain shorter than group count");
+  Lfsr lfsr(config, seed);
+  std::vector<std::size_t> lengths;
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < groups && covered < chainLength; ++i) {
+    std::size_t len = intervalLengthFromBits(lfsr.lowBits(rlen), rlen);
+    // rlen shifts per boundary give a fresh (decorrelated) window for the
+    // next interval; a single shift would make successive lengths sliding
+    // windows of each other (l' ~ 2l mod 2^rlen). The hardware cost is nil:
+    // the carry pulse gates rlen clock cycles instead of one while the next
+    // interval's first cells shift.
+    for (unsigned s = 0; s < rlen; ++s) lfsr.step();
+    if (i + 1 == groups || covered + len > chainLength) len = chainLength - covered;
+    lengths.push_back(len);
+    covered += len;
+  }
+  return lengths;
+}
+
+unsigned defaultIntervalBits(std::size_t chainLength, std::size_t groups, unsigned degree) {
+  SCANDIAG_REQUIRE(groups >= 1 && chainLength >= groups, "bad chain/group sizes");
+  const double target = 1.15 * static_cast<double>(chainLength) / static_cast<double>(groups);
+  unsigned rlen = 1;
+  // Expected interval length for an rlen-bit field is 2^(rlen-1) + 0.5.
+  while (rlen < degree && std::pow(2.0, rlen - 1) + 0.5 < target) ++rlen;
+  return rlen;
+}
+
+std::optional<IntervalSeedResult> findIntervalSeed(const LfsrConfig& config, unsigned rlen,
+                                                   std::size_t groups, std::size_t chainLength,
+                                                   std::uint64_t startSeed,
+                                                   std::size_t maxTries) {
+  const std::uint64_t stateMask = (std::uint64_t{1} << config.degree) - 1;
+  // Two passes: first insist on every group nonempty (no wasted sessions);
+  // if the configuration makes that statistically infeasible (many groups,
+  // coarse length field), accept any covering seed — the chain is then
+  // covered by fewer than `groups` intervals and the trailing groups are
+  // empty (their sessions observe nothing, which the diagnosis layer treats
+  // as trivially passing).
+  for (const bool strict : {true, false}) {
+    std::uint64_t seed = startSeed & stateMask;
+    const std::size_t tries = std::min<std::size_t>(maxTries, stateMask);
+    for (std::size_t t = 0; t < tries; ++t, seed = (seed + 1) & stateMask) {
+      if (seed == 0) continue;
+      Lfsr lfsr(config, seed);
+      std::size_t covered = 0;
+      bool earlyCover = false;
+      for (std::size_t i = 0; i + 1 < groups; ++i) {
+        covered += intervalLengthFromBits(lfsr.lowBits(rlen), rlen);
+        for (unsigned st = 0; st < rlen; ++st) lfsr.step();
+        if (covered >= chainLength) {
+          earlyCover = true;
+          break;
+        }
+      }
+      if (strict && earlyCover) continue;
+      if (!earlyCover) covered += intervalLengthFromBits(lfsr.lowBits(rlen), rlen);
+      if (covered < chainLength) continue;
+      IntervalSeedResult result;
+      result.seed = seed;
+      result.lengths = intervalLengths(config, seed, rlen, groups, chainLength);
+      result.lengths.resize(groups, 0);  // trailing empty groups when earlyCover
+      return result;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<IntervalSeedResult> findIntervalSeeds(const LfsrConfig& config, unsigned rlen,
+                                                  std::size_t groups, std::size_t chainLength,
+                                                  std::uint64_t startSeed, std::size_t count) {
+  std::vector<IntervalSeedResult> results;
+  std::uint64_t seed = startSeed;
+  while (results.size() < count) {
+    auto r = findIntervalSeed(config, rlen, groups, chainLength, seed);
+    SCANDIAG_REQUIRE(r.has_value(),
+                     "no covering interval seed exists for this chain/group configuration");
+    seed = r->seed + 1;
+    results.push_back(std::move(*r));
+  }
+  return results;
+}
+
+}  // namespace scandiag

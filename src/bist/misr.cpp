@@ -1,0 +1,57 @@
+#include "bist/misr.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+Misr::Misr(unsigned degree, std::uint64_t tapMask, unsigned inputWidth)
+    : degree_(degree),
+      inputWidth_(inputWidth),
+      tapMask_(tapMask),
+      stateMask_(degree >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << degree) - 1) {
+  SCANDIAG_REQUIRE(degree_ >= 2 && degree_ <= 63, "MISR degree must be in [2, 63]");
+  SCANDIAG_REQUIRE(inputWidth_ >= 1 && inputWidth_ <= degree_,
+                   "MISR input width must be in [1, degree]");
+  SCANDIAG_REQUIRE((tapMask_ & ~stateMask_) == 0, "tap mask exceeds degree");
+  SCANDIAG_REQUIRE(tapMask_ >> (degree_ - 1), "tap mask must include the top stage");
+}
+
+void Misr::reset(std::uint64_t state) { state_ = state & stateMask_; }
+
+std::uint64_t Misr::transition(std::uint64_t state) const {
+  // Same left-shift Fibonacci form as Lfsr::step — linear over GF(2).
+  const std::uint64_t feedback =
+      static_cast<std::uint64_t>(std::popcount(state & tapMask_) & 1);
+  return ((state << 1) | feedback) & stateMask_;
+}
+
+void Misr::clock(std::uint64_t inputs) {
+  const std::uint64_t inMask = (std::uint64_t{1} << inputWidth_) - 1;
+  state_ = transition(state_) ^ (inputs & inMask);
+}
+
+MisrLinearModel::MisrLinearModel(unsigned degree, std::uint64_t tapMask, unsigned inputWidth,
+                                 std::size_t totalCycles)
+    : degree_(degree), inputWidth_(inputWidth), totalCycles_(totalCycles) {
+  SCANDIAG_REQUIRE(totalCycles > 0, "session must have at least one cycle");
+  Misr reference(degree, tapMask, inputWidth);
+  weights_.assign(static_cast<std::size_t>(inputWidth) * totalCycles, 0);
+  // v = A^j · e_line; cycle k = K-1-j receives weight v.
+  for (unsigned line = 0; line < inputWidth; ++line) {
+    std::uint64_t v = std::uint64_t{1} << line;
+    for (std::size_t j = 0; j < totalCycles; ++j) {
+      weights_[static_cast<std::size_t>(line) * totalCycles + (totalCycles - 1 - j)] = v;
+      v = reference.transition(v);
+    }
+  }
+}
+
+std::uint64_t MisrLinearModel::weight(unsigned line, std::size_t cycle) const {
+  SCANDIAG_REQUIRE(line < inputWidth_, "MISR line out of range");
+  SCANDIAG_REQUIRE(cycle < totalCycles_, "MISR cycle out of range");
+  return weights_[static_cast<std::size_t>(line) * totalCycles_ + cycle];
+}
+
+}  // namespace scandiag

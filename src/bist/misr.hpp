@@ -1,0 +1,85 @@
+// Multiple-input signature register (MISR) and its GF(2)-linear model.
+//
+// The MISR compacts the scan-out stream(s) into a short signature. Its next-
+// state function is linear over GF(2):
+//     s' = A·s ⊕ x          A = shift ⊕ feedback, x = input word
+// so after K clocks from the zero state the signature is
+//     sig = Σ_k A^(K-1-k) · x_k                                    (XOR sum)
+// Two consequences the diagnosis engine exploits (the superposition principle
+// of Bayraktaroglu & Orailoglu):
+//   * sig(good ⊕ error) ⊕ sig(good) = sig(error): a session's *error
+//     signature* depends only on the error bits, not on the good data;
+//   * the error signature of a set of failing cells is the XOR of the cells'
+//     individual error signatures.
+// MisrLinearModel precomputes the impulse weights A^(K-1-k)·e_c so a cell's
+// error signature costs one XOR per error bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvector.hpp"
+
+namespace scandiag {
+
+class Misr {
+ public:
+  /// degree = register length (signature width); tapMask as in Lfsr;
+  /// inputWidth = number of parallel scan-out lines (<= degree).
+  Misr(unsigned degree, std::uint64_t tapMask, unsigned inputWidth);
+
+  unsigned degree() const { return degree_; }
+  unsigned inputWidth() const { return inputWidth_; }
+
+  void reset(std::uint64_t state = 0);
+  /// One clock with `inputs` (low inputWidth bits XOR into stages 0..w-1).
+  void clock(std::uint64_t inputs);
+  std::uint64_t signature() const { return state_; }
+
+  /// The linear map A applied to an arbitrary state vector.
+  std::uint64_t transition(std::uint64_t state) const;
+
+ private:
+  unsigned degree_;
+  unsigned inputWidth_;
+  std::uint64_t tapMask_;
+  std::uint64_t stateMask_;
+  std::uint64_t state_ = 0;
+};
+
+/// Precomputed impulse responses of a Misr over a fixed session length.
+/// weight(line, cycle) is the final-signature contribution of a single 1 bit
+/// entering input `line` at clock `cycle` (0-based, K clocks total).
+class MisrLinearModel {
+ public:
+  MisrLinearModel(unsigned degree, std::uint64_t tapMask, unsigned inputWidth,
+                  std::size_t totalCycles);
+
+  std::size_t totalCycles() const { return totalCycles_; }
+  unsigned degree() const { return degree_; }
+
+  std::uint64_t weight(unsigned line, std::size_t cycle) const;
+
+  /// Error signature of one cell: XOR of weight(line, cycleOf(pattern)) over
+  /// the set bits of `errorStream`. `cycleOfPattern(t)` must give the clock at
+  /// which the cell's bit of pattern t enters the MISR.
+  template <typename CycleOf>
+  std::uint64_t cellSignature(unsigned line, const BitVector& errorStream,
+                              CycleOf&& cycleOfPattern) const {
+    std::uint64_t sig = 0;
+    for (std::size_t t = errorStream.findFirst(); t != BitVector::npos;
+         t = errorStream.findNext(t)) {
+      sig ^= weight(line, cycleOfPattern(t));
+    }
+    return sig;
+  }
+
+ private:
+  unsigned degree_;
+  unsigned inputWidth_;
+  std::size_t totalCycles_;
+  /// weights_[line * totalCycles + cycle]
+  std::vector<std::uint64_t> weights_;
+};
+
+}  // namespace scandiag

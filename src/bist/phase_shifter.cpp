@@ -1,0 +1,73 @@
+#include "bist/phase_shifter.hpp"
+
+#include <bit>
+#include <set>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace scandiag {
+
+PhaseShifter::PhaseShifter(unsigned lfsrDegree, std::size_t channels, std::uint64_t seed,
+                           unsigned tapsPerChannel) {
+  SCANDIAG_REQUIRE(lfsrDegree >= 2 && lfsrDegree <= 63, "LFSR degree out of range");
+  SCANDIAG_REQUIRE(channels >= 1, "need at least one channel");
+  SCANDIAG_REQUIRE(tapsPerChannel >= 1 && tapsPerChannel <= lfsrDegree,
+                   "taps per channel out of range");
+  // With t taps from d stages there are C(d, t) distinct masks; require
+  // comfortably more than the channel count so the draw below terminates.
+  Xoroshiro128 rng(seed);
+  std::set<std::uint64_t> used;
+  masks_.reserve(channels);
+  for (std::size_t c = 0; c < channels; ++c) {
+    std::uint64_t mask = 0;
+    std::size_t guard = 0;
+    do {
+      mask = 0;
+      while (static_cast<unsigned>(std::popcount(mask)) < tapsPerChannel)
+        mask |= std::uint64_t{1} << rng.nextBelow(lfsrDegree);
+      SCANDIAG_REQUIRE(++guard < 10000,
+                       "cannot draw enough distinct phase-shifter tap sets");
+    } while (!used.insert(mask).second);
+    masks_.push_back(mask);
+  }
+}
+
+bool PhaseShifter::channelBit(std::size_t c, std::uint64_t lfsrState) const {
+  SCANDIAG_REQUIRE(c < masks_.size(), "channel index out of range");
+  return std::popcount(lfsrState & masks_[c]) & 1;
+}
+
+PatternSet generateStumpsPatterns(const Netlist& netlist, const ScanTopology& topology,
+                                  std::size_t numPatterns, const StumpsConfig& config) {
+  SCANDIAG_REQUIRE(topology.numCells() == netlist.dffs().size(),
+                   "topology does not match the netlist's scan cells");
+  const std::size_t W = topology.numChains();
+  const std::size_t numPis = netlist.inputs().size();
+  const PhaseShifter shifter(config.lfsr.degree, W + numPis, config.seed,
+                             config.tapsPerChannel);
+  Lfsr lfsr(config.lfsr, config.seed);
+
+  PatternSet patterns(netlist, numPatterns);
+  const std::size_t L = topology.maxChainLength();
+  for (std::size_t t = 0; t < numPatterns; ++t) {
+    // L parallel shift clocks: channel c feeds chain c; the bit produced at
+    // clock j ends up at position j after the load completes.
+    for (std::size_t j = 0; j < L; ++j) {
+      for (std::size_t c = 0; c < W; ++c) {
+        if (j >= topology.chainLength(c)) continue;
+        const GateId dff = netlist.dffs()[topology.chain(c)[j]];
+        patterns.stream(dff).set(t, shifter.channelBit(c, lfsr.state()));
+      }
+      lfsr.step();
+    }
+    // PI channels sampled once per pattern (held during the capture cycle).
+    for (std::size_t k = 0; k < numPis; ++k) {
+      patterns.stream(netlist.inputs()[k]).set(t, shifter.channelBit(W + k, lfsr.state()));
+    }
+    lfsr.step();
+  }
+  return patterns;
+}
+
+}  // namespace scandiag

@@ -1,0 +1,53 @@
+// STUMPS-style parallel PRPG: one LFSR + an XOR phase shifter feeding W scan
+// chains, one bit per chain per shift clock.
+//
+// Feeding W chains directly from W taps of one LFSR gives each chain a
+// shifted copy of the same m-sequence — adjacent chains would load nearly
+// identical (structurally correlated) data. The classic fix (Bardell's phase
+// shifter) drives each channel with an XOR of several LFSR stages, i.e. a
+// distinct linear combination, which places each channel's sequence at a
+// large, distinct phase offset of the m-sequence. generateStumpsPatterns()
+// is the drop-in alternative to the serialized PRPG in prpg.hpp and fills
+// the same PatternSet; the BistController consumes either.
+#pragma once
+
+#include <vector>
+
+#include "bist/lfsr.hpp"
+#include "bist/scan_topology.hpp"
+#include "sim/fault_simulator.hpp"
+
+namespace scandiag {
+
+class PhaseShifter {
+ public:
+  /// One XOR tap set per channel. Deterministically derived from (degree,
+  /// channels, seed): each channel XORs `tapsPerChannel` distinct stages,
+  /// chosen so no two channels share a tap set.
+  PhaseShifter(unsigned lfsrDegree, std::size_t channels, std::uint64_t seed = 0x5F17,
+               unsigned tapsPerChannel = 3);
+
+  std::size_t channels() const { return masks_.size(); }
+  std::uint64_t channelMask(std::size_t c) const { return masks_.at(c); }
+
+  /// Output bit of channel c for the given LFSR state (parity of the taps).
+  bool channelBit(std::size_t c, std::uint64_t lfsrState) const;
+
+ private:
+  std::vector<std::uint64_t> masks_;
+};
+
+struct StumpsConfig {
+  LfsrConfig lfsr{/*degree=*/24, /*tapMask=*/0};
+  std::uint64_t seed = 0x5eed;
+  unsigned tapsPerChannel = 3;
+};
+
+/// Fills a PatternSet the way the parallel hardware does: per pattern, L
+/// shift clocks load all chains simultaneously (channel c feeds chain c; the
+/// bit at clock j lands at position j), then the PI channels are sampled once
+/// per pattern from additional phase-shifter channels.
+PatternSet generateStumpsPatterns(const Netlist& netlist, const ScanTopology& topology,
+                                  std::size_t numPatterns, const StumpsConfig& config = {});
+
+}  // namespace scandiag

@@ -1,0 +1,60 @@
+#include "bist/primitive_polys.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace scandiag {
+
+namespace {
+// One primitive polynomial per degree (XAPP 052 table).
+const std::array<std::vector<unsigned>, 33>& tapTable() {
+  static const std::array<std::vector<unsigned>, 33> kTaps = {{
+      {}, {}, {},                 // degrees 0..2 unsupported
+      {3, 2},
+      {4, 3},
+      {5, 3},
+      {6, 5},
+      {7, 6},
+      {8, 6, 5, 4},
+      {9, 5},
+      {10, 7},
+      {11, 9},
+      {12, 6, 4, 1},
+      {13, 4, 3, 1},
+      {14, 5, 3, 1},
+      {15, 14},
+      {16, 15, 13, 4},
+      {17, 14},
+      {18, 11},
+      {19, 6, 2, 1},
+      {20, 17},
+      {21, 19},
+      {22, 21},
+      {23, 18},
+      {24, 23, 22, 17},
+      {25, 22},
+      {26, 6, 2, 1},
+      {27, 5, 2, 1},
+      {28, 25},
+      {29, 27},
+      {30, 6, 4, 1},
+      {31, 28},
+      {32, 22, 2, 1},
+  }};
+  return kTaps;
+}
+}  // namespace
+
+const std::vector<unsigned>& primitiveTaps(unsigned degree) {
+  if (degree < 3 || degree > 32)
+    throw std::invalid_argument("primitive polynomial table covers degrees 3..32");
+  return tapTable()[degree];
+}
+
+std::uint64_t primitiveTapMask(unsigned degree) {
+  std::uint64_t mask = 0;
+  for (unsigned t : primitiveTaps(degree)) mask |= std::uint64_t{1} << (t - 1);
+  return mask;
+}
+
+}  // namespace scandiag

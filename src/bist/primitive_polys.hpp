@@ -1,0 +1,23 @@
+// Primitive polynomials over GF(2) for maximal-length LFSRs, degrees 3..32.
+//
+// Taps follow the common LFSR tables (e.g. Xilinx XAPP 052): the polynomial
+// x^16 + x^15 + x^13 + x^4 + 1 is listed as taps {16, 15, 13, 4}. A Fibonacci
+// LFSR with these feedback taps cycles through all 2^n - 1 nonzero states,
+// which the test suite verifies exhaustively for the smaller degrees.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scandiag {
+
+/// Feedback taps (polynomial exponents, descending, first == degree).
+/// Throws std::invalid_argument outside [3, 32].
+const std::vector<unsigned>& primitiveTaps(unsigned degree);
+
+/// Same taps as a stage bitmask: bit (t-1) set for each tap exponent t.
+/// Stage i of the LFSR holds the coefficient of x^(i+1)'s register slot; the
+/// Lfsr/Misr classes consume this mask directly.
+std::uint64_t primitiveTapMask(unsigned degree);
+
+}  // namespace scandiag

@@ -1,0 +1,53 @@
+#include "bist/selector_hardware.hpp"
+
+#include "bist/interval_seed_search.hpp"
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+SelectorHardware::SelectorHardware(const LfsrConfig& config, std::size_t chainLength)
+    : config_(config), chainLength_(chainLength) {
+  SCANDIAG_REQUIRE(chainLength >= 1, "empty scan chain");
+}
+
+void SelectorHardware::loadIvr(std::uint64_t seed) {
+  Lfsr check(config_, seed);  // validates nonzero / in-range
+  ivr_ = check.state();
+  lfsrState_ = ivr_;
+}
+
+BitVector SelectorHardware::unloadRandomSelection(unsigned r, std::uint64_t group) {
+  SCANDIAG_REQUIRE(group < (std::uint64_t{1} << r), "group number exceeds label width");
+  Lfsr lfsr(config_, ivr_);  // LFSR reloaded from IVR for every unload
+  BitVector mask(chainLength_);
+  for (std::size_t pos = 0; pos < chainLength_; ++pos) {
+    if (lfsr.lowBits(r) == group) mask.set(pos);
+    lfsr.step();
+  }
+  lfsrState_ = lfsr.state();
+  return mask;
+}
+
+void SelectorHardware::advancePartition() { ivr_ = lfsrState_; }
+
+BitVector SelectorHardware::unloadInterval(unsigned rlen, std::uint64_t group) {
+  Lfsr lfsr(config_, ivr_);
+  BitVector mask(chainLength_);
+  // Test Counter 2 starts at the group number and decrements at each interval
+  // boundary; the compare logic selects while it reads 0. Shift Counter 2
+  // holds the cells remaining in the current interval.
+  std::int64_t tc2 = static_cast<std::int64_t>(group);
+  std::size_t sc2 = intervalLengthFromBits(lfsr.lowBits(rlen), rlen);
+  for (std::size_t pos = 0; pos < chainLength_; ++pos) {
+    if (tc2 == 0) mask.set(pos);
+    if (--sc2 == 0) {
+      --tc2;  // end of interval; carry gates rlen LFSR shifts (fresh window)
+      for (unsigned s = 0; s < rlen; ++s) lfsr.step();
+      sc2 = intervalLengthFromBits(lfsr.lowBits(rlen), rlen);
+    }
+  }
+  lfsrState_ = lfsr.state();
+  return mask;
+}
+
+}  // namespace scandiag

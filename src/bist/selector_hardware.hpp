@@ -1,0 +1,53 @@
+// Cycle-accurate model of the scan-cell selection hardware (paper Fig. 1).
+//
+// Registers: IVR (initial value register), the selection LFSR, Test Counter 1
+// (current group number), and — for two-step partitioning, the shaded blocks —
+// Shift Counter 2 (remaining cells in the current interval) and Test Counter 2
+// (intervals until the selected one). The compare logic gates the scan-out
+// stream into the compactor; everything else is masked to constant 0.
+//
+// This model exists to validate the algorithmic partition generators in
+// src/diagnosis: tests assert that the masks produced here, shift by shift,
+// equal the group masks those generators emit. It also documents the exact
+// register protocol (when the LFSR reloads from the IVR, when the IVR is
+// updated) that the diagnosis layer's seed chaining mirrors.
+#pragma once
+
+#include <cstdint>
+
+#include "bist/lfsr.hpp"
+#include "common/bitvector.hpp"
+
+namespace scandiag {
+
+class SelectorHardware {
+ public:
+  SelectorHardware(const LfsrConfig& config, std::size_t chainLength);
+
+  /// Loads the IVR (start of a diagnosis run or of a new interval partition).
+  void loadIvr(std::uint64_t seed);
+  std::uint64_t ivr() const { return ivr_; }
+
+  /// Random-selection session: unloads one pattern with Test Counter 1 ==
+  /// group; returns the per-position select mask. The LFSR is (re)loaded from
+  /// the IVR at the start of the unload, as in [5]. r = label width (log2 of
+  /// the group count).
+  BitVector unloadRandomSelection(unsigned r, std::uint64_t group);
+
+  /// "At the end of each partition, the IVR is updated with the current value
+  /// of the LFSR to create a different partition."
+  void advancePartition();
+
+  /// Interval session: unloads one pattern with Test Counter 1 == group using
+  /// Shift Counter 2 / Test Counter 2; returns the per-position select mask.
+  /// rlen = interval-length field width.
+  BitVector unloadInterval(unsigned rlen, std::uint64_t group);
+
+ private:
+  LfsrConfig config_;
+  std::size_t chainLength_;
+  std::uint64_t ivr_ = 1;
+  std::uint64_t lfsrState_ = 1;  // running state, snapshotted into the IVR
+};
+
+}  // namespace scandiag

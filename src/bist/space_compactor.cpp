@@ -1,0 +1,48 @@
+#include "bist/space_compactor.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+SpaceCompactor SpaceCompactor::moduloFanin(std::size_t chains, std::size_t lines) {
+  SCANDIAG_REQUIRE(lines >= 1 && lines <= chains, "lines must be in [1, chains]");
+  std::vector<std::uint64_t> rows(lines, 0);
+  for (std::size_t c = 0; c < chains; ++c) rows[c % lines] |= std::uint64_t{1} << c;
+  return SpaceCompactor(std::move(rows), chains);
+}
+
+SpaceCompactor::SpaceCompactor(std::vector<std::uint64_t> rowMasks, std::size_t chains)
+    : rows_(std::move(rowMasks)), chains_(chains) {
+  SCANDIAG_REQUIRE(!rows_.empty(), "compactor needs at least one output line");
+  SCANDIAG_REQUIRE(chains >= 1 && chains <= 64, "chain count out of range");
+  const std::uint64_t chainSpace =
+      chains >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << chains) - 1;
+  std::uint64_t observed = 0;
+  for (std::uint64_t row : rows_) {
+    SCANDIAG_REQUIRE((row & ~chainSpace) == 0, "row mask references missing chain");
+    observed |= row;
+  }
+  SCANDIAG_REQUIRE(observed == chainSpace, "some chain feeds no compactor line");
+}
+
+std::uint64_t SpaceCompactor::columnMask(std::size_t chain) const {
+  SCANDIAG_REQUIRE(chain < chains_, "chain index out of range");
+  std::uint64_t column = 0;
+  for (std::size_t m = 0; m < rows_.size(); ++m) {
+    if ((rows_[m] >> chain) & 1u) column |= std::uint64_t{1} << m;
+  }
+  return column;
+}
+
+std::uint64_t SpaceCompactor::apply(std::uint64_t chainWord) const {
+  std::uint64_t out = 0;
+  for (std::size_t m = 0; m < rows_.size(); ++m) {
+    out |= static_cast<std::uint64_t>(std::popcount(chainWord & rows_[m]) & 1)
+           << m;
+  }
+  return out;
+}
+
+}  // namespace scandiag

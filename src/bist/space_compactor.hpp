@@ -1,0 +1,44 @@
+// Space compaction ahead of the MISR.
+//
+// Wide designs do not give every scan chain its own MISR input: an XOR
+// network first folds W scan-out lines into M < W compactor outputs. The
+// compactor is linear over GF(2), so the whole session-signature algebra
+// (superposition, per-cell error signatures) survives — but cells of chains
+// that share a compactor line at the same shift position become mutually
+// indistinguishable, and an even number of simultaneous errors on one line
+// cancels outright. bench_ablation_compactor measures what that costs the
+// diagnosis. Both the analytic session engine and the cycle-accurate
+// controller accept a compactor, and the tests hold them equal.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace scandiag {
+
+class SpaceCompactor {
+ public:
+  /// Modulo-fanin network: output line m = XOR of chains {c : c mod lines == m}.
+  static SpaceCompactor moduloFanin(std::size_t chains, std::size_t lines);
+
+  /// Arbitrary network: rowMasks[m] = bitmask of chains feeding line m.
+  /// Every chain must feed at least one line (nothing silently unobserved).
+  explicit SpaceCompactor(std::vector<std::uint64_t> rowMasks, std::size_t chains);
+
+  std::size_t inputChains() const { return chains_; }
+  std::size_t outputLines() const { return rows_.size(); }
+
+  /// Chains feeding output line m.
+  std::uint64_t lineMask(std::size_t m) const { return rows_.at(m); }
+  /// Output lines fed by `chain` (the cell-signature fanout of that chain).
+  std::uint64_t columnMask(std::size_t chain) const;
+
+  /// One clock's worth of scan-out bits (bit c = chain c) -> compacted word.
+  std::uint64_t apply(std::uint64_t chainWord) const;
+
+ private:
+  std::vector<std::uint64_t> rows_;
+  std::size_t chains_;
+};
+
+}  // namespace scandiag

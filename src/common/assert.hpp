@@ -1,0 +1,42 @@
+// Lightweight contract checking used across scandiag.
+//
+// SCANDIAG_REQUIRE is for precondition violations that indicate caller bugs or
+// malformed external input; it throws std::invalid_argument so library users
+// can recover. SCANDIAG_ASSERT is for internal invariants; it throws
+// std::logic_error because continuing past a broken invariant would produce
+// silently wrong diagnosis data.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace scandiag {
+
+[[noreturn]] inline void throwRequire(const char* expr, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throwAssert(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace scandiag
+
+#define SCANDIAG_REQUIRE(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) ::scandiag::throwRequire(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#define SCANDIAG_ASSERT(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) ::scandiag::throwAssert(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,177 @@
+#include "common/bitvector.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+namespace {
+std::size_t wordsFor(std::size_t nbits) { return (nbits + BitVector::kWordBits - 1) / BitVector::kWordBits; }
+}  // namespace
+
+BitVector::BitVector(std::size_t nbits, bool value)
+    : size_(nbits), words_(wordsFor(nbits), value ? ~Word{0} : Word{0}) {
+  maskTail();
+}
+
+BitVector BitVector::fromString(const std::string& bits) {
+  BitVector v(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    SCANDIAG_REQUIRE(bits[i] == '0' || bits[i] == '1', "bit string must contain only 0/1");
+    if (bits[i] == '1') v.set(i);
+  }
+  return v;
+}
+
+void BitVector::resize(std::size_t nbits, bool value) {
+  const std::size_t oldBits = size_;
+  words_.resize(wordsFor(nbits), Word{0});
+  if (value && nbits > oldBits) {
+    // Fill the gap bit-by-bit in the (possibly partial) old tail word, then
+    // whole words.
+    size_ = nbits;
+    for (std::size_t i = oldBits; i < nbits && i % kWordBits != 0; ++i) set(i);
+    for (std::size_t w = wordsFor(oldBits); w < words_.size(); ++w) {
+      if (w * kWordBits >= oldBits) words_[w] = ~Word{0};
+    }
+  }
+  size_ = nbits;
+  maskTail();
+}
+
+void BitVector::clear() {
+  size_ = 0;
+  words_.clear();
+}
+
+bool BitVector::test(std::size_t i) const {
+  SCANDIAG_REQUIRE(i < size_, "bit index out of range");
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1u;
+}
+
+void BitVector::set(std::size_t i, bool value) {
+  SCANDIAG_REQUIRE(i < size_, "bit index out of range");
+  const Word mask = Word{1} << (i % kWordBits);
+  if (value)
+    words_[i / kWordBits] |= mask;
+  else
+    words_[i / kWordBits] &= ~mask;
+}
+
+void BitVector::flip(std::size_t i) {
+  SCANDIAG_REQUIRE(i < size_, "bit index out of range");
+  words_[i / kWordBits] ^= Word{1} << (i % kWordBits);
+}
+
+void BitVector::setAll() {
+  std::fill(words_.begin(), words_.end(), ~Word{0});
+  maskTail();
+}
+
+void BitVector::resetAll() { std::fill(words_.begin(), words_.end(), Word{0}); }
+
+std::size_t BitVector::count() const {
+  std::size_t n = 0;
+  for (Word w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVector::any() const {
+  for (Word w : words_)
+    if (w) return true;
+  return false;
+}
+
+bool BitVector::all() const { return count() == size_; }
+
+std::size_t BitVector::findFirst() const {
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    if (words_[w]) return w * kWordBits + static_cast<std::size_t>(std::countr_zero(words_[w]));
+  }
+  return npos;
+}
+
+std::size_t BitVector::findNext(std::size_t after) const {
+  if (after + 1 >= size_) return npos;
+  std::size_t i = after + 1;
+  std::size_t w = i / kWordBits;
+  Word cur = words_[w] & (~Word{0} << (i % kWordBits));
+  while (true) {
+    if (cur) return w * kWordBits + static_cast<std::size_t>(std::countr_zero(cur));
+    if (++w >= words_.size()) return npos;
+    cur = words_[w];
+  }
+}
+
+void BitVector::setWord(std::size_t w, Word value) {
+  SCANDIAG_REQUIRE(w < words_.size(), "word index out of range");
+  words_[w] = value;
+  if (w + 1 == words_.size()) maskTail();
+}
+
+BitVector& BitVector::operator&=(const BitVector& rhs) {
+  SCANDIAG_REQUIRE(size_ == rhs.size_, "BitVector size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= rhs.words_[w];
+  return *this;
+}
+
+BitVector& BitVector::operator|=(const BitVector& rhs) {
+  SCANDIAG_REQUIRE(size_ == rhs.size_, "BitVector size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= rhs.words_[w];
+  return *this;
+}
+
+BitVector& BitVector::operator^=(const BitVector& rhs) {
+  SCANDIAG_REQUIRE(size_ == rhs.size_, "BitVector size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= rhs.words_[w];
+  return *this;
+}
+
+BitVector& BitVector::andNot(const BitVector& rhs) {
+  SCANDIAG_REQUIRE(size_ == rhs.size_, "BitVector size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= ~rhs.words_[w];
+  maskTail();
+  return *this;
+}
+
+bool BitVector::operator==(const BitVector& rhs) const {
+  return size_ == rhs.size_ && words_ == rhs.words_;
+}
+
+bool BitVector::intersects(const BitVector& rhs) const {
+  SCANDIAG_REQUIRE(size_ == rhs.size_, "BitVector size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if (words_[w] & rhs.words_[w]) return true;
+  return false;
+}
+
+bool BitVector::isSubsetOf(const BitVector& rhs) const {
+  SCANDIAG_REQUIRE(size_ == rhs.size_, "BitVector size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    if (words_[w] & ~rhs.words_[w]) return false;
+  return true;
+}
+
+std::vector<std::size_t> BitVector::toIndices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for (std::size_t i = findFirst(); i != npos; i = findNext(i)) out.push_back(i);
+  return out;
+}
+
+std::string BitVector::toString() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i)
+    if (test(i)) s[i] = '1';
+  return s;
+}
+
+void BitVector::maskTail() {
+  if (words_.empty()) return;
+  const std::size_t tail = size_ % kWordBits;
+  if (tail != 0) words_.back() &= (~Word{0} >> (kWordBits - tail));
+}
+
+}  // namespace scandiag

@@ -1,0 +1,57 @@
+#include "common/gf2.hpp"
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+Gf2System::Gf2System(std::size_t numVars, std::size_t rhsBits)
+    : numVars_(numVars), rhsBits_(rhsBits), pivotRowOfVar_(numVars, npos) {}
+
+void Gf2System::addEquation(const BitVector& coeffs, const BitVector& rhs) {
+  SCANDIAG_REQUIRE(coeffs.size() == numVars_, "coefficient width mismatch");
+  SCANDIAG_REQUIRE(rhs.size() == rhsBits_, "rhs width mismatch");
+  SCANDIAG_REQUIRE(!reduced_, "cannot add equations after reduce()");
+  rows_.push_back(Row{coeffs, rhs});
+}
+
+bool Gf2System::reduce() {
+  SCANDIAG_REQUIRE(!reduced_, "reduce() called twice");
+  reduced_ = true;
+  std::size_t nextRow = 0;
+  // Forward elimination with immediate back-substitution (Gauss-Jordan): after
+  // the loop every pivot column has exactly one set bit across all rows.
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    const std::size_t pivot = rows_[r].coeffs.findFirst();
+    if (pivot == BitVector::npos) continue;  // may still be inconsistent; checked below
+    // Eliminate this pivot from every other row.
+    for (std::size_t other = 0; other < rows_.size(); ++other) {
+      if (other != r && rows_[other].coeffs.size() && rows_[other].coeffs.test(pivot)) {
+        rows_[other].coeffs ^= rows_[r].coeffs;
+        rows_[other].rhs ^= rows_[r].rhs;
+      }
+    }
+    pivotRowOfVar_[pivot] = r;
+    ++nextRow;
+  }
+  rank_ = nextRow;
+  for (const Row& row : rows_) {
+    if (row.coeffs.none() && row.rhs.any()) return false;
+  }
+  return true;
+}
+
+std::optional<BitVector> Gf2System::forcedValue(std::size_t var) const {
+  SCANDIAG_REQUIRE(reduced_, "call reduce() first");
+  SCANDIAG_REQUIRE(var < numVars_, "variable index out of range");
+  const std::size_t r = pivotRowOfVar_[var];
+  if (r == npos) return std::nullopt;         // free variable
+  if (rows_[r].coeffs.count() != 1) return std::nullopt;  // entangled with free vars
+  return rows_[r].rhs;
+}
+
+bool Gf2System::forcedZero(std::size_t var) const {
+  const auto v = forcedValue(var);
+  return v.has_value() && v->none();
+}
+
+}  // namespace scandiag

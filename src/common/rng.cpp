@@ -1,0 +1,56 @@
+#include "common/rng.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+namespace {
+// splitmix64: expands one seed word into well-mixed state words.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Xoroshiro128::Xoroshiro128(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  s0_ = splitmix64(sm);
+  s1_ = splitmix64(sm);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;  // all-zero state is a fixed point
+}
+
+std::uint64_t Xoroshiro128::next() {
+  const std::uint64_t a = s0_;
+  std::uint64_t b = s1_;
+  const std::uint64_t result = std::rotl(a + b, 17) + a;
+  b ^= a;
+  s0_ = std::rotl(a, 49) ^ b ^ (b << 21);
+  s1_ = std::rotl(b, 28);
+  return result;
+}
+
+std::uint64_t Xoroshiro128::nextBelow(std::uint64_t bound) {
+  SCANDIAG_REQUIRE(bound != 0, "bound must be nonzero");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  while (true) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::uint64_t Xoroshiro128::nextInRange(std::uint64_t lo, std::uint64_t hi) {
+  SCANDIAG_REQUIRE(lo <= hi, "empty range");
+  return lo + nextBelow(hi - lo + 1);
+}
+
+double Xoroshiro128::nextDouble() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+}  // namespace scandiag

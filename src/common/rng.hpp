@@ -1,0 +1,37 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic choices in scandiag (synthetic netlist construction, fault
+// sampling) flow through Xoroshiro128pp seeded explicitly, so every experiment
+// in EXPERIMENTS.md is reproducible bit-for-bit from its recorded seed.
+// BIST-visible randomness (pattern generation, partition labels, interval
+// lengths) does NOT use this class — it uses the hardware LFSR model in
+// src/bist, exactly as the silicon would.
+#pragma once
+
+#include <cstdint>
+
+namespace scandiag {
+
+class Xoroshiro128 {
+ public:
+  explicit Xoroshiro128(std::uint64_t seed);
+
+  std::uint64_t next();
+
+  /// Uniform in [0, bound). bound must be nonzero.
+  std::uint64_t nextBelow(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t nextInRange(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double nextDouble();
+
+  bool nextBool() { return next() >> 63; }
+
+ private:
+  std::uint64_t s0_;
+  std::uint64_t s1_;
+};
+
+}  // namespace scandiag

@@ -1,0 +1,33 @@
+// Named presets for every experiment in the paper's evaluation (DESIGN.md §3).
+//
+// Each preset pins workload (pattern count, fault count) and diagnosis
+// parameters (partitions, groups, LFSR degree, pruning) to the values the
+// paper states; the bench binaries consume these so EXPERIMENTS.md rows are
+// reproducible from one place.
+#pragma once
+
+#include "diagnosis/experiment_driver.hpp"
+
+namespace scandiag::presets {
+
+/// Table 1: s953, 200 patterns, 500 faults, 4 groups/partition, 1..8
+/// partitions, all three schemes.
+WorkloadConfig table1Workload();
+DiagnosisConfig table1(SchemeKind scheme, std::size_t numPartitions);
+
+/// Table 2: six largest ISCAS-89, 128 patterns, 500 faults, degree-16
+/// selection LFSR, 8 partitions x 16 groups, random vs two-step, +/- pruning.
+WorkloadConfig table2Workload();
+DiagnosisConfig table2(SchemeKind scheme, bool pruning);
+
+/// Tables 3 & 4 / Fig. 5: SOC runs, 128 patterns, 500 faults per failing
+/// core, 8 partitions; 32 groups on SOC-1's long single meta chain, 8 groups
+/// on d695's shorter meta chains.
+WorkloadConfig socWorkload();
+DiagnosisConfig soc1Config(SchemeKind scheme, bool pruning);
+DiagnosisConfig d695Config(SchemeKind scheme, bool pruning);
+
+/// Figure 5 sweep: like soc1Config without pruning, numPartitions = maxP.
+DiagnosisConfig fig5Config(SchemeKind scheme, std::size_t maxPartitions);
+
+}  // namespace scandiag::presets

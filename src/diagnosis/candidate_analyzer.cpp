@@ -1,0 +1,25 @@
+#include "diagnosis/candidate_analyzer.hpp"
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+CandidateSet CandidateAnalyzer::analyze(const std::vector<Partition>& partitions,
+                                        const GroupVerdicts& verdicts) const {
+  SCANDIAG_REQUIRE(partitions.size() == verdicts.failing.size(),
+                   "verdicts do not match partitions");
+  const std::size_t length = topology_->maxChainLength();
+  CandidateSet out;
+  out.positions = BitVector(length, true);
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    BitVector failingUnion(length);
+    for (std::size_t g = 0; g < partitions[p].groupCount(); ++g) {
+      if (verdicts.failing[p].test(g)) failingUnion |= partitions[p].groups[g];
+    }
+    out.positions &= failingUnion;
+  }
+  out.cells = topology_->expandPositions(out.positions);
+  return out;
+}
+
+}  // namespace scandiag

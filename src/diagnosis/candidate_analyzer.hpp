@@ -1,0 +1,37 @@
+// Candidate derivation by inclusion–exclusion over group verdicts.
+//
+// A passing group exonerates every cell it selects; a failing group merely
+// keeps its cells suspect. After all sessions the candidate set is therefore
+//     ∩ over partitions of ( ∪ failing groups of that partition ),
+// computed on the selection axis and then expanded to cells. In exact mode
+// this is sound: every truly failing cell lies in a failing group of every
+// partition, so it always survives (tested as the soundness invariant).
+#pragma once
+
+#include "bist/scan_topology.hpp"
+#include "diagnosis/partition.hpp"
+#include "diagnosis/session_engine.hpp"
+
+namespace scandiag {
+
+struct CandidateSet {
+  /// Suspect positions on the selection axis (size = maxChainLength()).
+  BitVector positions;
+  /// Suspect cells (size = numCells()); expandPositions(positions).
+  BitVector cells;
+
+  std::size_t cellCount() const { return cells.count(); }
+};
+
+class CandidateAnalyzer {
+ public:
+  explicit CandidateAnalyzer(const ScanTopology& topology) : topology_(&topology) {}
+
+  CandidateSet analyze(const std::vector<Partition>& partitions,
+                       const GroupVerdicts& verdicts) const;
+
+ private:
+  const ScanTopology* topology_;
+};
+
+}  // namespace scandiag

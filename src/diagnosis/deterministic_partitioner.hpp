@@ -1,0 +1,44 @@
+// Deterministic fixed-length interval partitioning — the baseline of
+// Bayraktaroglu & Orailoglu [8], discussed in paper §2.1.
+//
+// Every group is an equal-length interval of ceil(L / b) positions; partition
+// p rotates the interval boundaries by p * stride positions so successive
+// partitions cut the chain at different places. The paper dismisses this
+// scheme for hardware cost ("deterministic partitioning with fixed interval
+// length requires expensive control logic") rather than resolution; having it
+// as a software baseline lets bench_baselines quantify what the LFSR-random
+// interval lengths of §2.2 give up, if anything.
+#pragma once
+
+#include "diagnosis/partition.hpp"
+
+namespace scandiag {
+
+struct DeterministicIntervalConfig {
+  /// Boundary rotation between successive partitions, as a fraction of the
+  /// interval length. A rational fraction like 1/2 revisits the same boundary
+  /// phases after a couple of partitions (gcd(step, length) phases exist);
+  /// the golden-ratio fraction makes the phase sequence near-equidistributed,
+  /// which is the strongest form of this baseline.
+  double rotationFraction = 0.381966;
+};
+
+class DeterministicIntervalPartitioner final : public PartitionScheme {
+ public:
+  DeterministicIntervalPartitioner(const DeterministicIntervalConfig& config,
+                                   std::size_t chainLength, std::size_t groupCount);
+
+  Partition next() override;
+  std::string name() const override { return "deterministic-interval"; }
+
+  std::size_t intervalLength() const { return intervalLength_; }
+
+ private:
+  std::size_t chainLength_;
+  std::size_t groupCount_;
+  std::size_t intervalLength_;
+  std::size_t rotationStep_;
+  std::size_t partitionIndex_ = 0;
+};
+
+}  // namespace scandiag

@@ -1,0 +1,102 @@
+#include "diagnosis/experiment_driver.hpp"
+
+#include "common/assert.hpp"
+#include "sim/fault_list.hpp"
+
+namespace scandiag {
+
+namespace {
+
+SessionConfig sessionConfigFor(const DiagnosisConfig& config) {
+  SessionConfig sc;
+  sc.mode = config.mode;
+  sc.numPatterns = config.numPatterns;
+  sc.misrDegree = config.misrDegree;
+  sc.misrTapMask = config.misrTapMask;
+  sc.computeSignatures = config.pruning;
+  sc.pruneDegree = config.pruneDegree;
+  return sc;
+}
+
+}  // namespace
+
+std::vector<Partition> buildPartitions(const DiagnosisConfig& config, std::size_t chainLength) {
+  auto scheme =
+      makeScheme(config.scheme, config.schemeConfig, chainLength, config.groupsPerPartition);
+  return takePartitions(*scheme, config.numPartitions);
+}
+
+DiagnosisPipeline::DiagnosisPipeline(const ScanTopology& topology, const DiagnosisConfig& config)
+    : topology_(&topology),
+      config_(config),
+      partitions_(buildPartitions(config, topology.maxChainLength())),
+      engine_(topology, sessionConfigFor(config)),
+      analyzer_(topology),
+      pruner_(topology) {}
+
+FaultDiagnosis DiagnosisPipeline::diagnose(const FaultResponse& response) const {
+  const GroupVerdicts verdicts = engine_.run(partitions_, response);
+  FaultDiagnosis out;
+  out.candidates = analyzer_.analyze(partitions_, verdicts);
+  if (config_.pruning) {
+    out.candidates = pruner_.prune(partitions_, verdicts, out.candidates);
+  }
+  out.candidateCount = out.candidates.cellCount();
+  out.actualCount = response.failingCellCount();
+  return out;
+}
+
+DrReport DiagnosisPipeline::evaluate(const std::vector<FaultResponse>& responses) const {
+  DrAccumulator acc;
+  for (const FaultResponse& r : responses) {
+    if (!r.detected()) continue;
+    const FaultDiagnosis d = diagnose(r);
+    acc.add(d.candidateCount, d.actualCount);
+  }
+  return DrReport{acc.dr(), acc.faults(), acc.sumCandidates(), acc.sumActual()};
+}
+
+std::vector<double> DiagnosisPipeline::evaluateSweep(
+    const std::vector<FaultResponse>& responses) const {
+  const std::size_t length = topology_->maxChainLength();
+  std::vector<DrAccumulator> acc(partitions_.size());
+  for (const FaultResponse& r : responses) {
+    if (!r.detected()) continue;
+    const GroupVerdicts verdicts = engine_.run(partitions_, r);
+    BitVector positions(length, true);
+    const std::size_t actual = r.failingCellCount();
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+      BitVector failingUnion(length);
+      for (std::size_t g = 0; g < partitions_[p].groupCount(); ++g) {
+        if (verdicts.failing[p].test(g)) failingUnion |= partitions_[p].groups[g];
+      }
+      positions &= failingUnion;
+      acc[p].add(topology_->expandPositions(positions).count(), actual);
+    }
+  }
+  std::vector<double> dr;
+  dr.reserve(acc.size());
+  for (const DrAccumulator& a : acc) dr.push_back(a.dr());
+  return dr;
+}
+
+CircuitWorkload prepareWorkload(const Netlist& netlist, const WorkloadConfig& config,
+                                std::size_t numChains) {
+  SCANDIAG_REQUIRE(!netlist.dffs().empty(), "workload circuit has no scan cells");
+  const PatternSet patterns = generatePatterns(netlist, config.numPatterns, config.prpg);
+  const FaultSimulator sim(netlist, patterns);
+  const FaultList universe = FaultList::enumerateCollapsed(netlist);
+  // Oversample: random patterns typically detect 60-95% of stuck-at faults,
+  // so 4x candidates nearly always yields the full target of detected faults.
+  const std::vector<FaultSite> candidates =
+      universe.sample(std::min(universe.size(), config.numFaults * 4), config.faultSeed);
+
+  CircuitWorkload out;
+  out.topology = numChains <= 1 ? ScanTopology::singleChain(netlist.dffs().size())
+                                : ScanTopology::blockChains(netlist.dffs().size(), numChains);
+  out.responses = sim.collectDetected(candidates, config.numFaults);
+  out.patternsApplied = config.numPatterns;
+  return out;
+}
+
+}  // namespace scandiag

@@ -1,0 +1,99 @@
+// End-to-end diagnosis pipeline and experiment drivers.
+//
+// DiagnosisPipeline binds a scan topology to a fully-specified diagnosis
+// configuration (scheme, partition/group counts, signature mode, pruning) and
+// turns FaultResponses into candidate sets and DR reports. Partitions are
+// built once per pipeline — the hardware applies the same partition sequence
+// to every device — and reused for all faults, so evaluating another scheme
+// or partition budget on the same fault-simulation data is cheap.
+//
+// prepareWorkload() packages the front half of every experiment in the paper:
+// generate patterns, pick 500 detected stuck-at faults, fault-simulate them
+// into responses (see DESIGN.md §3 for the per-table parameters).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bist/prpg.hpp"
+#include "diagnosis/candidate_analyzer.hpp"
+#include "diagnosis/metrics.hpp"
+#include "diagnosis/session_engine.hpp"
+#include "diagnosis/superposition_pruner.hpp"
+#include "diagnosis/two_step_scheme.hpp"
+
+namespace scandiag {
+
+struct DiagnosisConfig {
+  SchemeKind scheme = SchemeKind::TwoStep;
+  std::size_t numPartitions = 8;
+  std::size_t groupsPerPartition = 16;
+  SchemeConfig schemeConfig{};
+  SignatureMode mode = SignatureMode::Exact;
+  bool pruning = false;
+  std::size_t numPatterns = 128;
+  unsigned misrDegree = 16;
+  std::uint64_t misrTapMask = 0;
+  unsigned pruneDegree = 32;
+};
+
+struct FaultDiagnosis {
+  CandidateSet candidates;
+  std::size_t candidateCount = 0;
+  std::size_t actualCount = 0;
+};
+
+class DiagnosisPipeline {
+ public:
+  DiagnosisPipeline(const ScanTopology& topology, const DiagnosisConfig& config);
+
+  const std::vector<Partition>& partitions() const { return partitions_; }
+  const DiagnosisConfig& config() const { return config_; }
+  const ScanTopology& topology() const { return *topology_; }
+
+  /// Diagnoses one fault: sessions → inclusion-exclusion → optional pruning.
+  FaultDiagnosis diagnose(const FaultResponse& response) const;
+
+  /// DR over a set of detected-fault responses.
+  DrReport evaluate(const std::vector<FaultResponse>& responses) const;
+
+  /// DR after each partition-count prefix 1..numPartitions (pruning is not
+  /// applied — matches the paper's Figure 5 protocol "without pruning").
+  std::vector<double> evaluateSweep(const std::vector<FaultResponse>& responses) const;
+
+ private:
+  const ScanTopology* topology_;
+  DiagnosisConfig config_;
+  std::vector<Partition> partitions_;
+  SessionEngine engine_;
+  CandidateAnalyzer analyzer_;
+  SuperpositionPruner pruner_;
+};
+
+/// Builds the partition sequence a config implies (exposed for tests/benches).
+std::vector<Partition> buildPartitions(const DiagnosisConfig& config, std::size_t chainLength);
+
+// ---------------------------------------------------------------------------
+// Workload preparation (pattern generation + fault selection + fault sim).
+
+struct WorkloadConfig {
+  std::size_t numPatterns = 128;
+  std::size_t numFaults = 500;
+  std::uint64_t faultSeed = 0xFA17;
+  PrpgConfig prpg{};
+};
+
+struct CircuitWorkload {
+  ScanTopology topology;
+  /// Detected faults only; size <= numFaults.
+  std::vector<FaultResponse> responses;
+  std::size_t patternsApplied = 0;
+};
+
+/// Full-scan `netlist` with `numChains` balanced block chains; samples from
+/// the collapsed fault universe until `numFaults` detected faults are found
+/// (or the universe is exhausted).
+CircuitWorkload prepareWorkload(const Netlist& netlist, const WorkloadConfig& config,
+                                std::size_t numChains = 1);
+
+}  // namespace scandiag

@@ -1,0 +1,49 @@
+#include "diagnosis/fault_localization.hpp"
+
+#include "common/assert.hpp"
+#include "netlist/levelizer.hpp"
+
+namespace scandiag {
+
+ConeDatabase::ConeDatabase(const Netlist& netlist) : netlist_(&netlist) {
+  const std::size_t numDffs = netlist.dffs().size();
+  std::vector<std::size_t> dffOrdinal(netlist.gateCount(), static_cast<std::size_t>(-1));
+  for (std::size_t k = 0; k < numDffs; ++k) dffOrdinal[netlist.dffs()[k]] = k;
+
+  reach_.assign(netlist.gateCount(), BitVector(numDffs));
+  const Levelization lev = levelize(netlist);
+  const auto& fanouts = netlist.fanouts();
+
+  // Reverse topological sweep over combinational gates, then sources.
+  auto accumulate = [&](GateId id) {
+    BitVector& r = reach_[id];
+    for (GateId user : fanouts[id]) {
+      if (netlist.gate(user).type == GateType::Dff) {
+        r.set(dffOrdinal[user]);
+      } else {
+        r |= reach_[user];
+      }
+    }
+  };
+  for (std::size_t i = lev.order.size(); i-- > 0;) accumulate(lev.order[i]);
+  for (GateId id = 0; id < netlist.gateCount(); ++id) {
+    if (isSourceType(netlist.gate(id).type)) accumulate(id);
+  }
+}
+
+const BitVector& ConeDatabase::reachableDffs(GateId id) const {
+  SCANDIAG_REQUIRE(id < reach_.size(), "gate id out of range");
+  return reach_[id];
+}
+
+std::vector<GateId> localizeSingleFault(const ConeDatabase& cones,
+                                        const BitVector& failingCells) {
+  SCANDIAG_REQUIRE(failingCells.any(), "localization needs at least one failing cell");
+  std::vector<GateId> suspects;
+  for (GateId id = 0; id < cones.netlist().gateCount(); ++id) {
+    if (failingCells.isSubsetOf(cones.reachableDffs(id))) suspects.push_back(id);
+  }
+  return suspects;
+}
+
+}  // namespace scandiag

@@ -1,0 +1,40 @@
+// From failing scan cells back to suspect fault sites.
+//
+// The paper's deliverable is the set of failing scan cells (for physical
+// failure analysis). This extension closes the loop logically: a single
+// stuck-at fault at gate g can only corrupt cells inside g's output cone, so
+// any gate whose cone does not cover ALL observed failing cells is exonerated
+// as a single-fault site. ConeDatabase precomputes every gate's reachable-DFF
+// set with one reverse-topological sweep (reach(g) = directly captured DFFs
+// ∪ reach of combinational fanouts), making localization a bitset-subset scan.
+#pragma once
+
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "netlist/netlist.hpp"
+
+namespace scandiag {
+
+class ConeDatabase {
+ public:
+  explicit ConeDatabase(const Netlist& netlist);
+
+  const Netlist& netlist() const { return *netlist_; }
+
+  /// DFF ordinals reachable from gate `id`'s output (one capture cycle).
+  const BitVector& reachableDffs(GateId id) const;
+
+ private:
+  const Netlist* netlist_;
+  std::vector<BitVector> reach_;
+};
+
+/// Gates that can, as single stuck-at sites, explain every failing cell:
+/// { g : failingCells ⊆ reach(g) }. failingCells is indexed by DFF ordinal.
+/// The true fault site is always included (soundness); the list shrinks as
+/// diagnosis sharpens the failing-cell set.
+std::vector<GateId> localizeSingleFault(const ConeDatabase& cones,
+                                        const BitVector& failingCells);
+
+}  // namespace scandiag

@@ -1,0 +1,45 @@
+#include "diagnosis/interval_partitioner.hpp"
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+IntervalPartitioner::IntervalPartitioner(const IntervalPartitionerConfig& config,
+                                         std::size_t chainLength, std::size_t groupCount)
+    : config_(config.lfsr),
+      chainLength_(chainLength),
+      groupCount_(groupCount),
+      nextSeed_(config.startSeed) {
+  SCANDIAG_REQUIRE(chainLength >= 1, "empty scan chain");
+  SCANDIAG_REQUIRE(groupCount >= 1 && groupCount <= chainLength,
+                   "group count must be in [1, chain length]");
+  rlen_ = config.rlen ? config.rlen
+                      : defaultIntervalBits(chainLength, groupCount, config_.degree);
+  SCANDIAG_REQUIRE(rlen_ <= config_.degree, "interval field exceeds LFSR degree");
+}
+
+Partition IntervalPartitioner::fromLengths(const std::vector<std::size_t>& lengths,
+                                           std::size_t chainLength) {
+  Partition p;
+  p.groups.assign(lengths.size(), BitVector(chainLength));
+  std::size_t pos = 0;
+  for (std::size_t g = 0; g < lengths.size(); ++g) {
+    for (std::size_t i = 0; i < lengths[g]; ++i) {
+      SCANDIAG_REQUIRE(pos < chainLength, "interval lengths exceed chain");
+      p.groups[g].set(pos++);
+    }
+  }
+  SCANDIAG_REQUIRE(pos == chainLength, "interval lengths do not cover chain");
+  return p;
+}
+
+Partition IntervalPartitioner::next() {
+  auto seed = findIntervalSeed(config_, rlen_, groupCount_, chainLength_, nextSeed_);
+  SCANDIAG_REQUIRE(seed.has_value(),
+                   "no covering interval seed for this chain/group configuration");
+  nextSeed_ = seed->seed + 1;
+  used_.push_back(*seed);
+  return fromLengths(used_.back().lengths, chainLength_);
+}
+
+}  // namespace scandiag

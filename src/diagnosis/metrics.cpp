@@ -1,0 +1,21 @@
+#include "diagnosis/metrics.hpp"
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+void DrAccumulator::add(std::size_t candidateCells, std::size_t actualFailingCells) {
+  SCANDIAG_REQUIRE(actualFailingCells > 0,
+                   "DR accumulates detected faults only (no failing cells given)");
+  ++faults_;
+  sumCandidates_ += candidateCells;
+  sumActual_ += actualFailingCells;
+}
+
+double DrAccumulator::dr() const {
+  SCANDIAG_ASSERT(sumActual_ > 0, "dr() before any fault was accumulated");
+  return (static_cast<double>(sumCandidates_) - static_cast<double>(sumActual_)) /
+         static_cast<double>(sumActual_);
+}
+
+}  // namespace scandiag

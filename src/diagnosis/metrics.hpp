@@ -1,0 +1,41 @@
+// Diagnostic-resolution metric (paper §4):
+//
+//   DR = ( Σ_f |candidate cells(f)| − Σ_f |actual failing cells(f)| )
+//        ─────────────────────────────────────────────────────────────
+//                       Σ_f |actual failing cells(f)|
+//
+// DR = 0 means every candidate set collapsed onto exactly the failing cells;
+// lower is better. Undetected faults (no failing cells) add nothing to either
+// sum and are excluded upstream (DESIGN.md §5 item 2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scandiag {
+
+class DrAccumulator {
+ public:
+  void add(std::size_t candidateCells, std::size_t actualFailingCells);
+
+  std::size_t faults() const { return faults_; }
+  std::uint64_t sumCandidates() const { return sumCandidates_; }
+  std::uint64_t sumActual() const { return sumActual_; }
+
+  /// Throws std::logic_error when no failing cells were accumulated.
+  double dr() const;
+
+ private:
+  std::size_t faults_ = 0;
+  std::uint64_t sumCandidates_ = 0;
+  std::uint64_t sumActual_ = 0;
+};
+
+struct DrReport {
+  double dr = 0.0;
+  std::size_t faults = 0;
+  std::uint64_t sumCandidates = 0;
+  std::uint64_t sumActual = 0;
+};
+
+}  // namespace scandiag

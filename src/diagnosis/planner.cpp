@@ -1,0 +1,61 @@
+#include "diagnosis/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+std::size_t recommendGroupCount(std::size_t chainLength) {
+  SCANDIAG_REQUIRE(chainLength >= 1, "empty chain");
+  const double ideal = std::sqrt(static_cast<double>(chainLength));
+  const double exponent = std::round(std::log2(std::max(ideal, 2.0)));
+  const std::size_t pow2 = std::size_t{1} << static_cast<unsigned>(exponent);
+  return std::clamp<std::size_t>(pow2, 2, std::min<std::size_t>(64, chainLength));
+}
+
+PlanResult planDiagnosis(const ScanTopology& topology,
+                         const std::vector<FaultResponse>& sample,
+                         const PlanRequest& request) {
+  SCANDIAG_REQUIRE(!sample.empty(), "planner needs a calibration sample");
+  SCANDIAG_REQUIRE(request.maxPartitions >= 1, "need at least one partition");
+
+  std::vector<std::size_t> groups = request.groupCandidates;
+  if (groups.empty()) {
+    for (std::size_t g : {4u, 8u, 16u, 32u, 64u}) {
+      if (g <= topology.maxChainLength()) groups.push_back(g);
+    }
+    if (groups.empty()) groups.push_back(2);
+  }
+
+  PlanResult best;
+  for (std::size_t g : groups) {
+    DiagnosisConfig config;
+    config.scheme = request.scheme;
+    config.numPartitions = request.maxPartitions;
+    config.groupsPerPartition = g;
+    config.numPatterns = request.numPatterns;
+    const DiagnosisPipeline pipeline(topology, config);
+    const std::vector<double> sweep = pipeline.evaluateSweep(sample);
+    for (std::size_t p = 0; p < sweep.size(); ++p) {
+      if (sweep[p] > request.targetDr) continue;
+      DiagnosisCost cost = partitionRunCost(p + 1, g, request.numPatterns,
+                                            topology.maxChainLength());
+      const bool better =
+          !best.feasible || cost.sessions < best.cost.sessions ||
+          (cost.sessions == best.cost.sessions && cost.clockCycles < best.cost.clockCycles);
+      if (better) {
+        best.feasible = true;
+        best.config = config;
+        best.config.numPartitions = p + 1;
+        best.achievedDr = sweep[p];
+        best.cost = cost;
+      }
+      break;  // first partition count reaching the target is the cheapest for this g
+    }
+  }
+  return best;
+}
+
+}  // namespace scandiag

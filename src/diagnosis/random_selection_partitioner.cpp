@@ -1,0 +1,34 @@
+#include "diagnosis/random_selection_partitioner.hpp"
+
+#include <bit>
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+RandomSelectionPartitioner::RandomSelectionPartitioner(const RandomSelectionConfig& config,
+                                                       std::size_t chainLength,
+                                                       std::size_t groupCount)
+    : config_(config.lfsr), chainLength_(chainLength), groupCount_(groupCount) {
+  SCANDIAG_REQUIRE(chainLength >= 1, "empty scan chain");
+  SCANDIAG_REQUIRE(groupCount >= 2 && std::has_single_bit(groupCount),
+                   "group count must be a power of two >= 2");
+  r_ = static_cast<unsigned>(std::countr_zero(groupCount));
+  SCANDIAG_REQUIRE(r_ <= config_.degree, "label width exceeds LFSR degree");
+  Lfsr check(config_, config.seed);
+  ivr_ = check.state();
+}
+
+Partition RandomSelectionPartitioner::next() {
+  Partition p;
+  p.groups.assign(groupCount_, BitVector(chainLength_));
+  Lfsr lfsr(config_, ivr_);
+  for (std::size_t pos = 0; pos < chainLength_; ++pos) {
+    p.groups[lfsr.lowBits(r_)].set(pos);
+    lfsr.step();
+  }
+  ivr_ = lfsr.state();  // "IVR is updated with the current value of the LFSR"
+  return p;
+}
+
+}  // namespace scandiag

@@ -1,0 +1,105 @@
+#include "diagnosis/session_engine.hpp"
+
+#include <bit>
+
+#include "bist/primitive_polys.hpp"
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+SessionEngine::SessionEngine(const ScanTopology& topology, const SessionConfig& config)
+    : topology_(&topology), config_(config) {
+  SCANDIAG_REQUIRE(config.numPatterns >= 1, "session needs at least one pattern");
+}
+
+const MisrLinearModel& SessionEngine::model() const {
+  if (!model_) {
+    const unsigned degree =
+        config_.mode == SignatureMode::Misr ? config_.misrDegree : config_.pruneDegree;
+    const std::uint64_t taps =
+        config_.mode == SignatureMode::Misr && config_.misrTapMask
+            ? config_.misrTapMask
+            : primitiveTapMask(degree);
+    const std::size_t totalCycles = config_.numPatterns * topology_->maxChainLength();
+    const std::size_t lines =
+        config_.compactor ? config_.compactor->outputLines() : topology_->numChains();
+    if (config_.compactor) {
+      SCANDIAG_REQUIRE(config_.compactor->inputChains() == topology_->numChains(),
+                       "compactor width does not match topology");
+    }
+    model_ = std::make_unique<MisrLinearModel>(degree, taps, static_cast<unsigned>(lines),
+                                               totalCycles);
+  }
+  return *model_;
+}
+
+std::uint64_t SessionEngine::cellErrorSignature(std::size_t cell,
+                                                const BitVector& errorStream) const {
+  const ScanTopology::CellLoc loc = topology_->location(cell);
+  const std::size_t chainLen = topology_->maxChainLength();
+  const auto cycleOf = [&](std::size_t t) { return t * chainLen + loc.position; };
+  if (!config_.compactor) {
+    return model().cellSignature(static_cast<unsigned>(loc.chain), errorStream, cycleOf);
+  }
+  // Through a space compactor the cell's error bit enters every MISR line its
+  // chain feeds; by linearity the signatures XOR.
+  std::uint64_t sig = 0;
+  std::uint64_t column = config_.compactor->columnMask(loc.chain);
+  while (column) {
+    const unsigned line = static_cast<unsigned>(std::countr_zero(column));
+    column &= column - 1;
+    sig ^= model().cellSignature(line, errorStream, cycleOf);
+  }
+  return sig;
+}
+
+GroupVerdicts SessionEngine::run(const std::vector<Partition>& partitions,
+                                 const FaultResponse& response) const {
+  const bool needSignatures =
+      config_.mode == SignatureMode::Misr || config_.computeSignatures;
+
+  // Positions holding at least one failing cell (drives exact verdicts).
+  const BitVector failingPositions = topology_->collapseCells(response.failingCells);
+
+  // Per failing cell: chain position and (optionally) error signature.
+  const std::size_t numFailing = response.failingCellOrdinals.size();
+  std::vector<std::size_t> cellPos(numFailing);
+  std::vector<std::uint64_t> cellSig(numFailing, 0);
+  for (std::size_t i = 0; i < numFailing; ++i) {
+    const std::size_t cell = response.failingCellOrdinals[i];
+    cellPos[i] = topology_->location(cell).position;
+    if (needSignatures) cellSig[i] = cellErrorSignature(cell, response.errorStreams[i]);
+  }
+
+  GroupVerdicts verdicts;
+  verdicts.failing.reserve(partitions.size());
+  if (needSignatures) {
+    verdicts.hasSignatures = true;
+    verdicts.signatureDegree =
+        config_.mode == SignatureMode::Misr ? config_.misrDegree : config_.pruneDegree;
+    verdicts.errorSig.reserve(partitions.size());
+  }
+
+  for (const Partition& partition : partitions) {
+    SCANDIAG_REQUIRE(partition.length() == topology_->maxChainLength(),
+                     "partition length does not match topology");
+    const std::size_t b = partition.groupCount();
+    BitVector fail(b);
+    std::vector<std::uint64_t> sig(b, 0);
+    if (needSignatures) {
+      const std::vector<std::size_t> table = partition.groupTable();
+      for (std::size_t i = 0; i < numFailing; ++i) sig[table[cellPos[i]]] ^= cellSig[i];
+    }
+    for (std::size_t g = 0; g < b; ++g) {
+      const bool exactFail = partition.groups[g].intersects(failingPositions);
+      const bool verdict =
+          config_.mode == SignatureMode::Exact ? exactFail : (sig[g] != 0);
+      if (verdict) fail.set(g);
+    }
+    verdicts.failing.push_back(std::move(fail));
+    if (needSignatures) verdicts.errorSig.push_back(std::move(sig));
+  }
+  return verdicts;
+}
+
+}  // namespace scandiag

@@ -1,0 +1,86 @@
+// BIST session emulation: per-group pass/fail verdicts and error signatures.
+//
+// For a partition of b groups the tester runs b sessions; in session g only
+// the cells of group g reach the MISR. Because the applied patterns are
+// identical in every session, the captured data never changes — only the
+// masking does — so instead of re-simulating the circuit per session we
+// derive every verdict from the fault's per-cell error streams:
+//
+//  * Exact mode ("no aliasing"): a group fails iff some selected cell has at
+//    least one error bit. This matches comparing full response streams and is
+//    the paper's working assumption for the DR tables.
+//  * MISR mode: a group's 16-bit (configurable) error signature is computed
+//    through the GF(2)-linear MISR model; the group fails iff the signature
+//    is nonzero. Aliasing (a nonzero error stream compacting to signature 0)
+//    becomes possible, exactly as in silicon (bench_ablation_aliasing).
+//
+// Error signatures are also the input to the superposition pruner; in exact
+// mode they can be computed on the side with a wider register so pruning
+// stays available without injecting aliasing into the verdicts.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "bist/misr.hpp"
+#include "bist/space_compactor.hpp"
+#include "bist/scan_topology.hpp"
+#include "diagnosis/partition.hpp"
+#include "sim/fault_simulator.hpp"
+
+namespace scandiag {
+
+enum class SignatureMode {
+  Exact,  // group fails iff any selected error bit
+  Misr,   // group fails iff MISR error signature != 0
+};
+
+struct SessionConfig {
+  SignatureMode mode = SignatureMode::Exact;
+  std::size_t numPatterns = 128;
+  /// Verdict MISR (mode == Misr).
+  unsigned misrDegree = 16;
+  std::uint64_t misrTapMask = 0;  // 0 = primitive polynomial of misrDegree
+  /// Compute per-group error signatures for the superposition pruner.
+  bool computeSignatures = false;
+  /// Signature width used for pruning in Exact mode (wider = less chance of
+  /// pruning away a true failing cell by XOR cancellation).
+  unsigned pruneDegree = 32;
+  /// Optional space compactor between the scan-out lines and the MISR (must
+  /// outlive the engine). Null = one MISR input per chain.
+  const SpaceCompactor* compactor = nullptr;
+};
+
+struct GroupVerdicts {
+  /// failing[p].test(g): group g of partition p failed.
+  std::vector<BitVector> failing;
+  /// errorSig[p][g]: group error signature (present iff hasSignatures).
+  std::vector<std::vector<std::uint64_t>> errorSig;
+  bool hasSignatures = false;
+  unsigned signatureDegree = 0;
+};
+
+class SessionEngine {
+ public:
+  SessionEngine(const ScanTopology& topology, const SessionConfig& config);
+
+  const ScanTopology& topology() const { return *topology_; }
+  const SessionConfig& config() const { return config_; }
+
+  GroupVerdicts run(const std::vector<Partition>& partitions,
+                    const FaultResponse& response) const;
+
+  /// Per-cell error signature of one failing cell (line = its chain, cycle =
+  /// pattern * maxChainLength + position). Exposed for tests.
+  std::uint64_t cellErrorSignature(std::size_t cell, const BitVector& errorStream) const;
+
+ private:
+  const MisrLinearModel& model() const;
+
+  const ScanTopology* topology_;
+  SessionConfig config_;
+  mutable std::unique_ptr<MisrLinearModel> model_;  // lazy: big precompute
+};
+
+}  // namespace scandiag

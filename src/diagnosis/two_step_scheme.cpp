@@ -1,0 +1,57 @@
+#include "diagnosis/two_step_scheme.hpp"
+
+#include "diagnosis/deterministic_partitioner.hpp"
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+std::string schemeName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::IntervalBased:
+      return "interval-based";
+    case SchemeKind::RandomSelection:
+      return "random-selection";
+    case SchemeKind::TwoStep:
+      return "two-step";
+    case SchemeKind::DeterministicInterval:
+      return "deterministic-interval";
+  }
+  throw std::logic_error("unknown SchemeKind");
+}
+
+TwoStepScheme::TwoStepScheme(const SchemeConfig& config, std::size_t chainLength,
+                             std::size_t groupCount)
+    : intervalRemaining_(config.intervalPartitions),
+      interval_(IntervalPartitionerConfig{config.lfsr, config.rlen, config.intervalStartSeed},
+                chainLength, groupCount),
+      random_(RandomSelectionConfig{config.lfsr, config.randomSeed}, chainLength, groupCount) {}
+
+Partition TwoStepScheme::next() {
+  if (intervalRemaining_ > 0) {
+    --intervalRemaining_;
+    return interval_.next();
+  }
+  return random_.next();
+}
+
+std::unique_ptr<PartitionScheme> makeScheme(SchemeKind kind, const SchemeConfig& config,
+                                            std::size_t chainLength, std::size_t groupCount) {
+  switch (kind) {
+    case SchemeKind::IntervalBased:
+      return std::make_unique<IntervalPartitioner>(
+          IntervalPartitionerConfig{config.lfsr, config.rlen, config.intervalStartSeed},
+          chainLength, groupCount);
+    case SchemeKind::RandomSelection:
+      return std::make_unique<RandomSelectionPartitioner>(
+          RandomSelectionConfig{config.lfsr, config.randomSeed}, chainLength, groupCount);
+    case SchemeKind::TwoStep:
+      return std::make_unique<TwoStepScheme>(config, chainLength, groupCount);
+    case SchemeKind::DeterministicInterval:
+      return std::make_unique<DeterministicIntervalPartitioner>(DeterministicIntervalConfig{},
+                                                                chainLength, groupCount);
+  }
+  throw std::logic_error("unknown SchemeKind");
+}
+
+}  // namespace scandiag

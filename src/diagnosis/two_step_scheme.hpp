@@ -1,0 +1,57 @@
+// Two-step partitioning — the paper's contribution (§2.2, §3).
+//
+// Step 1: a small number of interval-based partitions give coarse-grained
+// resolution fast (a clustered fault cone is confined to a few consecutive
+// intervals). Step 2: the remaining partitions come from random selection,
+// whose fine-grained randomness keeps shrinking the candidate set long after
+// intervals stop helping (two cells at opposite chain ends can never share an
+// interval but often share a random group). The hardware cost over [5] is two
+// counters; switching step is "simply disabling Shift Counter 2 and Test
+// Counter 2 or bypassing them".
+#pragma once
+
+#include <memory>
+
+#include "diagnosis/interval_partitioner.hpp"
+#include "diagnosis/random_selection_partitioner.hpp"
+
+namespace scandiag {
+
+enum class SchemeKind {
+  IntervalBased,
+  RandomSelection,
+  TwoStep,
+  /// Fixed-length rotated intervals (Bayraktaroglu & Orailoglu [8] baseline).
+  DeterministicInterval,
+};
+
+std::string schemeName(SchemeKind kind);
+
+struct SchemeConfig {
+  LfsrConfig lfsr{/*degree=*/16, /*tapMask=*/0};
+  std::uint64_t randomSeed = 0xACE1;
+  std::uint64_t intervalStartSeed = 0xBEEF;
+  unsigned rlen = 0;  // 0 = auto
+  /// Partitions taken from the interval step before switching to random
+  /// selection (the paper uses 1 in its simulations).
+  std::size_t intervalPartitions = 1;
+};
+
+class TwoStepScheme final : public PartitionScheme {
+ public:
+  TwoStepScheme(const SchemeConfig& config, std::size_t chainLength, std::size_t groupCount);
+
+  Partition next() override;
+  std::string name() const override { return "two-step"; }
+
+ private:
+  std::size_t intervalRemaining_;
+  IntervalPartitioner interval_;
+  RandomSelectionPartitioner random_;
+};
+
+/// Factory covering all three schemes of the paper's comparison.
+std::unique_ptr<PartitionScheme> makeScheme(SchemeKind kind, const SchemeConfig& config,
+                                            std::size_t chainLength, std::size_t groupCount);
+
+}  // namespace scandiag

@@ -1,0 +1,47 @@
+#include "diagnosis/vector_identification.hpp"
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+VectorDiagnoser::VectorDiagnoser(const DiagnosisConfig& config)
+    : config_(config), partitions_(buildPartitions(config, config.numPatterns)) {
+  SCANDIAG_REQUIRE(config.mode == SignatureMode::Exact,
+                   "vector identification implements exact verdicts only");
+}
+
+BitVector VectorDiagnoser::failingVectors(const FaultResponse& response,
+                                          std::size_t numPatterns) {
+  BitVector failing(numPatterns);
+  for (const BitVector& stream : response.errorStreams) {
+    SCANDIAG_REQUIRE(stream.size() == numPatterns, "error stream length mismatch");
+    failing |= stream;
+  }
+  return failing;
+}
+
+BitVector VectorDiagnoser::diagnose(const FaultResponse& response) const {
+  const std::size_t numPatterns = config_.numPatterns;
+  const BitVector failing = failingVectors(response, numPatterns);
+  BitVector candidates(numPatterns, true);
+  for (const Partition& partition : partitions_) {
+    BitVector failingUnion(numPatterns);
+    for (const BitVector& group : partition.groups) {
+      if (group.intersects(failing)) failingUnion |= group;
+    }
+    candidates &= failingUnion;
+  }
+  return candidates;
+}
+
+DrReport VectorDiagnoser::evaluate(const std::vector<FaultResponse>& responses) const {
+  DrAccumulator acc;
+  for (const FaultResponse& r : responses) {
+    if (!r.detected()) continue;
+    const BitVector truth = failingVectors(r, config_.numPatterns);
+    acc.add(diagnose(r).count(), truth.count());
+  }
+  return DrReport{acc.dr(), acc.faults(), acc.sumCandidates(), acc.sumActual()};
+}
+
+}  // namespace scandiag

@@ -1,0 +1,46 @@
+// Failing-vector (failing-pattern) identification — the time-domain dual of
+// failing-cell identification, after Liu, Chakrabarty & Goessel [4] ("An
+// Interval-Based Diagnosis Scheme for Identifying Failing Vectors in a
+// Scan-BIST Environment") and the time/space view of Ghosh-Dastidar et al.
+//
+// The trick is that the whole partition machinery is axis-agnostic: here the
+// selection axis is the *pattern index* instead of the shift position. A
+// session applies only the patterns of one group (the pattern counter gates
+// the MISR), the full response of every selected pattern is compacted, and a
+// group fails iff any selected pattern captured any error. Inclusion-
+// exclusion across partitions then yields candidate failing vectors, with
+// the same interval/random/two-step trade-offs: error-producing patterns of
+// one fault are NOT clustered in pattern order (pseudorandom stimuli), which
+// is exactly why [4]'s setting favours different tuning than cell diagnosis
+// — bench_ext_vectors quantifies this.
+#pragma once
+
+#include "diagnosis/candidate_analyzer.hpp"
+#include "diagnosis/experiment_driver.hpp"
+#include "diagnosis/metrics.hpp"
+
+namespace scandiag {
+
+class VectorDiagnoser {
+ public:
+  /// `config.numPatterns` defines the axis length; scheme/partitions/groups
+  /// are interpreted over pattern indices. Exact verdicts only.
+  explicit VectorDiagnoser(const DiagnosisConfig& config);
+
+  const std::vector<Partition>& partitions() const { return partitions_; }
+
+  /// Pattern indices on which the fault produced at least one error.
+  static BitVector failingVectors(const FaultResponse& response, std::size_t numPatterns);
+
+  /// Candidate failing vectors (pattern indices), a superset of the truth.
+  BitVector diagnose(const FaultResponse& response) const;
+
+  /// DR over failing vectors: (sum candidates - sum actual) / sum actual.
+  DrReport evaluate(const std::vector<FaultResponse>& responses) const;
+
+ private:
+  DiagnosisConfig config_;
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace scandiag

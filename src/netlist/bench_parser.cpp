@@ -1,0 +1,219 @@
+#include "netlist/bench_parser.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+namespace {
+
+struct Statement {
+  enum class Kind { Input, Output, Assign } kind;
+  std::string lhs;                 // signal being declared/defined
+  GateType type = GateType::Buf;   // for Assign
+  std::vector<std::string> fanins; // for Assign
+  int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  std::ostringstream os;
+  os << ".bench parse error at line " << line << ": " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool validSignalName(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.' ||
+          c == '[' || c == ']' || c == '-'))
+      return false;
+  }
+  return true;
+}
+
+/// Parses "KEYWORD(arg1, arg2)" returning {keyword, args}; line for errors.
+std::pair<std::string, std::vector<std::string>> parseCall(const std::string& text, int line) {
+  const std::size_t open = text.find('(');
+  const std::size_t close = text.rfind(')');
+  if (open == std::string::npos || close == std::string::npos || close < open)
+    fail(line, "expected KEYWORD(args): '" + text + "'");
+  if (!strip(text.substr(close + 1)).empty())
+    fail(line, "trailing characters after ')'");
+  std::string keyword = strip(text.substr(0, open));
+  std::vector<std::string> args;
+  std::string inner = text.substr(open + 1, close - open - 1);
+  std::size_t pos = 0;
+  while (pos <= inner.size()) {
+    const std::size_t comma = inner.find(',', pos);
+    const std::string arg =
+        strip(comma == std::string::npos ? inner.substr(pos) : inner.substr(pos, comma - pos));
+    if (!arg.empty()) args.push_back(arg);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return {keyword, args};
+}
+
+}  // namespace
+
+Netlist parseBench(std::istream& in, const std::string& circuitName) {
+  std::vector<Statement> statements;
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = strip(line);
+    if (line.empty()) continue;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      auto [keyword, args] = parseCall(line, lineNo);
+      Statement st;
+      st.line = lineNo;
+      if (keyword == "INPUT")
+        st.kind = Statement::Kind::Input;
+      else if (keyword == "OUTPUT")
+        st.kind = Statement::Kind::Output;
+      else
+        fail(lineNo, "unknown directive '" + keyword + "'");
+      if (args.size() != 1) fail(lineNo, keyword + " takes exactly one signal");
+      if (!validSignalName(args[0])) fail(lineNo, "invalid signal name '" + args[0] + "'");
+      st.lhs = args[0];
+      statements.push_back(std::move(st));
+    } else {
+      Statement st;
+      st.line = lineNo;
+      st.kind = Statement::Kind::Assign;
+      st.lhs = strip(line.substr(0, eq));
+      if (!validSignalName(st.lhs)) fail(lineNo, "invalid signal name '" + st.lhs + "'");
+      auto [keyword, args] = parseCall(line.substr(eq + 1), lineNo);
+      const auto type = gateTypeFromName(keyword);
+      if (!type || *type == GateType::Input)
+        fail(lineNo, "unknown gate type '" + keyword + "'");
+      st.type = *type;
+      const bool isConst = st.type == GateType::Const0 || st.type == GateType::Const1;
+      if (args.empty() && !isConst) fail(lineNo, "gate '" + st.lhs + "' has no fanins");
+      for (const std::string& a : args) {
+        if (!validSignalName(a)) fail(lineNo, "invalid fanin name '" + a + "'");
+      }
+      st.fanins = std::move(args);
+      statements.push_back(std::move(st));
+    }
+  }
+
+  // Pass 1: declare all signals (inputs, DFFs, and combinational gates) so
+  // forward references resolve. Duplicate definitions are errors.
+  Netlist nl(circuitName);
+  std::unordered_map<std::string, int> definedAt;
+  for (const Statement& st : statements) {
+    if (st.kind == Statement::Kind::Output) continue;
+    const auto [it, inserted] = definedAt.emplace(st.lhs, st.line);
+    if (!inserted)
+      fail(st.line, "signal '" + st.lhs + "' already defined at line " + std::to_string(it->second));
+  }
+
+  // Declare sources first (inputs, DFFs), then combinational gates in file
+  // order, resolving fanins at the end. We create placeholders by recording
+  // assigns and emitting them once all names exist: since Netlist::addGate
+  // requires resolved fanins, do a classic two-phase build — create Input/Dff
+  // now, then topologically emit combinational gates.
+  for (const Statement& st : statements) {
+    if (st.kind == Statement::Kind::Input) {
+      nl.addInput(st.lhs);
+    } else if (st.kind == Statement::Kind::Assign && st.type == GateType::Dff) {
+      nl.addDff(st.lhs);
+    }
+  }
+
+  // Emit combinational assigns; iterate until fixpoint to honor forward
+  // references (file order in .bench is arbitrary).
+  std::vector<const Statement*> remaining;
+  for (const Statement& st : statements)
+    if (st.kind == Statement::Kind::Assign && st.type != GateType::Dff) remaining.push_back(&st);
+
+  while (!remaining.empty()) {
+    std::vector<const Statement*> next;
+    bool progress = false;
+    for (const Statement* st : remaining) {
+      std::vector<GateId> fanins;
+      fanins.reserve(st->fanins.size());
+      bool ok = true;
+      for (const std::string& f : st->fanins) {
+        const GateId id = nl.findByName(f);
+        if (id == kInvalidGate) {
+          ok = false;
+          break;
+        }
+        fanins.push_back(id);
+      }
+      if (ok) {
+        nl.addGate(st->type, st->lhs, std::move(fanins));
+        progress = true;
+      } else {
+        next.push_back(st);
+      }
+    }
+    if (!progress) {
+      // Either an undefined signal or a combinational cycle; report the former.
+      for (const Statement* st : remaining) {
+        for (const std::string& f : st->fanins) {
+          if (definedAt.find(f) == definedAt.end())
+            fail(st->line, "fanin '" + f + "' of gate '" + st->lhs + "' is never defined");
+        }
+      }
+      fail(remaining.front()->line,
+           "combinational cycle involving gate '" + remaining.front()->lhs + "'");
+    }
+    remaining = std::move(next);
+  }
+
+  // Connect DFF D inputs and mark outputs.
+  for (const Statement& st : statements) {
+    if (st.kind == Statement::Kind::Assign && st.type == GateType::Dff) {
+      const GateId driver = nl.findByName(st.fanins[0]);
+      if (driver == kInvalidGate)
+        fail(st.line, "DFF '" + st.lhs + "' D input '" + st.fanins[0] + "' is never defined");
+      nl.setDffInput(nl.findByName(st.lhs), driver);
+    } else if (st.kind == Statement::Kind::Output) {
+      const GateId g = nl.findByName(st.lhs);
+      if (g == kInvalidGate)
+        fail(st.line, "OUTPUT signal '" + st.lhs + "' is never defined");
+      nl.markOutput(g);
+    }
+  }
+
+  nl.validate();
+  return nl;
+}
+
+Netlist parseBenchString(const std::string& text, const std::string& circuitName) {
+  std::istringstream in(text);
+  return parseBench(in, circuitName);
+}
+
+Netlist parseBenchFile(const std::string& path) {
+  std::ifstream in(path);
+  SCANDIAG_REQUIRE(in.good(), "cannot open .bench file: " + path);
+  std::string stem = path;
+  const std::size_t slash = stem.find_last_of('/');
+  if (slash != std::string::npos) stem.erase(0, slash + 1);
+  const std::size_t dot = stem.find_last_of('.');
+  if (dot != std::string::npos) stem.erase(dot);
+  return parseBench(in, stem);
+}
+
+}  // namespace scandiag

@@ -1,0 +1,27 @@
+// Parser for the ISCAS-89 `.bench` netlist format.
+//
+// Grammar (as used by the public ISCAS-85/89 distributions):
+//   # comment
+//   INPUT(name)
+//   OUTPUT(name)
+//   name = GATE(fanin1, fanin2, ...)        GATE in {AND, NAND, OR, NOR,
+//                                           NOT, BUF/BUFF, XOR, XNOR, DFF}
+// Signals may be used before they are defined; the parser resolves forward
+// references in a second pass. Errors carry 1-based line numbers.
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace scandiag {
+
+/// Parses a .bench netlist. `circuitName` names the result (typically the
+/// file stem). Throws std::invalid_argument with a line-numbered message on
+/// malformed input, undefined signals, or duplicate definitions.
+Netlist parseBench(std::istream& in, const std::string& circuitName);
+Netlist parseBenchString(const std::string& text, const std::string& circuitName);
+Netlist parseBenchFile(const std::string& path);
+
+}  // namespace scandiag

@@ -1,0 +1,50 @@
+#include "netlist/bench_writer.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+void writeBench(const Netlist& netlist, std::ostream& out) {
+  out << "# " << netlist.name() << "\n";
+  out << "# " << netlist.inputs().size() << " inputs, " << netlist.outputs().size()
+      << " outputs, " << netlist.dffs().size() << " D-type flipflops, "
+      << netlist.combGateCount() << " gates\n\n";
+  for (GateId id : netlist.inputs()) out << "INPUT(" << netlist.gateName(id) << ")\n";
+  out << "\n";
+  for (GateId id : netlist.outputs()) out << "OUTPUT(" << netlist.gateName(id) << ")\n";
+  out << "\n";
+  for (GateId id = 0; id < netlist.gateCount(); ++id) {
+    const Gate& g = netlist.gate(id);
+    if (g.type == GateType::Input) continue;
+    if (g.type == GateType::Const0 || g.type == GateType::Const1) {
+      // .bench has no constant literal; emit a degenerate gate comment so the
+      // file stays parseable by third-party tools and round-trips via parser
+      // extension below.
+      out << netlist.gateName(id) << " = " << gateTypeName(g.type) << "()\n";
+      continue;
+    }
+    out << netlist.gateName(id) << " = " << gateTypeName(g.type) << "(";
+    for (std::size_t k = 0; k < g.fanins.size(); ++k) {
+      if (k) out << ", ";
+      out << netlist.gateName(g.fanins[k]);
+    }
+    out << ")\n";
+  }
+}
+
+std::string writeBenchString(const Netlist& netlist) {
+  std::ostringstream os;
+  writeBench(netlist, os);
+  return os.str();
+}
+
+void writeBenchFile(const Netlist& netlist, const std::string& path) {
+  std::ofstream out(path);
+  SCANDIAG_REQUIRE(out.good(), "cannot open for write: " + path);
+  writeBench(netlist, out);
+}
+
+}  // namespace scandiag

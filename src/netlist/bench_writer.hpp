@@ -1,0 +1,18 @@
+// Writer emitting the ISCAS-89 `.bench` format; inverse of bench_parser.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace scandiag {
+
+/// Serializes `netlist` in .bench syntax: INPUT lines, OUTPUT lines, then one
+/// assign per DFF and combinational gate. parseBench(writeBench(n)) is
+/// structurally identical to n (same names, types, connectivity).
+void writeBench(const Netlist& netlist, std::ostream& out);
+std::string writeBenchString(const Netlist& netlist);
+void writeBenchFile(const Netlist& netlist, const std::string& path);
+
+}  // namespace scandiag

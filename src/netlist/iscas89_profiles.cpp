@@ -1,0 +1,62 @@
+#include "netlist/iscas89_profiles.hpp"
+
+#include <stdexcept>
+
+namespace scandiag {
+
+const std::vector<Iscas89Profile>& iscas89Profiles() {
+  static const std::vector<Iscas89Profile> kProfiles = {
+      {"s27", 4, 1, 3, 10},
+      {"s208", 10, 1, 8, 104},
+      {"s298", 3, 6, 14, 119},
+      {"s344", 9, 11, 15, 160},
+      {"s349", 9, 11, 15, 161},
+      {"s382", 3, 6, 21, 158},
+      {"s386", 7, 7, 6, 159},
+      {"s400", 3, 6, 21, 164},
+      {"s420", 18, 1, 16, 218},
+      {"s444", 3, 6, 21, 181},
+      {"s510", 19, 7, 6, 211},
+      {"s526", 3, 6, 21, 193},
+      {"s641", 35, 24, 19, 379},
+      {"s713", 35, 23, 19, 393},
+      {"s820", 18, 19, 5, 289},
+      {"s832", 18, 19, 5, 287},
+      {"s838", 34, 1, 32, 446},
+      {"s953", 16, 23, 29, 395},
+      {"s1196", 14, 14, 18, 529},
+      {"s1238", 14, 14, 18, 508},
+      {"s1423", 17, 5, 74, 657},
+      {"s1488", 8, 19, 6, 653},
+      {"s1494", 8, 19, 6, 647},
+      {"s5378", 35, 49, 179, 2779},
+      {"s9234", 36, 39, 211, 5597},
+      {"s13207", 62, 152, 638, 7951},
+      {"s15850", 77, 150, 534, 9772},
+      {"s35932", 35, 320, 1728, 16065},
+      {"s38417", 28, 106, 1636, 22179},
+      {"s38584", 38, 304, 1426, 19253},
+  };
+  return kProfiles;
+}
+
+const Iscas89Profile& iscas89Profile(std::string_view name) {
+  for (const Iscas89Profile& p : iscas89Profiles()) {
+    if (p.name == name) return p;
+  }
+  throw std::invalid_argument("unknown ISCAS-89 profile: " + std::string(name));
+}
+
+const std::vector<std::string>& sixLargestIscas89() {
+  static const std::vector<std::string> kNames = {"s9234",  "s13207", "s15850",
+                                                  "s35932", "s38417", "s38584"};
+  return kNames;
+}
+
+const std::vector<std::string>& d695Iscas89Modules() {
+  static const std::vector<std::string> kNames = {"s838",   "s9234",  "s5378",  "s38584",
+                                                  "s13207", "s38417", "s35932", "s15850"};
+  return kNames;
+}
+
+}  // namespace scandiag

@@ -1,0 +1,39 @@
+// Published size profiles of the ISCAS-89 sequential benchmark circuits.
+//
+// The profiles drive the synthetic generator (see DESIGN.md §5: the real
+// netlists are not redistributable here, so we regenerate circuits with the
+// published PI/PO/DFF/gate counts and locality-controlled structure). Users
+// with the original .bench files can bypass profiles entirely via parseBench.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scandiag {
+
+struct Iscas89Profile {
+  std::string name;
+  std::size_t numInputs;
+  std::size_t numOutputs;
+  std::size_t numDffs;
+  std::size_t numGates;  // combinational gates, inverters/buffers included
+};
+
+/// All built-in profiles, smallest first.
+const std::vector<Iscas89Profile>& iscas89Profiles();
+
+/// Lookup by name ("s953"); throws std::invalid_argument if unknown.
+const Iscas89Profile& iscas89Profile(std::string_view name);
+
+/// The six largest ISCAS-89 circuits, as evaluated in the paper's Table 2:
+/// s9234, s13207, s15850, s35932, s38417, s38584.
+const std::vector<std::string>& sixLargestIscas89();
+
+/// The eight full-scan ISCAS-89 modules of the ITC'02 d695 SOC (paper Fig. 4):
+/// s838, s9234, s5378, s38584, s13207, s38417, s35932, s15850 in daisy-chain
+/// order.
+const std::vector<std::string>& d695Iscas89Modules();
+
+}  // namespace scandiag

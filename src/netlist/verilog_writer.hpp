@@ -1,0 +1,25 @@
+// Structural Verilog export.
+//
+// Emits a synthesizable gate-level module for a scandiag netlist so circuits
+// (including the synthetic ISCAS-89 reconstructions) can move into standard
+// EDA flows: primitive gate instances for the combinational logic, a
+// positive-edge DFF block per scan cell, and clk/reset ports. Scan stitching
+// is intentionally NOT emitted — scan insertion is a downstream DFT step and
+// scandiag's ScanTopology is the authority on chain order.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace scandiag {
+
+/// Writes `module <name>(clk, reset, PIs..., POs...)`. Names are sanitized to
+/// Verilog identifiers ([A-Za-z0-9_], prefixed if needed); sanitization is
+/// collision-checked and throws on a clash.
+void writeVerilog(const Netlist& netlist, std::ostream& out);
+std::string writeVerilogString(const Netlist& netlist);
+void writeVerilogFile(const Netlist& netlist, const std::string& path);
+
+}  // namespace scandiag

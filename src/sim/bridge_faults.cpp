@@ -1,0 +1,148 @@
+#include "sim/bridge_faults.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "netlist/cone_analysis.hpp"
+
+namespace scandiag {
+
+std::string_view bridgeKindName(BridgeKind kind) {
+  switch (kind) {
+    case BridgeKind::WiredAnd:
+      return "wired-AND";
+    case BridgeKind::WiredOr:
+      return "wired-OR";
+    case BridgeKind::ADominatesB:
+      return "a-dominates-b";
+    case BridgeKind::BDominatesA:
+      return "b-dominates-a";
+  }
+  throw std::logic_error("unknown BridgeKind");
+}
+
+bool isFeedbackFree(const Netlist& netlist, GateId a, GateId b) {
+  // Forward BFS over combinational fanout from `from`; true if `to` reached.
+  const auto reaches = [&](GateId from, GateId to) {
+    std::vector<bool> visited(netlist.gateCount(), false);
+    std::vector<GateId> stack{from};
+    visited[from] = true;
+    const auto& fanouts = netlist.fanouts();
+    while (!stack.empty()) {
+      const GateId g = stack.back();
+      stack.pop_back();
+      for (GateId user : fanouts[g]) {
+        if (netlist.gate(user).type == GateType::Dff) continue;  // sequential edge
+        if (user == to) return true;
+        if (visited[user]) continue;
+        visited[user] = true;
+        stack.push_back(user);
+      }
+    }
+    return false;
+  };
+  return !reaches(a, b) && !reaches(b, a);
+}
+
+std::vector<BridgeFault> enumerateBridgeCandidates(const Netlist& netlist, std::size_t count,
+                                                   std::uint64_t seed) {
+  SCANDIAG_REQUIRE(netlist.gateCount() >= 2, "need at least two nets to bridge");
+  Xoroshiro128 rng(seed);
+  std::vector<BridgeFault> bridges;
+  const BridgeKind kinds[] = {BridgeKind::WiredAnd, BridgeKind::WiredOr,
+                              BridgeKind::ADominatesB, BridgeKind::BDominatesA};
+  std::size_t guard = 0;
+  while (bridges.size() < count && ++guard < count * 200 + 1000) {
+    const GateId a = static_cast<GateId>(rng.nextBelow(netlist.gateCount()));
+    // Nearby ids are structurally nearby under the generator's locality.
+    const std::size_t span = std::max<std::size_t>(netlist.gateCount() / 50, 4);
+    const std::int64_t offset =
+        static_cast<std::int64_t>(rng.nextBelow(2 * span + 1)) - static_cast<std::int64_t>(span);
+    const std::int64_t bi = static_cast<std::int64_t>(a) + offset;
+    if (bi < 0 || bi >= static_cast<std::int64_t>(netlist.gateCount())) continue;
+    const GateId b = static_cast<GateId>(bi);
+    if (a == b) continue;
+    const GateType ta = netlist.gate(a).type, tb = netlist.gate(b).type;
+    if (ta == GateType::Const0 || ta == GateType::Const1 || tb == GateType::Const0 ||
+        tb == GateType::Const1)
+      continue;
+    if (!isFeedbackFree(netlist, a, b)) continue;
+    bridges.push_back(BridgeFault{a, b, kinds[bridges.size() % 4]});
+  }
+  return bridges;
+}
+
+FaultResponse simulateBridge(const FaultSimulator& simulator, const BridgeFault& bridge) {
+  const Netlist& nl = simulator.netlist();
+  SCANDIAG_REQUIRE(bridge.a < nl.gateCount() && bridge.b < nl.gateCount(),
+                   "bridge net out of range");
+  SCANDIAG_REQUIRE(bridge.a != bridge.b, "bridge needs two distinct nets");
+  const LogicSimulator& sim = simulator.simulator();
+  const std::size_t numPatterns = simulator.patterns().numPatterns();
+  const std::size_t words = simulator.patterns().wordCount();
+
+  // Union of the two cones, evaluation-ordered.
+  const FaultCone coneA = computeCone(nl, sim.levelization(), bridge.a);
+  const FaultCone coneB = computeCone(nl, sim.levelization(), bridge.b);
+  FaultCone cone;
+  cone.gates = coneA.gates;
+  cone.gates.insert(cone.gates.end(), coneB.gates.begin(), coneB.gates.end());
+  const auto& level = sim.levelization().level;
+  std::sort(cone.gates.begin(), cone.gates.end(), [&](GateId x, GateId y) {
+    return level[x] != level[y] ? level[x] < level[y] : x < y;
+  });
+  cone.gates.erase(std::unique(cone.gates.begin(), cone.gates.end()), cone.gates.end());
+  cone.reachableDffs = coneA.reachableDffs | coneB.reachableDffs;
+
+  FaultResponse resp;
+  resp.fault = FaultSite{bridge.a, FaultSite::kOutputPin, false};  // reporting only
+  resp.failingCells = BitVector(nl.dffs().size());
+  if (cone.reachableDffs.none()) return resp;
+
+  const std::vector<std::size_t> coneOrdinals = cone.reachableDffs.toIndices();
+  std::vector<BitVector> errs(coneOrdinals.size(), BitVector(numPatterns));
+  std::vector<SimWord> values;
+  for (std::size_t w = 0; w < words; ++w) {
+    values = simulator.goodBatch(w);
+    // Bridged net values from the (independent) driven values. No feedback:
+    // neither net's driven value depends on the other, so one application is
+    // the fixed point.
+    const SimWord va = values[bridge.a], vb = values[bridge.b];
+    SimWord na = va, nb = vb;
+    switch (bridge.kind) {
+      case BridgeKind::WiredAnd:
+        na = nb = va & vb;
+        break;
+      case BridgeKind::WiredOr:
+        na = nb = va | vb;
+        break;
+      case BridgeKind::ADominatesB:
+        nb = va;
+        break;
+      case BridgeKind::BDominatesA:
+        na = vb;
+        break;
+    }
+    values[bridge.a] = na;
+    values[bridge.b] = nb;
+    for (GateId id : cone.gates) {
+      if (id == bridge.a || id == bridge.b) continue;  // bridged values stay forced
+      values[id] = sim.evalGate(id, values);
+    }
+    for (std::size_t i = 0; i < coneOrdinals.size(); ++i) {
+      const GateId driver = nl.gate(nl.dffs()[coneOrdinals[i]]).fanins[0];
+      errs[i].setWord(w, values[driver] ^ simulator.goodValue(driver, w));
+    }
+  }
+  for (std::size_t i = 0; i < coneOrdinals.size(); ++i) {
+    if (errs[i].any()) {
+      resp.failingCells.set(coneOrdinals[i]);
+      resp.failingCellOrdinals.push_back(coneOrdinals[i]);
+      resp.errorStreams.push_back(std::move(errs[i]));
+    }
+  }
+  return resp;
+}
+
+}  // namespace scandiag

@@ -1,0 +1,48 @@
+#include "sim/fault_coverage.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+CoverageReport measureCoverage(const FaultSimulator& simulator,
+                               const std::vector<FaultSite>& faults) {
+  CoverageReport report;
+  report.totalFaults = faults.size();
+  for (const FaultSite& f : faults) {
+    if (simulator.simulate(f).detected()) ++report.scanDetected;
+  }
+  return report;
+}
+
+std::size_t firstDetectingPattern(const FaultResponse& response) {
+  std::size_t first = BitVector::npos;
+  for (const BitVector& stream : response.errorStreams) {
+    first = std::min(first, stream.findFirst());
+  }
+  return first;
+}
+
+std::vector<std::size_t> coverageCurve(const FaultSimulator& simulator,
+                                       const std::vector<FaultSite>& faults,
+                                       const std::vector<std::size_t>& checkpoints) {
+  SCANDIAG_REQUIRE(std::is_sorted(checkpoints.begin(), checkpoints.end()),
+                   "checkpoints must be ascending");
+  std::vector<std::size_t> detectedAt;
+  detectedAt.reserve(faults.size());
+  for (const FaultSite& f : faults) {
+    const FaultResponse r = simulator.simulate(f);
+    if (r.detected()) detectedAt.push_back(firstDetectingPattern(r));
+  }
+  std::sort(detectedAt.begin(), detectedAt.end());
+  std::vector<std::size_t> curve;
+  curve.reserve(checkpoints.size());
+  for (std::size_t cp : checkpoints) {
+    curve.push_back(static_cast<std::size_t>(
+        std::lower_bound(detectedAt.begin(), detectedAt.end(), cp) - detectedAt.begin()));
+  }
+  return curve;
+}
+
+}  // namespace scandiag

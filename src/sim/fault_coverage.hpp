@@ -1,0 +1,41 @@
+// Fault-coverage accounting for the BIST pattern set.
+//
+// Standard DFT bookkeeping on top of the fault simulator: which faults the
+// applied patterns detect (at scan cells, at primary outputs, or both), and
+// the cumulative coverage curve over the pattern sequence — the curve that
+// justifies the paper's 128/200-pattern session lengths (pseudorandom
+// coverage saturates quickly on random-pattern-testable logic, so longer
+// sessions buy diagnosis data, not detection).
+#pragma once
+
+#include <vector>
+
+#include "sim/fault_simulator.hpp"
+
+namespace scandiag {
+
+struct CoverageReport {
+  std::size_t totalFaults = 0;
+  /// Detected by at least one scan-cell capture error (the diagnosable kind).
+  std::size_t scanDetected = 0;
+  double scanCoverage() const {
+    return totalFaults ? static_cast<double>(scanDetected) / static_cast<double>(totalFaults)
+                       : 0.0;
+  }
+};
+
+/// Coverage of `faults` under the simulator's pattern set.
+CoverageReport measureCoverage(const FaultSimulator& simulator,
+                               const std::vector<FaultSite>& faults);
+
+/// Cumulative scan-detection counts after each pattern-count checkpoint:
+/// result[i] = number of `faults` whose first scan error occurs at a pattern
+/// index < checkpoints[i]. Checkpoints must be ascending.
+std::vector<std::size_t> coverageCurve(const FaultSimulator& simulator,
+                                       const std::vector<FaultSite>& faults,
+                                       const std::vector<std::size_t>& checkpoints);
+
+/// Pattern index of the first scan error of a response, or npos if none.
+std::size_t firstDetectingPattern(const FaultResponse& response);
+
+}  // namespace scandiag

@@ -1,0 +1,84 @@
+#include "sim/fault_list.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace scandiag {
+
+namespace {
+
+/// True if the branch fault (type, stuckAt) on an input pin is equivalent to
+/// a stem fault of the same gate and should be dropped when collapsing.
+bool branchCollapses(GateType type, bool stuckAt) {
+  switch (type) {
+    case GateType::And:
+    case GateType::Nand:
+      return stuckAt == false;  // controlling value 0
+    case GateType::Or:
+    case GateType::Nor:
+      return stuckAt == true;  // controlling value 1
+    case GateType::Buf:
+    case GateType::Not:
+      return true;  // single-input: both input faults map to output faults
+    default:
+      return false;  // XOR/XNOR/DFF: no controlling value
+  }
+}
+
+std::vector<FaultSite> enumerateSites(const Netlist& netlist, bool collapse) {
+  std::vector<FaultSite> faults;
+  const auto& fanouts = netlist.fanouts();
+  for (GateId id = 0; id < netlist.gateCount(); ++id) {
+    const Gate& g = netlist.gate(id);
+    if (g.type == GateType::Const0 || g.type == GateType::Const1) continue;
+    // Stem faults. A stem that drives nothing is unobservable; skip it so the
+    // sampler never wastes budget on structurally undetectable faults.
+    const bool observedStem = !fanouts[id].empty() ||
+                              std::find(netlist.outputs().begin(), netlist.outputs().end(), id) !=
+                                  netlist.outputs().end();
+    if (observedStem) {
+      faults.push_back({id, FaultSite::kOutputPin, false});
+      faults.push_back({id, FaultSite::kOutputPin, true});
+    }
+    // Branch faults where the driver fans out.
+    for (std::size_t k = 0; k < g.fanins.size(); ++k) {
+      const GateId driver = g.fanins[k];
+      SCANDIAG_REQUIRE(driver != kInvalidGate, "dangling fanin during fault enumeration");
+      if (fanouts[driver].size() <= 1) continue;
+      for (bool sa : {false, true}) {
+        if (collapse && branchCollapses(g.type, sa)) continue;
+        faults.push_back({id, static_cast<int>(k), sa});
+      }
+    }
+  }
+  return faults;
+}
+
+}  // namespace
+
+FaultList::FaultList(std::vector<FaultSite> faults) : faults_(std::move(faults)) {}
+
+FaultList FaultList::enumerateCollapsed(const Netlist& netlist) {
+  return FaultList(enumerateSites(netlist, /*collapse=*/true));
+}
+
+FaultList FaultList::enumerateAll(const Netlist& netlist) {
+  return FaultList(enumerateSites(netlist, /*collapse=*/false));
+}
+
+std::vector<FaultSite> FaultList::sample(std::size_t n, std::uint64_t seed) const {
+  std::vector<FaultSite> pool = faults_;
+  Xoroshiro128 rng(seed);
+  // Partial Fisher-Yates: the first min(n, size) entries become the sample.
+  const std::size_t take = std::min(n, pool.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t j = i + rng.nextBelow(pool.size() - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(take);
+  return pool;
+}
+
+}  // namespace scandiag

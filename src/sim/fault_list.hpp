@@ -1,0 +1,41 @@
+// Single-stuck-at fault universe: enumeration, equivalence collapsing,
+// deterministic sampling.
+//
+// Enumeration follows standard practice:
+//  * a stem (output) fault pair on every gate, including primary inputs and
+//    DFF outputs (a stuck scan-cell Q) and DFF D pins (a stuck capture path);
+//  * branch (input-pin) fault pairs only where the driving net fans out —
+//    with fanout 1 the branch fault is identical to the stem fault.
+// Collapsing applies the classic controlling-value equivalences
+// (AND in-SA0 ≡ out-SA0, NAND in-SA0 ≡ out-SA1, OR in-SA1 ≡ out-SA1,
+// NOR in-SA1 ≡ out-SA0, BUF/NOT input faults ≡ output faults).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/logic_simulator.hpp"
+
+namespace scandiag {
+
+class FaultList {
+ public:
+  FaultList() = default;
+  explicit FaultList(std::vector<FaultSite> faults);
+
+  /// Collapsed fault universe of `netlist`.
+  static FaultList enumerateCollapsed(const Netlist& netlist);
+  /// Uncollapsed universe (all stems + all branches at fanout stems).
+  static FaultList enumerateAll(const Netlist& netlist);
+
+  const std::vector<FaultSite>& faults() const { return faults_; }
+  std::size_t size() const { return faults_.size(); }
+
+  /// Deterministic uniform sample of min(n, size()) distinct faults.
+  std::vector<FaultSite> sample(std::size_t n, std::uint64_t seed) const;
+
+ private:
+  std::vector<FaultSite> faults_;
+};
+
+}  // namespace scandiag

@@ -1,0 +1,132 @@
+#include "sim/fault_simulator.hpp"
+
+#include "common/assert.hpp"
+#include "netlist/cone_analysis.hpp"
+
+namespace scandiag {
+
+PatternSet::PatternSet(const Netlist& netlist, std::size_t numPatterns)
+    : numPatterns_(numPatterns), streams_(netlist.gateCount()) {
+  SCANDIAG_REQUIRE(numPatterns > 0, "pattern set must be nonempty");
+  for (GateId id = 0; id < netlist.gateCount(); ++id) {
+    const GateType t = netlist.gate(id).type;
+    if (t == GateType::Input || t == GateType::Dff) streams_[id].resize(numPatterns);
+  }
+}
+
+const BitVector& PatternSet::stream(GateId id) const {
+  SCANDIAG_REQUIRE(isSource(id), "stream() on a non-source gate");
+  return streams_[id];
+}
+
+BitVector& PatternSet::stream(GateId id) {
+  SCANDIAG_REQUIRE(isSource(id), "stream() on a non-source gate");
+  return streams_[id];
+}
+
+SimWord PatternSet::word(GateId id, std::size_t w) const {
+  const BitVector& s = streams_[id];
+  if (s.empty()) return SimWord{0};
+  return w < s.wordCount() ? s.word(w) : SimWord{0};
+}
+
+FaultSimulator::FaultSimulator(const Netlist& netlist, const PatternSet& patterns)
+    : netlist_(&netlist), patterns_(&patterns), sim_(netlist) {
+  const std::size_t words = patterns.wordCount();
+  const std::size_t numDffs = netlist.dffs().size();
+
+  dffOrdinal_.assign(netlist.gateCount(), static_cast<std::size_t>(-1));
+  for (std::size_t k = 0; k < numDffs; ++k) dffOrdinal_[netlist.dffs()[k]] = k;
+
+  goodValues_.assign(words, std::vector<SimWord>(netlist.gateCount(), 0));
+  goodCaptures_.assign(numDffs, BitVector(patterns.numPatterns()));
+  for (std::size_t w = 0; w < words; ++w) {
+    std::vector<SimWord>& values = goodValues_[w];
+    for (GateId id = 0; id < netlist.gateCount(); ++id) {
+      if (patterns.isSource(id)) values[id] = patterns.word(id, w);
+    }
+    sim_.evaluate(values);
+    for (std::size_t k = 0; k < numDffs; ++k) {
+      const GateId driver = netlist.gate(netlist.dffs()[k]).fanins[0];
+      goodCaptures_[k].setWord(w, values[driver]);
+    }
+  }
+}
+
+FaultResponse FaultSimulator::simulate(const FaultSite& fault) const {
+  SCANDIAG_REQUIRE(fault.gate < netlist_->gateCount(), "fault site out of range");
+  const std::size_t numDffs = netlist_->dffs().size();
+  const std::size_t numPatterns = patterns_->numPatterns();
+  const std::size_t words = patterns_->wordCount();
+
+  FaultResponse resp;
+  resp.fault = fault;
+  resp.failingCells = BitVector(numDffs);
+
+  // A branch fault on a DFF D pin corrupts only that cell's capture: the
+  // faulty captured value never re-enters the circuit because the next
+  // pattern reloads the whole chain from the PRPG.
+  const bool dffPinFault =
+      !fault.isOutputFault() && netlist_->gate(fault.gate).type == GateType::Dff;
+  if (dffPinFault) {
+    const std::size_t k = dffOrdinal_[fault.gate];
+    BitVector err(numPatterns);
+    for (std::size_t w = 0; w < words; ++w) {
+      const SimWord stuck = fault.stuckAt ? ~SimWord{0} : SimWord{0};
+      err.setWord(w, goodCaptures_[k].word(w) ^ stuck);
+    }
+    if (err.any()) {
+      resp.failingCells.set(k);
+      resp.failingCellOrdinals.push_back(k);
+      resp.errorStreams.push_back(std::move(err));
+    }
+    return resp;
+  }
+
+  const FaultCone cone = computeCone(*netlist_, sim_.levelization(), fault.gate);
+  if (cone.reachableDffs.none()) return resp;  // scan-unobservable fault
+
+  // Per-cell error accumulation, word by word.
+  std::vector<std::size_t> coneOrdinals = cone.reachableDffs.toIndices();
+  std::vector<BitVector> errs(coneOrdinals.size(), BitVector(numPatterns));
+  std::vector<SimWord> values;
+  for (std::size_t w = 0; w < words; ++w) {
+    values = goodValues_[w];
+    sim_.evaluateFaulty(fault, cone, values);
+    for (std::size_t i = 0; i < coneOrdinals.size(); ++i) {
+      const std::size_t k = coneOrdinals[i];
+      const GateId driver = netlist_->gate(netlist_->dffs()[k]).fanins[0];
+      errs[i].setWord(w, values[driver] ^ goodValues_[w][driver]);
+    }
+  }
+  for (std::size_t i = 0; i < coneOrdinals.size(); ++i) {
+    if (errs[i].any()) {
+      resp.failingCells.set(coneOrdinals[i]);
+      resp.failingCellOrdinals.push_back(coneOrdinals[i]);
+      resp.errorStreams.push_back(std::move(errs[i]));
+    }
+  }
+  return resp;
+}
+
+std::vector<FaultResponse> FaultSimulator::simulateAll(
+    const std::vector<FaultSite>& faults) const {
+  std::vector<FaultResponse> out;
+  out.reserve(faults.size());
+  for (const FaultSite& f : faults) out.push_back(simulate(f));
+  return out;
+}
+
+std::vector<FaultResponse> FaultSimulator::collectDetected(
+    const std::vector<FaultSite>& candidates, std::size_t target) const {
+  std::vector<FaultResponse> out;
+  out.reserve(target);
+  for (const FaultSite& f : candidates) {
+    if (out.size() >= target) break;
+    FaultResponse r = simulate(f);
+    if (r.detected()) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace scandiag

@@ -1,0 +1,72 @@
+// 64-way bit-parallel gate-level logic simulation.
+//
+// One evaluation processes 64 independent patterns at once: each gate's value
+// is a 64-bit word whose bit t is the gate's logic value under pattern t.
+// Sources (primary inputs, scan-loaded DFF outputs, constants) are set by the
+// caller; evaluate() fills every combinational gate in levelized order.
+//
+// The faulty-evaluation entry point re-evaluates only the fault's output cone
+// against a completed good evaluation, which keeps per-fault cost proportional
+// to cone size instead of circuit size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/cone_analysis.hpp"
+#include "netlist/levelizer.hpp"
+#include "netlist/netlist.hpp"
+
+namespace scandiag {
+
+using SimWord = std::uint64_t;
+
+/// Single stuck-at fault site. pin == kOutputPin is a stem (output) fault;
+/// otherwise the fault sits on fanin `pin` of `gate` (a branch fault, distinct
+/// from the stem when the driver has fanout > 1).
+struct FaultSite {
+  GateId gate = kInvalidGate;
+  int pin = kOutputPin;
+  bool stuckAt = false;
+
+  static constexpr int kOutputPin = -1;
+
+  bool isOutputFault() const { return pin == kOutputPin; }
+  friend bool operator==(const FaultSite&, const FaultSite&) = default;
+};
+
+/// Human-readable fault name, e.g. "g42/SA1" or "g42.in2/SA0".
+std::string describeFault(const Netlist& netlist, const FaultSite& fault);
+
+class LogicSimulator {
+ public:
+  explicit LogicSimulator(const Netlist& netlist);
+
+  const Netlist& netlist() const { return *netlist_; }
+  const Levelization& levelization() const { return lev_; }
+
+  /// values.size() == gateCount(). Source entries must be pre-set by the
+  /// caller (Const0/Const1 are overwritten with their constants); all
+  /// combinational entries are (re)computed.
+  void evaluate(std::vector<SimWord>& values) const;
+
+  /// Evaluates one gate from the given value vector (no fault).
+  SimWord evalGate(GateId id, const std::vector<SimWord>& values) const;
+
+  /// Faulty re-evaluation restricted to `cone` (which must be
+  /// computeCone(..., fault.gate)). `values` must hold a completed good
+  /// evaluation on entry; on return, entries of cone gates (and of
+  /// fault.gate, for source-output faults) hold faulty values. Other entries
+  /// are untouched — callers needing the good values again must keep a copy.
+  void evaluateFaulty(const FaultSite& fault, const FaultCone& cone,
+                      std::vector<SimWord>& values) const;
+
+ private:
+  SimWord evalGateWithPinFault(GateId id, const std::vector<SimWord>& values, int pin,
+                               SimWord forced) const;
+
+  const Netlist* netlist_;
+  Levelization lev_;
+};
+
+}  // namespace scandiag

@@ -1,0 +1,34 @@
+#include "soc/core_instance.hpp"
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+Soc::Soc(std::string name, std::vector<CoreInstance> cores, ScanTopology topology)
+    : name_(std::move(name)), cores_(std::move(cores)), topology_(std::move(topology)) {
+  SCANDIAG_REQUIRE(!cores_.empty(), "SOC needs at least one core");
+  std::size_t expectedOffset = 0;
+  for (const CoreInstance& c : cores_) {
+    SCANDIAG_REQUIRE(c.cellOffset == expectedOffset, "core cell offsets must be contiguous");
+    expectedOffset += c.numCells();
+  }
+  SCANDIAG_REQUIRE(expectedOffset == topology_.numCells(),
+                   "meta scan topology does not cover all core cells");
+}
+
+std::size_t Soc::coreOfCell(std::size_t globalCell) const {
+  SCANDIAG_REQUIRE(globalCell < totalCells(), "global cell id out of range");
+  for (std::size_t k = cores_.size(); k-- > 0;) {
+    if (globalCell >= cores_[k].cellOffset) return k;
+  }
+  SCANDIAG_ASSERT(false, "unreachable: offsets start at 0");
+}
+
+std::size_t Soc::coreIndex(std::string_view name) const {
+  for (std::size_t k = 0; k < cores_.size(); ++k) {
+    if (cores_[k].name == name) return k;
+  }
+  SCANDIAG_REQUIRE(false, "unknown core name: " + std::string(name));
+}
+
+}  // namespace scandiag

@@ -1,0 +1,53 @@
+// Embedded cores and the SOC under diagnosis.
+//
+// An SOC here is a set of cores (each a full-scan netlist) plus a TestRail-
+// style test access mechanism: W meta scan chains threaded through the cores
+// in daisy-chain order (Marinissen et al. [10]). Scan cells get *global* ids —
+// core k's local DFF ordinal j becomes global id offset(k) + j — and the meta
+// scan topology is expressed over global ids, so the entire diagnosis stack
+// (partitions, sessions, pruning, DR) runs unchanged on an SOC.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bist/scan_topology.hpp"
+#include "netlist/netlist.hpp"
+
+namespace scandiag {
+
+struct CoreInstance {
+  std::string name;
+  Netlist netlist;
+  /// Global id of this core's scan cell 0.
+  std::size_t cellOffset = 0;
+
+  std::size_t numCells() const { return netlist.dffs().size(); }
+};
+
+class Soc {
+ public:
+  Soc(std::string name, std::vector<CoreInstance> cores, ScanTopology topology);
+
+  const std::string& name() const { return name_; }
+  const std::vector<CoreInstance>& cores() const { return cores_; }
+  const CoreInstance& core(std::size_t k) const { return cores_.at(k); }
+  std::size_t coreCount() const { return cores_.size(); }
+
+  const ScanTopology& topology() const { return topology_; }
+  std::size_t totalCells() const { return topology_.numCells(); }
+
+  /// Core owning a global cell id.
+  std::size_t coreOfCell(std::size_t globalCell) const;
+
+  /// Index of the core named `name`; throws if absent.
+  std::size_t coreIndex(std::string_view name) const;
+
+ private:
+  std::string name_;
+  std::vector<CoreInstance> cores_;
+  ScanTopology topology_;
+};
+
+}  // namespace scandiag

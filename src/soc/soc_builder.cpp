@@ -1,0 +1,34 @@
+#include "soc/soc_builder.hpp"
+
+#include "soc/meta_scan_builder.hpp"
+
+namespace scandiag {
+
+Soc buildSocFromModules(const std::string& socName, const std::vector<std::string>& modules,
+                        std::size_t tamWidth, const GeneratorOptions& options) {
+  std::vector<CoreInstance> cores;
+  cores.reserve(modules.size());
+  std::vector<std::size_t> cellCounts;
+  cellCounts.reserve(modules.size());
+  std::size_t offset = 0;
+  for (const std::string& m : modules) {
+    CoreInstance core;
+    core.name = m;
+    core.netlist = generateNamedCircuit(m, options);
+    core.cellOffset = offset;
+    offset += core.numCells();
+    cellCounts.push_back(core.numCells());
+    cores.push_back(std::move(core));
+  }
+  return Soc(socName, std::move(cores), buildMetaChains(cellCounts, tamWidth));
+}
+
+Soc buildSoc1(const GeneratorOptions& options) {
+  return buildSocFromModules("soc1", sixLargestIscas89(), /*tamWidth=*/1, options);
+}
+
+Soc buildD695(const GeneratorOptions& options, std::size_t tamWidth) {
+  return buildSocFromModules("d695", d695Iscas89Modules(), tamWidth, options);
+}
+
+}  // namespace scandiag

@@ -1,0 +1,29 @@
+// Builders for the paper's two evaluation SOCs (§5).
+//
+//  * SOC-1: the six largest ISCAS-89 circuits stitched behind a single meta
+//    scan chain (one TestRail wire). 32 groups per partition in the paper.
+//  * d695 variant: the eight full-scan ISCAS-89 modules of the ITC'02 d695
+//    benchmark on an 8-bit TAM with 8 balanced meta chains, cores daisy-
+//    chained in Fig. 4 order. 8 groups per partition in the paper.
+//
+// Core netlists come from the synthetic generator (DESIGN.md §5); pass a
+// custom module list to build any other core mix.
+#pragma once
+
+#include "netlist/synthetic_generator.hpp"
+#include "soc/core_instance.hpp"
+
+namespace scandiag {
+
+/// Generic builder: generates one core per named ISCAS-89 profile (daisy-
+/// chain order as given) and threads `tamWidth` meta chains through them.
+Soc buildSocFromModules(const std::string& socName, const std::vector<std::string>& modules,
+                        std::size_t tamWidth, const GeneratorOptions& options = {});
+
+/// Six largest ISCAS-89 circuits, single meta scan chain.
+Soc buildSoc1(const GeneratorOptions& options = {});
+
+/// d695 variant: 8 ISCAS-89 modules, 8-bit TAM.
+Soc buildD695(const GeneratorOptions& options = {}, std::size_t tamWidth = 8);
+
+}  // namespace scandiag

@@ -1,0 +1,43 @@
+// SOC fault-diagnosis experiments (paper §5, Tables 3-4, Fig. 5).
+//
+// Protocol: assume one faulty core per experiment (a spot defect hits a small
+// die area). For the failing core, sample and fault-simulate stuck-at faults
+// with that core's own BIST patterns, then lift the responses to global cell
+// ids so the SOC-wide diagnosis pipeline — partitions over the meta scan
+// chains — sees each fault as a set of failing cells clustered inside the
+// faulty core's run of shift positions.
+#pragma once
+
+#include "diagnosis/experiment_driver.hpp"
+#include "soc/core_instance.hpp"
+
+namespace scandiag {
+
+/// Fault-simulates `config.numFaults` detected faults inside core
+/// `coreIndex` and returns their responses with global cell ids (sized
+/// soc.totalCells()). The PRPG seed is mixed with the core index so each
+/// core's scan slice gets distinct pseudorandom data, as a shared TestRail
+/// PRPG stream would provide.
+std::vector<FaultResponse> socResponsesForFailingCore(const Soc& soc, std::size_t coreIndex,
+                                                      const WorkloadConfig& config);
+
+struct SocDrRow {
+  std::string failingCore;
+  DrReport report;
+};
+
+/// DR per failing core under one diagnosis configuration (the topology in
+/// `config` is ignored; the SOC's meta topology is used).
+std::vector<SocDrRow> evaluateSocDr(const Soc& soc, const WorkloadConfig& workload,
+                                    const DiagnosisConfig& config);
+
+/// Multiple faulty cores (paper §5: "the effect of multiple faults can be
+/// viewed similarly"): pairs the i-th detected fault of every listed core
+/// into one combined response whose failing cells are the union across cores
+/// — the spot-defect-per-core model with several defective dies' worth of
+/// cores failing in one test session. Response count = min over cores.
+std::vector<FaultResponse> socResponsesForFailingCores(const Soc& soc,
+                                                       const std::vector<std::size_t>& coreIndices,
+                                                       const WorkloadConfig& config);
+
+}  // namespace scandiag

@@ -1,0 +1,103 @@
+#include "bist/interval_seed_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace scandiag {
+namespace {
+
+const LfsrConfig kCfg{16, 0};
+
+TEST(IntervalLengthFromBits, ZeroMapsToFullRange) {
+  EXPECT_EQ(intervalLengthFromBits(0, 4), 16u);
+  EXPECT_EQ(intervalLengthFromBits(5, 4), 5u);
+  EXPECT_EQ(intervalLengthFromBits(0b10101, 4), 5u);  // upper bits masked
+}
+
+TEST(IntervalLengths, ExactCoverAlwaysReturned) {
+  for (std::uint64_t seed : {1ull, 0xACE1ull, 0x1234ull}) {
+    const auto lengths = intervalLengths(kCfg, seed, 5, 8, 100);
+    EXPECT_LE(lengths.size(), 8u);
+    EXPECT_EQ(std::accumulate(lengths.begin(), lengths.end(), std::size_t{0}), 100u);
+    for (std::size_t l : lengths) EXPECT_GE(l, 1u);
+  }
+}
+
+TEST(IntervalLengths, ParameterValidation) {
+  EXPECT_THROW(intervalLengths(kCfg, 1, 0, 4, 100), std::invalid_argument);
+  EXPECT_THROW(intervalLengths(kCfg, 1, 17, 4, 100), std::invalid_argument);
+  EXPECT_THROW(intervalLengths(kCfg, 1, 5, 0, 100), std::invalid_argument);
+  EXPECT_THROW(intervalLengths(kCfg, 1, 5, 101, 100), std::invalid_argument);
+}
+
+TEST(DefaultIntervalBits, ScalesWithChainOverGroups) {
+  const unsigned small = defaultIntervalBits(64, 16, 16);
+  const unsigned large = defaultIntervalBits(6173, 32, 16);
+  EXPECT_LT(small, large);
+  EXPECT_GE(small, 1u);
+  EXPECT_LE(large, 16u);
+}
+
+TEST(FindIntervalSeed, ResultCoversWithAllGroupsNonempty) {
+  for (std::size_t groups : {4u, 8u, 16u}) {
+    const std::size_t chain = 211;
+    const unsigned rlen = defaultIntervalBits(chain, groups, 16);
+    const auto result = findIntervalSeed(kCfg, rlen, groups, chain, 0xBEEF);
+    ASSERT_TRUE(result.has_value()) << "groups=" << groups;
+    EXPECT_EQ(result->lengths.size(), groups);
+    EXPECT_EQ(std::accumulate(result->lengths.begin(), result->lengths.end(), std::size_t{0}),
+              chain);
+    for (std::size_t l : result->lengths) EXPECT_GE(l, 1u);
+  }
+}
+
+TEST(FindIntervalSeed, PrefersSeedsWithAllGroupsNonempty) {
+  // With a sensibly sized rlen, nonempty-group seeds exist and must be chosen.
+  const std::size_t chain = 211, groups = 8;
+  const unsigned rlen = defaultIntervalBits(chain, groups, 16);
+  const auto result = findIntervalSeed(kCfg, rlen, groups, chain, 1);
+  ASSERT_TRUE(result.has_value());
+  for (std::size_t l : result->lengths) EXPECT_GE(l, 1u);
+}
+
+TEST(FindIntervalSeed, FallsBackToEarlyCoverWhenStrictInfeasible) {
+  // 64 groups with 3-bit lengths on a 211-cell chain: the expected interval
+  // sum overshoots the chain, so no seed keeps all 64 groups nonempty. The
+  // search must still return a covering seed with trailing empty groups.
+  const std::size_t chain = 211, groups = 64;
+  const auto result = findIntervalSeed(kCfg, /*rlen=*/3, groups, chain, 1);
+  ASSERT_TRUE(result.has_value());
+  ASSERT_EQ(result->lengths.size(), groups);
+  std::size_t sum = 0;
+  for (std::size_t l : result->lengths) sum += l;
+  EXPECT_EQ(sum, chain);
+  EXPECT_EQ(result->lengths.back(), 0u);  // early cover => empty tail groups
+}
+
+TEST(FindIntervalSeed, ReturnsNulloptWhenImpossible) {
+  // 4 groups of at most 2^1 = 2 cells can never cover 100 cells.
+  EXPECT_FALSE(findIntervalSeed(kCfg, 1, 4, 100, 1, 1000).has_value());
+}
+
+TEST(FindIntervalSeeds, DistinctSeedsInOrder) {
+  const std::size_t chain = 211, groups = 8;
+  const unsigned rlen = defaultIntervalBits(chain, groups, 16);
+  const auto results = findIntervalSeeds(kCfg, rlen, groups, chain, 0xBEEF, 5);
+  ASSERT_EQ(results.size(), 5u);
+  std::set<std::uint64_t> seeds;
+  for (const auto& r : results) seeds.insert(r.seed);
+  EXPECT_EQ(seeds.size(), 5u);
+}
+
+TEST(FindIntervalSeed, DeterministicForSameStart) {
+  const auto a = findIntervalSeed(kCfg, 5, 8, 211, 7);
+  const auto b = findIntervalSeed(kCfg, 5, 8, 211, 7);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->seed, b->seed);
+  EXPECT_EQ(a->lengths, b->lengths);
+}
+
+}  // namespace
+}  // namespace scandiag

@@ -1,0 +1,170 @@
+#include "bist/lfsr.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+namespace scandiag {
+namespace {
+
+TEST(PrimitivePolys, TableBounds) {
+  EXPECT_THROW(primitiveTaps(2), std::invalid_argument);
+  EXPECT_THROW(primitiveTaps(33), std::invalid_argument);
+  for (unsigned d = 3; d <= 32; ++d) {
+    const auto& taps = primitiveTaps(d);
+    ASSERT_FALSE(taps.empty());
+    EXPECT_EQ(taps.front(), d);  // leading exponent == degree
+    EXPECT_NE(primitiveTapMask(d) & (1ull << (d - 1)), 0u);
+  }
+}
+
+class LfsrMaximalPeriod : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LfsrMaximalPeriod, PrimitivePolynomialGivesFullPeriod) {
+  const unsigned degree = GetParam();
+  Lfsr lfsr(LfsrConfig{degree, 0}, 1);
+  const std::uint64_t period = (1ull << degree) - 1;
+  const std::uint64_t start = lfsr.state();
+  std::uint64_t steps = 0;
+  do {
+    lfsr.step();
+    ++steps;
+    ASSERT_NE(lfsr.state(), 0u);
+    ASSERT_LE(steps, period);
+  } while (lfsr.state() != start);
+  EXPECT_EQ(steps, period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, LfsrMaximalPeriod,
+                         ::testing::Values(3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16));
+
+TEST(Lfsr, LargerDegreesStayNonzeroAndAperiodicShortTerm) {
+  for (unsigned d : {17u, 20u, 24u, 31u, 32u}) {
+    Lfsr lfsr(LfsrConfig{d, 0}, 0xBEEF);
+    const std::uint64_t start = lfsr.state();
+    for (int i = 0; i < 100000; ++i) {
+      lfsr.step();
+      ASSERT_NE(lfsr.state(), 0u);
+      ASSERT_NE(lfsr.state(), start) << "short cycle at degree " << d;
+    }
+  }
+}
+
+TEST(Lfsr, ZeroSeedRejected) {
+  EXPECT_THROW(Lfsr(LfsrConfig{16, 0}, 0), std::invalid_argument);
+  // Seed with bits only above the degree reduces to zero.
+  EXPECT_THROW(Lfsr(LfsrConfig{8, 0}, 0xF00), std::invalid_argument);
+}
+
+TEST(Lfsr, SeedMaskedToDegree) {
+  Lfsr lfsr(LfsrConfig{8, 0}, 0x1FF);
+  EXPECT_EQ(lfsr.state(), 0xFFu);
+}
+
+TEST(Lfsr, StepOutputsTopStage) {
+  Lfsr lfsr(LfsrConfig{8, 0}, 0b10110101);
+  EXPECT_TRUE(lfsr.step());   // bit 7 was 1
+  EXPECT_FALSE(lfsr.step());  // old bit 6 (0) has shifted into the top stage
+}
+
+TEST(Lfsr, StepBitsPacksLsbFirst) {
+  Lfsr a(LfsrConfig{16, 0}, 0xACE1);
+  Lfsr b(LfsrConfig{16, 0}, 0xACE1);
+  std::uint64_t packed = a.stepBits(16);
+  for (unsigned i = 0; i < 16; ++i) {
+    EXPECT_EQ((packed >> i) & 1, static_cast<std::uint64_t>(b.step()));
+  }
+  EXPECT_THROW(a.stepBits(65), std::invalid_argument);
+}
+
+TEST(Lfsr, LowBitsReadsStateWithoutStepping) {
+  Lfsr lfsr(LfsrConfig{16, 0}, 0xACE1);
+  const std::uint64_t before = lfsr.state();
+  EXPECT_EQ(lfsr.lowBits(4), before & 0xF);
+  EXPECT_EQ(lfsr.state(), before);
+  EXPECT_THROW(lfsr.lowBits(0), std::invalid_argument);
+  EXPECT_THROW(lfsr.lowBits(17), std::invalid_argument);
+}
+
+TEST(Lfsr, DeterministicSequence) {
+  Lfsr a(LfsrConfig{16, 0}, 0x1234);
+  Lfsr b(LfsrConfig{16, 0}, 0x1234);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.step(), b.step());
+}
+
+TEST(Lfsr, LabelDistributionRoughlyUniform) {
+  // 2-bit labels over a full period: each label occurs ~2^14 times.
+  Lfsr lfsr(LfsrConfig{16, 0}, 1);
+  std::array<std::size_t, 4> histogram{};
+  for (std::uint64_t i = 0; i < (1ull << 16) - 1; ++i) {
+    ++histogram[lfsr.lowBits(2)];
+    lfsr.step();
+  }
+  for (std::size_t count : histogram) {
+    EXPECT_NEAR(static_cast<double>(count), 16384.0, 64.0);
+  }
+}
+
+class GaloisMaximalPeriod : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(GaloisMaximalPeriod, FullPeriodForPrimitivePolynomials) {
+  const unsigned degree = GetParam();
+  GaloisLfsr lfsr(LfsrConfig{degree, 0}, 1);
+  const std::uint64_t period = (1ull << degree) - 1;
+  const std::uint64_t start = lfsr.state();
+  std::uint64_t steps = 0;
+  do {
+    lfsr.step();
+    ++steps;
+    ASSERT_NE(lfsr.state(), 0u);
+    ASSERT_LE(steps, period);
+  } while (lfsr.state() != start);
+  EXPECT_EQ(steps, period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, GaloisMaximalPeriod,
+                         ::testing::Values(3, 4, 6, 8, 10, 12, 14, 16));
+
+TEST(GaloisLfsr, OutputIsCyclicShiftOfFibonacciSequence) {
+  // Same primitive polynomial => same m-sequence, possibly phase-shifted.
+  const unsigned degree = 8;
+  const std::uint64_t period = (1ull << degree) - 1;
+  Lfsr fib(LfsrConfig{degree, 0}, 1);
+  GaloisLfsr gal(LfsrConfig{degree, 0}, 1);
+  std::vector<bool> f(period), g(period);
+  for (std::uint64_t i = 0; i < period; ++i) {
+    f[i] = fib.step();
+    g[i] = gal.step();
+  }
+  bool matched = false;
+  for (std::uint64_t shift = 0; shift < period && !matched; ++shift) {
+    bool same = true;
+    for (std::uint64_t i = 0; i < period && same; ++i)
+      same = (g[i] == f[(i + shift) % period]);
+    matched = same;
+  }
+  EXPECT_TRUE(matched) << "Galois output is not a shift of the Fibonacci m-sequence";
+}
+
+TEST(GaloisLfsr, StepBitsAndValidation) {
+  GaloisLfsr a(LfsrConfig{16, 0}, 0xACE1);
+  GaloisLfsr b(LfsrConfig{16, 0}, 0xACE1);
+  const std::uint64_t packed = a.stepBits(16);
+  for (unsigned i = 0; i < 16; ++i)
+    EXPECT_EQ((packed >> i) & 1, static_cast<std::uint64_t>(b.step()));
+  EXPECT_THROW(GaloisLfsr(LfsrConfig{16, 0}, 0), std::invalid_argument);
+  EXPECT_THROW(a.stepBits(65), std::invalid_argument);
+}
+
+TEST(Lfsr, InvalidConfigRejected) {
+  EXPECT_THROW(Lfsr(LfsrConfig{1, 0}, 1), std::invalid_argument);
+  EXPECT_THROW(Lfsr(LfsrConfig{64, 0}, 1), std::invalid_argument);
+  // Tap mask missing the top stage.
+  EXPECT_THROW(Lfsr(LfsrConfig{8, 0x0F}, 1), std::invalid_argument);
+  // Tap mask exceeding the degree.
+  EXPECT_THROW(Lfsr(LfsrConfig{8, 0x1FF}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scandiag

@@ -1,0 +1,157 @@
+#include "bist/misr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bist/primitive_polys.hpp"
+#include "common/rng.hpp"
+
+namespace scandiag {
+namespace {
+
+Misr makeMisr(unsigned degree = 16, unsigned width = 1) {
+  return Misr(degree, primitiveTapMask(degree), width);
+}
+
+TEST(Misr, ZeroInputFromZeroStateStaysZero) {
+  Misr m = makeMisr();
+  for (int i = 0; i < 100; ++i) m.clock(0);
+  EXPECT_EQ(m.signature(), 0u);
+}
+
+TEST(Misr, SingleImpulseProducesNonzeroSignature) {
+  Misr m = makeMisr();
+  m.clock(1);
+  for (int i = 0; i < 50; ++i) m.clock(0);
+  EXPECT_NE(m.signature(), 0u);  // a 16-bit maximal register never wraps to 0
+}
+
+TEST(Misr, LinearityOverInputStreams) {
+  // sig(a ^ b) == sig(a) ^ sig(b) from the zero state — the superposition
+  // property the whole pruning machinery depends on.
+  Xoroshiro128 rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const unsigned width = 1 + trial % 8;
+    std::vector<std::uint64_t> a(200), b(200);
+    for (auto& x : a) x = rng.nextBelow(1ull << width);
+    for (auto& x : b) x = rng.nextBelow(1ull << width);
+    Misr ma = makeMisr(16, width), mb = makeMisr(16, width), mab = makeMisr(16, width);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ma.clock(a[i]);
+      mb.clock(b[i]);
+      mab.clock(a[i] ^ b[i]);
+    }
+    EXPECT_EQ(mab.signature(), ma.signature() ^ mb.signature());
+  }
+}
+
+TEST(Misr, ErrorSignatureIndependentOfGoodData) {
+  // sig(good ^ err) ^ sig(good) == sig(err) for any good stream.
+  Xoroshiro128 rng(123);
+  std::vector<std::uint64_t> good(100), err(100);
+  for (auto& x : good) x = rng.nextBelow(2);
+  for (auto& x : err) x = rng.nextBelow(2);
+  Misr mGood = makeMisr(), mBoth = makeMisr(), mErr = makeMisr();
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    mGood.clock(good[i]);
+    mBoth.clock(good[i] ^ err[i]);
+    mErr.clock(err[i]);
+  }
+  EXPECT_EQ(mBoth.signature() ^ mGood.signature(), mErr.signature());
+}
+
+TEST(Misr, TransitionMatchesClockWithZeroInput) {
+  Misr m = makeMisr();
+  m.reset(0x1234);
+  const std::uint64_t expected = m.transition(0x1234);
+  m.clock(0);
+  EXPECT_EQ(m.signature(), expected);
+}
+
+TEST(Misr, InputWidthMasked) {
+  Misr m = makeMisr(16, 2);
+  Misr n = makeMisr(16, 2);
+  m.clock(0b11);
+  n.clock(0b1111);  // upper bits must be ignored
+  EXPECT_EQ(m.signature(), n.signature());
+}
+
+TEST(Misr, InvalidConfigRejected) {
+  EXPECT_THROW(Misr(16, primitiveTapMask(16), 0), std::invalid_argument);
+  EXPECT_THROW(Misr(16, primitiveTapMask(16), 17), std::invalid_argument);
+  EXPECT_THROW(Misr(1, 1, 1), std::invalid_argument);
+}
+
+TEST(MisrLinearModel, WeightsMatchImpulseInjection) {
+  const unsigned degree = 12, width = 4;
+  const std::uint64_t taps = primitiveTapMask(degree);
+  const std::size_t K = 37;
+  const MisrLinearModel model(degree, taps, width, K);
+  for (unsigned line = 0; line < width; ++line) {
+    for (std::size_t cycle = 0; cycle < K; cycle += 5) {
+      Misr m(degree, taps, width);
+      for (std::size_t k = 0; k < K; ++k) m.clock(k == cycle ? (1ull << line) : 0);
+      EXPECT_EQ(model.weight(line, cycle), m.signature())
+          << "line " << line << " cycle " << cycle;
+    }
+  }
+}
+
+TEST(MisrLinearModel, CellSignatureMatchesFullRun) {
+  // A cell at chain position p of an L-cell chain contributes its pattern-t
+  // bit at cycle t*L + p; the linear model must agree with a real MISR run
+  // over the full masked stream.
+  const unsigned degree = 16;
+  const std::uint64_t taps = primitiveTapMask(degree);
+  const std::size_t L = 10, patterns = 8, pos = 3;
+  const MisrLinearModel model(degree, taps, 1, L * patterns);
+
+  Xoroshiro128 rng(5);
+  BitVector errorStream(patterns);
+  for (std::size_t t = 0; t < patterns; ++t)
+    if (rng.nextBool()) errorStream.set(t);
+
+  Misr m(degree, taps, 1);
+  for (std::size_t t = 0; t < patterns; ++t) {
+    for (std::size_t p = 0; p < L; ++p) {
+      m.clock((p == pos && errorStream.test(t)) ? 1 : 0);
+    }
+  }
+  const std::uint64_t viaModel =
+      model.cellSignature(0, errorStream, [&](std::size_t t) { return t * L + pos; });
+  EXPECT_EQ(viaModel, m.signature());
+}
+
+TEST(MisrLinearModel, BoundsChecked) {
+  const MisrLinearModel model(8, primitiveTapMask(8), 2, 10);
+  EXPECT_THROW(model.weight(2, 0), std::invalid_argument);
+  EXPECT_THROW(model.weight(0, 10), std::invalid_argument);
+}
+
+TEST(Misr, AliasingIsPossibleButRare) {
+  // Find one aliasing stream (nonzero error, zero signature) to document the
+  // phenomenon: inject the same impulse twice 2^degree-1 cycles apart — the
+  // state transformer has that period, so the contributions cancel only for
+  // carefully aligned pairs. Instead, verify statistically: random nonzero
+  // 4-bit-register streams alias at roughly 1/15.
+  const unsigned degree = 4;
+  const std::uint64_t taps = primitiveTapMask(degree);
+  Xoroshiro128 rng(7);
+  int aliased = 0;
+  const int trials = 3000;
+  for (int i = 0; i < trials; ++i) {
+    Misr m(degree, taps, 1);
+    bool any = false;
+    for (int k = 0; k < 64; ++k) {
+      const bool bit = rng.nextBool();
+      any |= bit;
+      m.clock(bit);
+    }
+    if (any && m.signature() == 0) ++aliased;
+  }
+  const double rate = static_cast<double>(aliased) / trials;
+  EXPECT_GT(rate, 0.02);
+  EXPECT_LT(rate, 0.15);
+}
+
+}  // namespace
+}  // namespace scandiag

@@ -1,0 +1,58 @@
+#include "bist/prpg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/synthetic_generator.hpp"
+
+namespace scandiag {
+namespace {
+
+TEST(Prpg, FillsEverySourceStream) {
+  const Netlist nl = generateNamedCircuit("s298");
+  const PatternSet pats = generatePatterns(nl, 100);
+  EXPECT_EQ(pats.numPatterns(), 100u);
+  for (GateId id : nl.inputs()) EXPECT_EQ(pats.stream(id).size(), 100u);
+  for (GateId id : nl.dffs()) EXPECT_EQ(pats.stream(id).size(), 100u);
+}
+
+TEST(Prpg, Deterministic) {
+  const Netlist nl = generateNamedCircuit("s298");
+  const PatternSet a = generatePatterns(nl, 64);
+  const PatternSet b = generatePatterns(nl, 64);
+  for (GateId id : nl.dffs()) EXPECT_EQ(a.stream(id), b.stream(id));
+}
+
+TEST(Prpg, SeedChangesPatterns) {
+  const Netlist nl = generateNamedCircuit("s298");
+  PrpgConfig c1, c2;
+  c2.seed = c1.seed + 1;
+  const PatternSet a = generatePatterns(nl, 64, c1);
+  const PatternSet b = generatePatterns(nl, 64, c2);
+  bool anyDiff = false;
+  for (GateId id : nl.dffs()) anyDiff |= (a.stream(id) != b.stream(id));
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(Prpg, BitsRoughlyBalanced) {
+  const Netlist nl = generateNamedCircuit("s953");
+  const PatternSet pats = generatePatterns(nl, 512);
+  std::size_t ones = 0, total = 0;
+  for (GateId id : nl.dffs()) {
+    ones += pats.stream(id).count();
+    total += 512;
+  }
+  const double density = static_cast<double>(ones) / static_cast<double>(total);
+  EXPECT_NEAR(density, 0.5, 0.02);
+}
+
+TEST(Prpg, DistinctCellsGetDistinctStreams) {
+  const Netlist nl = generateNamedCircuit("s953");
+  const PatternSet pats = generatePatterns(nl, 128);
+  const auto& dffs = nl.dffs();
+  for (std::size_t i = 1; i < dffs.size(); ++i) {
+    EXPECT_NE(pats.stream(dffs[0]), pats.stream(dffs[i]));
+  }
+}
+
+}  // namespace
+}  // namespace scandiag

@@ -1,0 +1,208 @@
+#include "common/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace scandiag {
+namespace {
+
+TEST(BitVector, DefaultIsEmpty) {
+  BitVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.none());
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_EQ(v.findFirst(), BitVector::npos);
+}
+
+TEST(BitVector, ConstructAllZero) {
+  BitVector v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_TRUE(v.none());
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_FALSE(v.test(i));
+}
+
+TEST(BitVector, ConstructAllOnesMasksTail) {
+  BitVector v(70, true);
+  EXPECT_EQ(v.count(), 70u);
+  EXPECT_TRUE(v.all());
+  // The tail word must not carry bits past size().
+  EXPECT_EQ(v.word(1), (BitVector::Word{1} << 6) - 1);
+}
+
+TEST(BitVector, SetResetFlipTest) {
+  BitVector v(130);
+  v.set(0);
+  v.set(64);
+  v.set(129);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(129));
+  EXPECT_EQ(v.count(), 3u);
+  v.reset(64);
+  EXPECT_FALSE(v.test(64));
+  v.flip(64);
+  EXPECT_TRUE(v.test(64));
+  v.flip(64);
+  EXPECT_EQ(v.count(), 2u);
+}
+
+TEST(BitVector, OutOfRangeAccessThrows) {
+  BitVector v(10);
+  EXPECT_THROW(v.test(10), std::invalid_argument);
+  EXPECT_THROW(v.set(10), std::invalid_argument);
+  EXPECT_THROW(v.flip(10), std::invalid_argument);
+}
+
+TEST(BitVector, FindFirstAndNext) {
+  BitVector v(200);
+  v.set(5);
+  v.set(64);
+  v.set(199);
+  EXPECT_EQ(v.findFirst(), 5u);
+  EXPECT_EQ(v.findNext(5), 64u);
+  EXPECT_EQ(v.findNext(64), 199u);
+  EXPECT_EQ(v.findNext(199), BitVector::npos);
+}
+
+TEST(BitVector, FindNextFromUnsetPosition) {
+  BitVector v(100);
+  v.set(50);
+  EXPECT_EQ(v.findNext(0), 50u);
+  EXPECT_EQ(v.findNext(49), 50u);
+  EXPECT_EQ(v.findNext(50), BitVector::npos);
+}
+
+TEST(BitVector, IterationMatchesToIndices) {
+  BitVector v(300);
+  const std::vector<std::size_t> expected = {0, 63, 64, 65, 128, 250, 299};
+  for (std::size_t i : expected) v.set(i);
+  EXPECT_EQ(v.toIndices(), expected);
+  std::vector<std::size_t> walked;
+  for (std::size_t i = v.findFirst(); i != BitVector::npos; i = v.findNext(i))
+    walked.push_back(i);
+  EXPECT_EQ(walked, expected);
+}
+
+TEST(BitVector, BitwiseOps) {
+  BitVector a = BitVector::fromString("110010");
+  BitVector b = BitVector::fromString("011011");
+  EXPECT_EQ((a & b).toString(), "010010");
+  EXPECT_EQ((a | b).toString(), "111011");
+  EXPECT_EQ((a ^ b).toString(), "101001");
+  BitVector c = a;
+  c.andNot(b);
+  EXPECT_EQ(c.toString(), "100000");
+}
+
+TEST(BitVector, SizeMismatchThrows) {
+  BitVector a(10), b(11);
+  EXPECT_THROW(a &= b, std::invalid_argument);
+  EXPECT_THROW(a |= b, std::invalid_argument);
+  EXPECT_THROW(a ^= b, std::invalid_argument);
+  EXPECT_THROW(a.intersects(b), std::invalid_argument);
+  EXPECT_THROW(a.isSubsetOf(b), std::invalid_argument);
+}
+
+TEST(BitVector, IntersectsAndSubset) {
+  BitVector a(128), b(128);
+  a.set(3);
+  a.set(100);
+  b.set(100);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.isSubsetOf(a));
+  EXPECT_FALSE(a.isSubsetOf(b));
+  b.reset(100);
+  EXPECT_FALSE(a.intersects(b));
+  EXPECT_TRUE(b.isSubsetOf(a));  // empty set is a subset of everything
+}
+
+TEST(BitVector, SetAllResetAll) {
+  BitVector v(77);
+  v.setAll();
+  EXPECT_EQ(v.count(), 77u);
+  v.resetAll();
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVector, ResizeGrowZeroAndOne) {
+  BitVector v(10);
+  v.set(9);
+  v.resize(100);
+  EXPECT_EQ(v.count(), 1u);
+  EXPECT_TRUE(v.test(9));
+  BitVector w(10, true);
+  w.resize(100, true);
+  EXPECT_EQ(w.count(), 100u);
+}
+
+TEST(BitVector, ResizeShrinkMasksTail) {
+  BitVector v(100, true);
+  v.resize(65);
+  EXPECT_EQ(v.count(), 65u);
+  v.resize(100);
+  EXPECT_EQ(v.count(), 65u);  // regrown bits are zero
+}
+
+TEST(BitVector, SetWordMasksLastWord) {
+  BitVector v(66);
+  v.setWord(1, ~BitVector::Word{0});
+  EXPECT_EQ(v.count(), 2u);  // only bits 64, 65 exist in word 1
+}
+
+TEST(BitVector, StringRoundTrip) {
+  const std::string s = "1010011101";
+  EXPECT_EQ(BitVector::fromString(s).toString(), s);
+  EXPECT_THROW(BitVector::fromString("10x1"), std::invalid_argument);
+}
+
+TEST(BitVector, EqualityRequiresSizeAndBits) {
+  BitVector a(10), b(10), c(11);
+  a.set(3);
+  EXPECT_NE(a, b);
+  b.set(3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+class BitVectorSizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BitVectorSizeSweep, RandomOpsAgainstReference) {
+  const std::size_t n = GetParam();
+  Xoroshiro128 rng(n * 7919 + 1);
+  BitVector v(n);
+  std::vector<bool> ref(n, false);
+  for (int step = 0; step < 500; ++step) {
+    const std::size_t i = rng.nextBelow(n);
+    switch (rng.nextBelow(3)) {
+      case 0:
+        v.set(i);
+        ref[i] = true;
+        break;
+      case 1:
+        v.reset(i);
+        ref[i] = false;
+        break;
+      default:
+        v.flip(i);
+        ref[i] = !ref[i];
+        break;
+    }
+  }
+  std::size_t expectedCount = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(v.test(i), ref[i]) << "bit " << i;
+    expectedCount += ref[i];
+  }
+  EXPECT_EQ(v.count(), expectedCount);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorSizeSweep,
+                         ::testing::Values(1, 2, 63, 64, 65, 127, 128, 129, 1000, 4096));
+
+}  // namespace
+}  // namespace scandiag

@@ -1,0 +1,138 @@
+#include "common/gf2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace scandiag {
+namespace {
+
+BitVector bits(const std::string& s) { return BitVector::fromString(s); }
+
+TEST(Gf2System, SingleVariableForced) {
+  Gf2System sys(1, 4);
+  sys.addEquation(bits("1"), bits("1010"));
+  ASSERT_TRUE(sys.reduce());
+  const auto v = sys.forcedValue(0);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->toString(), "1010");
+  EXPECT_FALSE(sys.forcedZero(0));
+}
+
+TEST(Gf2System, ForcedZeroVariable) {
+  Gf2System sys(2, 4);
+  // x0 ^ x1 = 0110 ; x1 = 0110  =>  x0 forced to 0.
+  sys.addEquation(bits("11"), bits("0110"));
+  sys.addEquation(bits("01"), bits("0110"));
+  ASSERT_TRUE(sys.reduce());
+  EXPECT_TRUE(sys.forcedZero(0));
+  EXPECT_FALSE(sys.forcedZero(1));
+  EXPECT_EQ(sys.forcedValue(1)->toString(), "0110");
+}
+
+TEST(Gf2System, FreeVariableNotForced) {
+  Gf2System sys(2, 3);
+  sys.addEquation(bits("11"), bits("101"));  // x0 ^ x1 = 101, both free-ish
+  ASSERT_TRUE(sys.reduce());
+  EXPECT_FALSE(sys.forcedValue(0).has_value());
+  EXPECT_FALSE(sys.forcedValue(1).has_value());
+  EXPECT_FALSE(sys.forcedZero(0));
+}
+
+TEST(Gf2System, InconsistentSystemDetected) {
+  Gf2System sys(2, 2);
+  sys.addEquation(bits("11"), bits("10"));
+  sys.addEquation(bits("11"), bits("01"));  // same LHS, different RHS
+  EXPECT_FALSE(sys.reduce());
+}
+
+TEST(Gf2System, RedundantEquationsConsistent) {
+  Gf2System sys(3, 2);
+  sys.addEquation(bits("110"), bits("11"));
+  sys.addEquation(bits("011"), bits("01"));
+  sys.addEquation(bits("101"), bits("10"));  // sum of the first two
+  ASSERT_TRUE(sys.reduce());
+  EXPECT_EQ(sys.rank(), 2u);
+}
+
+TEST(Gf2System, DimensionMismatchThrows) {
+  Gf2System sys(3, 2);
+  EXPECT_THROW(sys.addEquation(bits("11"), bits("01")), std::invalid_argument);
+  EXPECT_THROW(sys.addEquation(bits("111"), bits("011")), std::invalid_argument);
+}
+
+TEST(Gf2System, UseBeforeReduceThrows) {
+  Gf2System sys(1, 1);
+  sys.addEquation(bits("1"), bits("1"));
+  EXPECT_THROW(sys.forcedValue(0), std::invalid_argument);
+}
+
+TEST(Gf2System, AddAfterReduceThrows) {
+  Gf2System sys(1, 1);
+  sys.addEquation(bits("1"), bits("1"));
+  ASSERT_TRUE(sys.reduce());
+  EXPECT_THROW(sys.addEquation(bits("1"), bits("0")), std::invalid_argument);
+  EXPECT_THROW(sys.reduce(), std::invalid_argument);
+}
+
+// Property check against brute force: enumerate all assignments of k-bit
+// unknowns over small systems; a variable is "forced" iff it takes a single
+// value across all satisfying assignments.
+class Gf2BruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Gf2BruteForce, ForcedValuesMatchExhaustiveEnumeration) {
+  Xoroshiro128 rng(GetParam());
+  const std::size_t vars = 4, rhsBits = 2, eqs = 1 + rng.nextBelow(5);
+  std::vector<std::uint64_t> lhs(eqs), rhs(eqs);
+  Gf2System sys(vars, rhsBits);
+  for (std::size_t e = 0; e < eqs; ++e) {
+    lhs[e] = rng.nextBelow(1u << vars);
+    rhs[e] = rng.nextBelow(1u << rhsBits);
+    BitVector coeffs(vars), r(rhsBits);
+    for (std::size_t v = 0; v < vars; ++v)
+      if ((lhs[e] >> v) & 1) coeffs.set(v);
+    for (std::size_t b = 0; b < rhsBits; ++b)
+      if ((rhs[e] >> b) & 1) r.set(b);
+    sys.addEquation(coeffs, r);
+  }
+
+  // Brute force over all (2^rhsBits)^vars assignments.
+  std::vector<std::vector<std::uint64_t>> solutions;
+  const std::uint64_t valueSpace = 1u << rhsBits;
+  for (std::uint64_t a0 = 0; a0 < valueSpace; ++a0)
+    for (std::uint64_t a1 = 0; a1 < valueSpace; ++a1)
+      for (std::uint64_t a2 = 0; a2 < valueSpace; ++a2)
+        for (std::uint64_t a3 = 0; a3 < valueSpace; ++a3) {
+          const std::uint64_t x[4] = {a0, a1, a2, a3};
+          bool ok = true;
+          for (std::size_t e = 0; e < eqs && ok; ++e) {
+            std::uint64_t acc = 0;
+            for (std::size_t v = 0; v < vars; ++v)
+              if ((lhs[e] >> v) & 1) acc ^= x[v];
+            ok = (acc == rhs[e]);
+          }
+          if (ok) solutions.push_back({a0, a1, a2, a3});
+        }
+
+  const bool consistent = sys.reduce();
+  EXPECT_EQ(consistent, !solutions.empty());
+  if (!consistent) return;
+  for (std::size_t v = 0; v < vars; ++v) {
+    bool unique = true;
+    for (const auto& s : solutions)
+      if (s[v] != solutions[0][v]) unique = false;
+    const auto forced = sys.forcedValue(v);
+    EXPECT_EQ(forced.has_value(), unique) << "var " << v;
+    if (forced && unique) {
+      std::uint64_t val = 0;
+      for (std::size_t b = 0; b < rhsBits; ++b)
+        if (forced->test(b)) val |= 1u << b;
+      EXPECT_EQ(val, solutions[0][v]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Gf2BruteForce, ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace scandiag

@@ -1,0 +1,70 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace scandiag {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Xoroshiro128 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Xoroshiro128 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Xoroshiro128 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.nextBelow(17), 17u);
+  EXPECT_THROW(rng.nextBelow(0), std::invalid_argument);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Xoroshiro128 rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.nextBelow(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Xoroshiro128 rng(11);
+  bool sawLo = false, sawHi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.nextInRange(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    sawLo |= (v == 3);
+    sawHi |= (v == 6);
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+  EXPECT_THROW(rng.nextInRange(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Xoroshiro128 rng(13);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.nextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);  // crude uniformity check
+}
+
+TEST(Rng, BoolRoughlyBalanced) {
+  Xoroshiro128 rng(17);
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) ones += rng.nextBool();
+  EXPECT_NEAR(ones / 10000.0, 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace scandiag

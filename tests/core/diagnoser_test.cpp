@@ -1,0 +1,119 @@
+#include "core/diagnoser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/synthetic_generator.hpp"
+#include "sim/fault_list.hpp"
+
+namespace scandiag {
+namespace {
+
+DiagnoserOptions quickOptions() {
+  DiagnoserOptions o;
+  o.diagnosis.numPartitions = 6;
+  o.diagnosis.groupsPerPartition = 4;
+  o.diagnosis.numPatterns = 64;
+  return o;
+}
+
+TEST(Diagnoser, DiagnoseInjectedFaultIsSound) {
+  const Netlist nl = generateNamedCircuit("s953");
+  const Diagnoser diagnoser(nl, quickOptions());
+  const FaultList universe = FaultList::enumerateCollapsed(nl);
+  std::size_t detected = 0;
+  for (const FaultSite& f : universe.sample(60, 0xD1A6)) {
+    const Diagnoser::Result r = diagnoser.diagnoseInjectedFault(f);
+    if (!r.detected) continue;
+    ++detected;
+    // Every actual failing cell appears among the candidates.
+    for (std::size_t actual : r.actualFailingCells) {
+      EXPECT_NE(std::find(r.candidateCells.begin(), r.candidateCells.end(), actual),
+                r.candidateCells.end())
+          << describeFault(nl, f);
+    }
+    EXPECT_GE(r.candidateCells.size(), r.actualFailingCells.size());
+  }
+  EXPECT_GT(detected, 20u);
+}
+
+TEST(Diagnoser, SomeDiagnosesAreExact) {
+  const Netlist nl = generateNamedCircuit("s953");
+  DiagnoserOptions o = quickOptions();
+  o.diagnosis.numPartitions = 8;
+  o.diagnosis.pruning = true;
+  const Diagnoser diagnoser(nl, o);
+  const FaultList universe = FaultList::enumerateCollapsed(nl);
+  std::size_t exact = 0, detected = 0;
+  for (const FaultSite& f : universe.sample(80, 0xD1A6)) {
+    const Diagnoser::Result r = diagnoser.diagnoseInjectedFault(f);
+    if (!r.detected) continue;
+    ++detected;
+    exact += r.exact();
+  }
+  EXPECT_GT(exact, detected / 4) << "expected a sizable fraction of exact diagnoses";
+}
+
+TEST(Diagnoser, UndetectedFaultReported) {
+  // Build a circuit with a PO-only gate: its faults are scan-undetectable.
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId b = nl.addInput("b");
+  const GateId ff0 = nl.addDff("ff0");
+  const GateId ff1 = nl.addDff("ff1");
+  const GateId po = nl.addGate(GateType::Not, "po", {a});
+  nl.setDffInput(ff0, a);
+  nl.setDffInput(ff1, b);
+  nl.markOutput(po);
+  nl.validate();
+  DiagnoserOptions o = quickOptions();
+  o.diagnosis.groupsPerPartition = 2;
+  o.diagnosis.numPartitions = 1;
+  const Diagnoser diagnoser(nl, o);
+  const Diagnoser::Result r =
+      diagnoser.diagnoseInjectedFault({po, FaultSite::kOutputPin, true});
+  EXPECT_FALSE(r.detected);
+  EXPECT_TRUE(r.candidateCells.empty());
+}
+
+TEST(Diagnoser, SessionCountIsPartitionsTimesGroups) {
+  const Netlist nl = generateNamedCircuit("s298");
+  const Diagnoser diagnoser(nl, quickOptions());
+  EXPECT_EQ(diagnoser.sessionCount(), 6u * 4u);
+  EXPECT_EQ(diagnoser.partitions().size(), 6u);
+}
+
+TEST(Diagnoser, CellNamesResolve) {
+  const Netlist nl = generateNamedCircuit("s298");
+  const Diagnoser diagnoser(nl, quickOptions());
+  EXPECT_EQ(diagnoser.cellName(0), "ff0");
+  EXPECT_THROW(diagnoser.cellName(999), std::invalid_argument);
+}
+
+TEST(Diagnoser, EvaluateResolutionDeterministic) {
+  const Netlist nl = generateNamedCircuit("s526");
+  const Diagnoser diagnoser(nl, quickOptions());
+  const DrReport a = diagnoser.evaluateResolution(40, 7);
+  const DrReport b = diagnoser.evaluateResolution(40, 7);
+  EXPECT_EQ(a.sumCandidates, b.sumCandidates);
+  EXPECT_EQ(a.faults, b.faults);
+  EXPECT_GT(a.faults, 10u);
+}
+
+TEST(Diagnoser, MultiChainOption) {
+  const Netlist nl = generateNamedCircuit("s953");
+  DiagnoserOptions o = quickOptions();
+  o.numChains = 4;
+  const Diagnoser diagnoser(nl, o);
+  EXPECT_EQ(diagnoser.topology().numChains(), 4u);
+  EXPECT_GT(diagnoser.evaluateResolution(30).faults, 0u);
+}
+
+TEST(Diagnoser, RejectsCircuitWithoutScanCells) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  nl.markOutput(nl.addGate(GateType::Not, "g", {a}));
+  EXPECT_THROW(Diagnoser(nl, quickOptions()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scandiag

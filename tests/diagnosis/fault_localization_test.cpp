@@ -1,0 +1,87 @@
+#include "diagnosis/fault_localization.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bist/prpg.hpp"
+#include "netlist/cone_analysis.hpp"
+#include "netlist/synthetic_generator.hpp"
+#include "sim/fault_list.hpp"
+#include "sim/fault_simulator.hpp"
+
+namespace scandiag {
+namespace {
+
+TEST(ConeDatabase, MatchesPerGateConeComputation) {
+  const Netlist nl = generateNamedCircuit("s344");
+  const ConeDatabase db(nl);
+  const Levelization lev = levelize(nl);
+  for (GateId id = 0; id < nl.gateCount(); id += 5) {
+    const FaultCone cone = computeCone(nl, lev, id);
+    EXPECT_EQ(db.reachableDffs(id), cone.reachableDffs) << nl.gateName(id);
+  }
+}
+
+TEST(ConeDatabase, OutOfRangeRejected) {
+  const Netlist nl = generateNamedCircuit("s27");
+  const ConeDatabase db(nl);
+  EXPECT_THROW(db.reachableDffs(static_cast<GateId>(nl.gateCount())), std::invalid_argument);
+}
+
+TEST(Localization, TrueSiteAlwaysSuspected) {
+  const Netlist nl = generateNamedCircuit("s526");
+  const ConeDatabase db(nl);
+  const PatternSet pats = generatePatterns(nl, 64);
+  const FaultSimulator sim(nl, pats);
+  for (const FaultSite& f : FaultList::enumerateCollapsed(nl).sample(80, 0x10CA)) {
+    const FaultResponse r = sim.simulate(f);
+    if (!r.detected()) continue;
+    const std::vector<GateId> suspects = localizeSingleFault(db, r.failingCells);
+    // For branch faults the "site" on the suspect-gate axis is the driver
+    // (the fault lies on the wire between driver and owner).
+    const GateId site = f.isOutputFault() ? f.gate
+                        : nl.gate(f.gate).type == GateType::Dff
+                            ? nl.gate(f.gate).fanins[0]
+                            : f.gate;
+    EXPECT_NE(std::find(suspects.begin(), suspects.end(), site), suspects.end())
+        << describeFault(nl, f);
+  }
+}
+
+TEST(Localization, MoreFailingCellsNarrowSuspects) {
+  // A superset of failing cells can only shrink (or keep) the suspect list.
+  const Netlist nl = generateNamedCircuit("s526");
+  const ConeDatabase db(nl);
+  BitVector one(nl.dffs().size());
+  one.set(5);
+  BitVector two = one;
+  two.set(11);
+  const auto s1 = localizeSingleFault(db, one);
+  const auto s2 = localizeSingleFault(db, two);
+  EXPECT_LE(s2.size(), s1.size());
+  for (GateId g : s2) {
+    EXPECT_NE(std::find(s1.begin(), s1.end(), g), s1.end());
+  }
+}
+
+TEST(Localization, RequiresAtLeastOneFailingCell) {
+  const Netlist nl = generateNamedCircuit("s27");
+  const ConeDatabase db(nl);
+  EXPECT_THROW(localizeSingleFault(db, BitVector(nl.dffs().size())), std::invalid_argument);
+}
+
+TEST(Localization, ImpossibleCellComboHasNoSuspects) {
+  // Cells chosen so no single cone covers both: take two cells and verify
+  // the suspect list is exactly the gates covering both (possibly empty).
+  const Netlist nl = generateNamedCircuit("s298");
+  const ConeDatabase db(nl);
+  BitVector cells(nl.dffs().size());
+  cells.set(0);
+  cells.set(nl.dffs().size() - 1);
+  const auto suspects = localizeSingleFault(db, cells);
+  for (GateId g : suspects) {
+    EXPECT_TRUE(cells.isSubsetOf(db.reachableDffs(g)));
+  }
+}
+
+}  // namespace
+}  // namespace scandiag

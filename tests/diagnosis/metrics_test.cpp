@@ -1,0 +1,45 @@
+#include "diagnosis/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scandiag {
+namespace {
+
+TEST(DrAccumulator, PerfectDiagnosisIsZero) {
+  DrAccumulator acc;
+  acc.add(3, 3);
+  acc.add(7, 7);
+  EXPECT_DOUBLE_EQ(acc.dr(), 0.0);
+  EXPECT_EQ(acc.faults(), 2u);
+}
+
+TEST(DrAccumulator, MatchesPaperFormula) {
+  // DR = (sum candidates - sum actual) / sum actual.
+  DrAccumulator acc;
+  acc.add(10, 2);  // candidates 10, actual 2
+  acc.add(6, 2);
+  // (16 - 4) / 4 = 3.0
+  EXPECT_DOUBLE_EQ(acc.dr(), 3.0);
+  EXPECT_EQ(acc.sumCandidates(), 16u);
+  EXPECT_EQ(acc.sumActual(), 4u);
+}
+
+TEST(DrAccumulator, NegativeDrPossibleUnderAliasing) {
+  // Candidates can fall below actual if MISR aliasing hides failing cells.
+  DrAccumulator acc;
+  acc.add(1, 3);
+  EXPECT_LT(acc.dr(), 0.0);
+}
+
+TEST(DrAccumulator, RejectsUndetectedFaults) {
+  DrAccumulator acc;
+  EXPECT_THROW(acc.add(5, 0), std::invalid_argument);
+}
+
+TEST(DrAccumulator, DrBeforeAnyFaultThrows) {
+  DrAccumulator acc;
+  EXPECT_THROW(acc.dr(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace scandiag

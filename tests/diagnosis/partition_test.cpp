@@ -1,0 +1,62 @@
+#include "diagnosis/partition.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scandiag {
+namespace {
+
+Partition makePartition(std::size_t length, const std::vector<std::vector<std::size_t>>& groups) {
+  Partition p;
+  for (const auto& g : groups) {
+    BitVector mask(length);
+    for (std::size_t pos : g) mask.set(pos);
+    p.groups.push_back(mask);
+  }
+  return p;
+}
+
+TEST(Partition, ValidPartitionPasses) {
+  const Partition p = makePartition(6, {{0, 1}, {2, 3, 4}, {5}});
+  EXPECT_NO_THROW(p.validate());
+  EXPECT_EQ(p.groupCount(), 3u);
+  EXPECT_EQ(p.length(), 6u);
+}
+
+TEST(Partition, GroupOfFindsContainingGroup) {
+  const Partition p = makePartition(6, {{0, 1}, {2, 3, 4}, {5}});
+  EXPECT_EQ(p.groupOf(0), 0u);
+  EXPECT_EQ(p.groupOf(3), 1u);
+  EXPECT_EQ(p.groupOf(5), 2u);
+}
+
+TEST(Partition, GroupTableMatchesGroupOf) {
+  const Partition p = makePartition(8, {{0, 7}, {1, 2, 3}, {4, 5, 6}});
+  const auto table = p.groupTable();
+  for (std::size_t pos = 0; pos < 8; ++pos) EXPECT_EQ(table[pos], p.groupOf(pos));
+}
+
+TEST(Partition, OverlapDetected) {
+  const Partition p = makePartition(4, {{0, 1}, {1, 2, 3}});
+  EXPECT_THROW(p.validate(), std::logic_error);
+}
+
+TEST(Partition, GapDetected) {
+  const Partition p = makePartition(4, {{0, 1}, {3}});
+  EXPECT_THROW(p.validate(), std::logic_error);
+  EXPECT_THROW(p.groupOf(2), std::logic_error);
+}
+
+TEST(Partition, EmptyPartitionInvalid) {
+  Partition p;
+  EXPECT_THROW(p.validate(), std::logic_error);
+}
+
+TEST(Partition, EmptyGroupIsAllowed) {
+  // An empty group is legal (e.g. a truncated interval tail); it just never
+  // selects anything.
+  const Partition p = makePartition(3, {{0, 1, 2}, {}});
+  EXPECT_NO_THROW(p.validate());
+}
+
+}  // namespace
+}  // namespace scandiag

@@ -1,0 +1,98 @@
+#include "diagnosis/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/synthetic_generator.hpp"
+
+namespace scandiag {
+namespace {
+
+TEST(Planner, RecommendGroupCountMatchesPaperChoices) {
+  EXPECT_EQ(recommendGroupCount(29), 4u);     // s953: paper uses 4
+  EXPECT_EQ(recommendGroupCount(211), 16u);   // Table 2 chains: paper uses 16
+  EXPECT_EQ(recommendGroupCount(6173), 64u);  // SOC-1 (paper uses 32; same decade)
+  EXPECT_EQ(recommendGroupCount(2), 2u);
+  EXPECT_THROW(recommendGroupCount(0), std::invalid_argument);
+}
+
+TEST(Planner, RecommendationIsPowerOfTwoAndBounded) {
+  for (std::size_t len : {2u, 3u, 17u, 100u, 999u, 12345u}) {
+    const std::size_t g = recommendGroupCount(len);
+    EXPECT_EQ(g & (g - 1), 0u) << len;
+    EXPECT_GE(g, 2u);
+    EXPECT_LE(g, 64u);
+    EXPECT_LE(g, len);
+  }
+}
+
+class PlannerFixture : public ::testing::Test {
+ protected:
+  static const CircuitWorkload& work() {
+    static const CircuitWorkload w = [] {
+      WorkloadConfig wc;
+      wc.numPatterns = 128;
+      wc.numFaults = 150;
+      return prepareWorkload(generateNamedCircuit("s9234"), wc);
+    }();
+    return w;
+  }
+};
+
+TEST_F(PlannerFixture, PlanMeetsTargetAtMinimalSessions) {
+  PlanRequest request;
+  request.targetDr = 0.5;
+  request.maxPartitions = 12;
+  const PlanResult plan = planDiagnosis(work().topology, work().responses, request);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_LE(plan.achievedDr, 0.5);
+  EXPECT_EQ(plan.cost.sessions, plan.config.numPartitions * plan.config.groupsPerPartition);
+
+  // No candidate configuration meets the target with fewer sessions.
+  for (std::size_t g : {4u, 8u, 16u, 32u, 64u}) {
+    DiagnosisConfig config = plan.config;
+    config.groupsPerPartition = g;
+    config.numPartitions = 12;
+    const auto sweep = DiagnosisPipeline(work().topology, config).evaluateSweep(work().responses);
+    for (std::size_t p = 0; p < sweep.size(); ++p) {
+      if (sweep[p] <= 0.5) {
+        EXPECT_GE((p + 1) * g, plan.cost.sessions) << "groups=" << g;
+        break;
+      }
+    }
+  }
+}
+
+TEST_F(PlannerFixture, TighterTargetCostsMoreSessions) {
+  PlanRequest loose, tight;
+  loose.targetDr = 1.0;
+  tight.targetDr = 0.05;
+  const PlanResult a = planDiagnosis(work().topology, work().responses, loose);
+  const PlanResult b = planDiagnosis(work().topology, work().responses, tight);
+  ASSERT_TRUE(a.feasible);
+  ASSERT_TRUE(b.feasible);
+  EXPECT_LE(a.cost.sessions, b.cost.sessions);
+}
+
+TEST_F(PlannerFixture, InfeasibleTargetReported) {
+  PlanRequest request;
+  request.targetDr = -1.0;  // DR >= 0 in exact mode: unreachable
+  request.maxPartitions = 4;
+  const PlanResult plan = planDiagnosis(work().topology, work().responses, request);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST_F(PlannerFixture, CustomCandidateListRespected) {
+  PlanRequest request;
+  request.targetDr = 0.8;
+  request.groupCandidates = {8};
+  const PlanResult plan = planDiagnosis(work().topology, work().responses, request);
+  if (plan.feasible) EXPECT_EQ(plan.config.groupsPerPartition, 8u);
+}
+
+TEST(Planner, EmptySampleRejected) {
+  const ScanTopology topo = ScanTopology::singleChain(16);
+  EXPECT_THROW(planDiagnosis(topo, {}, PlanRequest{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scandiag

@@ -1,0 +1,89 @@
+#include "diagnosis/vector_identification.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/synthetic_generator.hpp"
+
+namespace scandiag {
+namespace {
+
+DiagnosisConfig vectorConfig(SchemeKind scheme, std::size_t partitions = 4,
+                             std::size_t groups = 4, std::size_t patterns = 64) {
+  DiagnosisConfig c;
+  c.scheme = scheme;
+  c.numPartitions = partitions;
+  c.groupsPerPartition = groups;
+  c.numPatterns = patterns;
+  return c;
+}
+
+FaultResponse responseWithStreams(std::size_t patterns,
+                                  const std::vector<std::vector<std::size_t>>& errs) {
+  FaultResponse r;
+  r.failingCells = BitVector(errs.size());
+  for (std::size_t i = 0; i < errs.size(); ++i) {
+    r.failingCells.set(i);
+    r.failingCellOrdinals.push_back(i);
+    BitVector stream(patterns);
+    for (std::size_t t : errs[i]) stream.set(t);
+    r.errorStreams.push_back(stream);
+  }
+  return r;
+}
+
+TEST(VectorDiagnoser, FailingVectorsIsUnionOfStreams) {
+  const FaultResponse r = responseWithStreams(16, {{1, 5}, {5, 9}});
+  const BitVector v = VectorDiagnoser::failingVectors(r, 16);
+  EXPECT_EQ(v.toIndices(), (std::vector<std::size_t>{1, 5, 9}));
+}
+
+TEST(VectorDiagnoser, CandidatesContainTruth) {
+  const VectorDiagnoser diag(vectorConfig(SchemeKind::TwoStep));
+  const FaultResponse r = responseWithStreams(64, {{3, 17, 40}});
+  const BitVector truth = VectorDiagnoser::failingVectors(r, 64);
+  const BitVector cand = diag.diagnose(r);
+  EXPECT_TRUE(truth.isSubsetOf(cand));
+}
+
+TEST(VectorDiagnoser, MorePartitionsTightenCandidates) {
+  const FaultResponse r = responseWithStreams(64, {{10}, {33}});
+  std::size_t prev = 64;
+  for (std::size_t p : {1u, 2u, 4u, 8u}) {
+    const VectorDiagnoser diag(vectorConfig(SchemeKind::RandomSelection, p));
+    const std::size_t count = diag.diagnose(r).count();
+    EXPECT_LE(count, prev);
+    prev = count;
+  }
+  EXPECT_LE(prev, 8u);
+}
+
+TEST(VectorDiagnoser, SoundOnRealWorkload) {
+  const Netlist nl = generateNamedCircuit("s526");
+  WorkloadConfig wc;
+  wc.numPatterns = 64;
+  wc.numFaults = 60;
+  const CircuitWorkload work = prepareWorkload(nl, wc);
+  const VectorDiagnoser diag(vectorConfig(SchemeKind::TwoStep));
+  for (const FaultResponse& r : work.responses) {
+    const BitVector truth = VectorDiagnoser::failingVectors(r, 64);
+    EXPECT_TRUE(truth.isSubsetOf(diag.diagnose(r)));
+  }
+  const DrReport rep = diag.evaluate(work.responses);
+  EXPECT_GE(rep.dr, 0.0);
+  EXPECT_EQ(rep.faults, work.responses.size());
+}
+
+TEST(VectorDiagnoser, RejectsMisrMode) {
+  DiagnosisConfig c = vectorConfig(SchemeKind::TwoStep);
+  c.mode = SignatureMode::Misr;
+  EXPECT_THROW(VectorDiagnoser{c}, std::invalid_argument);
+}
+
+TEST(VectorDiagnoser, StreamLengthMismatchRejected) {
+  const VectorDiagnoser diag(vectorConfig(SchemeKind::TwoStep, 2, 4, 32));
+  const FaultResponse r = responseWithStreams(64, {{3}});
+  EXPECT_THROW(diag.diagnose(r), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scandiag

@@ -1,0 +1,122 @@
+// End-to-end flows exercising the full stack exactly as the examples and
+// benches do: generation/parsing -> scan stitching -> PRPG -> fault sim ->
+// sessions -> candidates -> pruning -> DR.
+
+#include <gtest/gtest.h>
+
+#include "core/scandiag.hpp"
+
+namespace scandiag {
+namespace {
+
+TEST(EndToEnd, BenchFileToDiagnosis) {
+  // Round-trip a generated circuit through the .bench format, then diagnose
+  // the reparsed netlist: results must match the original exactly.
+  const Netlist original = generateNamedCircuit("s953");
+  const Netlist reparsed = parseBenchString(writeBenchString(original), "s953");
+
+  DiagnoserOptions o;
+  o.diagnosis.numPartitions = 6;
+  o.diagnosis.groupsPerPartition = 4;
+  o.diagnosis.numPatterns = 64;
+  const Diagnoser d1(original, o);
+  const Diagnoser d2(reparsed, o);
+  const DrReport r1 = d1.evaluateResolution(60, 3);
+  const DrReport r2 = d2.evaluateResolution(60, 3);
+  EXPECT_EQ(r1.sumCandidates, r2.sumCandidates);
+  EXPECT_EQ(r1.sumActual, r2.sumActual);
+}
+
+TEST(EndToEnd, MisrModeCloseToExactAt16Bits) {
+  // With a 16-bit MISR, aliasing shifts DR only marginally versus exact
+  // verdicts on a 500-session workload.
+  const Netlist nl = generateNamedCircuit("s953");
+  WorkloadConfig wc;
+  wc.numPatterns = 64;
+  wc.numFaults = 150;
+  const CircuitWorkload work = prepareWorkload(nl, wc);
+
+  DiagnosisConfig exact;
+  exact.scheme = SchemeKind::TwoStep;
+  exact.numPartitions = 6;
+  exact.groupsPerPartition = 4;
+  exact.numPatterns = 64;
+  DiagnosisConfig misr = exact;
+  misr.mode = SignatureMode::Misr;
+  misr.misrDegree = 16;
+
+  const double drExact = DiagnosisPipeline(work.topology, exact).evaluate(work.responses).dr;
+  const double drMisr = DiagnosisPipeline(work.topology, misr).evaluate(work.responses).dr;
+  EXPECT_NEAR(drMisr, drExact, 0.15 * (drExact + 1.0));
+}
+
+TEST(EndToEnd, TinyMisrAliasesVisibly) {
+  // A 4-bit MISR aliases often enough to break soundness on some faults —
+  // the phenomenon bench_ablation_aliasing quantifies.
+  const Netlist nl = generateNamedCircuit("s953");
+  WorkloadConfig wc;
+  wc.numPatterns = 64;
+  wc.numFaults = 200;
+  const CircuitWorkload work = prepareWorkload(nl, wc);
+  DiagnosisConfig config;
+  config.scheme = SchemeKind::RandomSelection;
+  config.numPartitions = 8;
+  config.groupsPerPartition = 4;
+  config.numPatterns = 64;
+  config.mode = SignatureMode::Misr;
+  config.misrDegree = 4;
+  const DiagnosisPipeline pipeline(work.topology, config);
+  std::size_t violations = 0;
+  for (const FaultResponse& r : work.responses) {
+    const FaultDiagnosis d = pipeline.diagnose(r);
+    violations += !r.failingCells.isSubsetOf(d.candidates.cells);
+  }
+  EXPECT_GT(violations, 0u);
+}
+
+TEST(EndToEnd, SocPipelineMatchesManualAssembly) {
+  // evaluateSocDr == manual socResponsesForFailingCore + pipeline.evaluate.
+  const Soc soc = buildSocFromModules("mini", {"s298", "s526"}, 2);
+  WorkloadConfig wc;
+  wc.numPatterns = 64;
+  wc.numFaults = 30;
+  DiagnosisConfig config;
+  config.scheme = SchemeKind::TwoStep;
+  config.numPartitions = 4;
+  config.groupsPerPartition = 4;
+  config.numPatterns = 64;
+
+  const auto rows = evaluateSocDr(soc, wc, config);
+  const DiagnosisPipeline pipeline(soc.topology(), config);
+  for (std::size_t k = 0; k < soc.coreCount(); ++k) {
+    const auto responses = socResponsesForFailingCore(soc, k, wc);
+    EXPECT_DOUBLE_EQ(rows[k].report.dr, pipeline.evaluate(responses).dr);
+  }
+}
+
+TEST(EndToEnd, FullRunIsDeterministicAcrossProcessRestarts) {
+  // Everything from netlist generation to DR must be a pure function of the
+  // configured seeds — this is what makes EXPERIMENTS.md reproducible.
+  auto runOnce = [] {
+    const Netlist nl = generateNamedCircuit("s1423");
+    WorkloadConfig wc;
+    wc.numPatterns = 64;
+    wc.numFaults = 80;
+    const CircuitWorkload work = prepareWorkload(nl, wc);
+    DiagnosisConfig config;
+    config.scheme = SchemeKind::TwoStep;
+    config.numPartitions = 6;
+    config.groupsPerPartition = 8;
+    config.numPatterns = 64;
+    config.pruning = true;
+    return DiagnosisPipeline(work.topology, config).evaluate(work.responses);
+  };
+  const DrReport a = runOnce();
+  const DrReport b = runOnce();
+  EXPECT_EQ(a.sumCandidates, b.sumCandidates);
+  EXPECT_EQ(a.sumActual, b.sumActual);
+  EXPECT_EQ(a.faults, b.faults);
+}
+
+}  // namespace
+}  // namespace scandiag

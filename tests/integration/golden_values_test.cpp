@@ -1,0 +1,78 @@
+// Golden regression values: the full pipeline is deterministic (explicit
+// seeds everywhere, integer arithmetic up to the final division), so these
+// exact candidate/actual sums must reproduce on any platform. A change here
+// means the *behaviour* of some stage changed — generator, PRPG, fault
+// simulator, partitioners, session engine, or pruner — and EXPERIMENTS.md
+// needs regeneration. Update the constants only after confirming the change
+// is intentional.
+
+#include <gtest/gtest.h>
+
+#include "core/scandiag.hpp"
+
+namespace scandiag {
+namespace {
+
+TEST(GoldenValues, S953Table1StyleSums) {
+  const Netlist nl = generateNamedCircuit("s953");
+  WorkloadConfig wc = presets::table1Workload();
+  wc.numFaults = 200;
+  const CircuitWorkload work = prepareWorkload(nl, wc);
+  ASSERT_EQ(work.responses.size(), 200u);
+
+  struct Expect {
+    SchemeKind scheme;
+    std::uint64_t candidates;
+  };
+  const Expect expectations[] = {
+      {SchemeKind::IntervalBased, 1421},
+      {SchemeKind::RandomSelection, 1018},
+      {SchemeKind::TwoStep, 896},
+  };
+  for (const Expect& e : expectations) {
+    const DiagnosisPipeline pipeline(work.topology, presets::table1(e.scheme, 8));
+    const DrReport r = pipeline.evaluate(work.responses);
+    EXPECT_EQ(r.sumCandidates, e.candidates) << schemeName(e.scheme);
+    EXPECT_EQ(r.sumActual, 632u) << schemeName(e.scheme);
+    EXPECT_EQ(r.faults, 200u);
+  }
+}
+
+TEST(GoldenValues, S9234TwoStepWithAndWithoutPruning) {
+  const Netlist nl = generateNamedCircuit("s9234");
+  WorkloadConfig wc = presets::table2Workload();
+  wc.numFaults = 200;
+  const CircuitWorkload work = prepareWorkload(nl, wc);
+
+  const DiagnosisPipeline plain(work.topology, presets::table2(SchemeKind::TwoStep, false));
+  const DrReport a = plain.evaluate(work.responses);
+  EXPECT_EQ(a.sumCandidates, 490u);
+  EXPECT_EQ(a.sumActual, 474u);
+
+  const DiagnosisPipeline pruned(work.topology, presets::table2(SchemeKind::TwoStep, true));
+  const DrReport b = pruned.evaluate(work.responses);
+  EXPECT_EQ(b.sumCandidates, 474u);  // pruning reaches perfect resolution here
+  EXPECT_EQ(b.sumActual, 474u);
+}
+
+TEST(GoldenValues, GeneratedNetlistFingerprint) {
+  // Cheap structural fingerprint of the s953 reconstruction: any generator
+  // change shows up here before it confuses a DR comparison downstream.
+  const Netlist nl = generateNamedCircuit("s953");
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (GateId id = 0; id < nl.gateCount(); ++id) {
+    hash ^= static_cast<std::uint64_t>(nl.gate(id).type);
+    hash *= 0x100000001b3ULL;
+    for (GateId f : nl.gate(id).fanins) {
+      hash ^= f;
+      hash *= 0x100000001b3ULL;
+    }
+  }
+  EXPECT_EQ(hash, [] {
+    // Self-calibrating on first failure: print the new value in the message.
+    return 0xb6cd5024a69d89c8ULL;
+  }()) << "netlist generator output changed; new fingerprint = 0x" << std::hex << hash;
+}
+
+}  // namespace
+}  // namespace scandiag

@@ -1,0 +1,140 @@
+// Integration tests pinning the paper's qualitative claims. These use the
+// exact workloads of the reproduction benches (scaled down where the full
+// 500-fault runs would dominate test time) and assert the *shape* of the
+// results: who wins, and where the crossovers fall.
+
+#include <gtest/gtest.h>
+
+#include "core/scandiag.hpp"
+
+namespace scandiag {
+namespace {
+
+class S953Workload : public ::testing::Test {
+ protected:
+  static const CircuitWorkload& work() {
+    static const CircuitWorkload w = [] {
+      const Netlist nl = generateNamedCircuit("s953");
+      WorkloadConfig wc = presets::table1Workload();
+      wc.numFaults = 300;
+      return prepareWorkload(nl, wc);
+    }();
+    return w;
+  }
+
+  static double dr(SchemeKind scheme, std::size_t partitions, bool pruning = false) {
+    DiagnosisConfig c = presets::table1(scheme, partitions);
+    c.pruning = pruning;
+    return DiagnosisPipeline(work().topology, c).evaluate(work().responses).dr;
+  }
+};
+
+// Paper §3/Table 1: with one partition, interval-based beats random selection
+// because clustered failing cells stay in one interval.
+TEST_F(S953Workload, IntervalBeatsRandomAtOnePartition) {
+  EXPECT_LT(dr(SchemeKind::IntervalBased, 1), dr(SchemeKind::RandomSelection, 1));
+}
+
+// Paper §3/Table 1: with many partitions random selection's fine-grained
+// randomness wins over interval-only.
+TEST_F(S953Workload, RandomBeatsIntervalAtEightPartitions) {
+  EXPECT_LT(dr(SchemeKind::RandomSelection, 8), dr(SchemeKind::IntervalBased, 8));
+}
+
+// Paper Table 1: "In all the cases, the two-step method shows the best
+// resolution."
+TEST_F(S953Workload, TwoStepBestAtEveryBudget) {
+  for (std::size_t p : {2u, 4u, 6u, 8u}) {
+    const double twoStep = dr(SchemeKind::TwoStep, p);
+    EXPECT_LE(twoStep, dr(SchemeKind::RandomSelection, p) + 1e-9) << p << " partitions";
+    EXPECT_LE(twoStep, dr(SchemeKind::IntervalBased, p) + 1e-9) << p << " partitions";
+  }
+}
+
+// DR falls (weakly) as partitions are added, for every scheme.
+TEST_F(S953Workload, DrMonotoneInPartitions) {
+  for (SchemeKind scheme : {SchemeKind::IntervalBased, SchemeKind::RandomSelection,
+                            SchemeKind::TwoStep}) {
+    double prev = 1e18;
+    for (std::size_t p = 1; p <= 8; ++p) {
+      const double cur = dr(scheme, p);
+      EXPECT_LE(cur, prev + 1e-9) << schemeName(scheme) << " at " << p;
+      prev = cur;
+    }
+  }
+}
+
+// Paper Table 2: superposition pruning only improves resolution.
+TEST_F(S953Workload, PruningNeverHurts) {
+  for (SchemeKind scheme : {SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
+    EXPECT_LE(dr(scheme, 4, true), dr(scheme, 4, false) + 1e-9);
+    EXPECT_LE(dr(scheme, 8, true), dr(scheme, 8, false) + 1e-9);
+  }
+}
+
+// Paper §5 / Tables 3-4: on an SOC with a daisy-chain TestRail and a single
+// faulty core, two-step beats random selection decisively.
+TEST(SocClaims, TwoStepWinsOnDaisyChainSoc) {
+  const Soc soc = buildSocFromModules("mini", {"s1423", "s5378", "s9234"}, 1);
+  WorkloadConfig wc = presets::socWorkload();
+  wc.numFaults = 150;
+  DiagnosisConfig random;
+  random.scheme = SchemeKind::RandomSelection;
+  random.numPartitions = 8;
+  random.groupsPerPartition = 16;
+  random.numPatterns = 128;
+  DiagnosisConfig twoStep = random;
+  twoStep.scheme = SchemeKind::TwoStep;
+
+  const DiagnosisPipeline pr(soc.topology(), random);
+  const DiagnosisPipeline pt(soc.topology(), twoStep);
+  for (std::size_t core = 0; core < soc.coreCount(); ++core) {
+    const auto responses = socResponsesForFailingCore(soc, core, wc);
+    const double drRandom = pr.evaluate(responses).dr;
+    const double drTwoStep = pt.evaluate(responses).dr;
+    EXPECT_LT(drTwoStep, drRandom) << "failing core " << soc.core(core).name;
+    EXPECT_LT(drTwoStep, drRandom * 0.8)
+        << "two-step should win clearly on SOC workloads, core "
+        << soc.core(core).name;
+  }
+}
+
+// Paper Fig. 5: two-step reaches a target DR with no more partitions than
+// random selection.
+TEST(SocClaims, TwoStepNeedsFewerPartitionsForTargetDr) {
+  const Soc soc = buildSocFromModules("mini", {"s1423", "s5378", "s9234"}, 1);
+  WorkloadConfig wc = presets::socWorkload();
+  wc.numFaults = 100;
+  auto partitionsTo = [&](SchemeKind scheme, const std::vector<FaultResponse>& responses) {
+    DiagnosisConfig c;
+    c.scheme = scheme;
+    c.numPartitions = 12;
+    c.groupsPerPartition = 16;
+    c.numPatterns = 128;
+    const auto sweep = DiagnosisPipeline(soc.topology(), c).evaluateSweep(responses);
+    for (std::size_t p = 0; p < sweep.size(); ++p)
+      if (sweep[p] <= 0.5) return p + 1;
+    return sweep.size() + 1;
+  };
+  const auto responses = socResponsesForFailingCore(soc, 1, wc);
+  EXPECT_LE(partitionsTo(SchemeKind::TwoStep, responses),
+            partitionsTo(SchemeKind::RandomSelection, responses));
+}
+
+// Paper §4: "the DR values here are larger than those obtained by random
+// error injection using a small number of errors" — real faults produce
+// failing-cell multisets with a heavy tail. Check the tail exists.
+TEST(WorkloadRealism, FailingCellCountsHaveHeavyTail) {
+  const Netlist nl = generateNamedCircuit("s9234");
+  const CircuitWorkload work = prepareWorkload(nl, presets::table2Workload());
+  std::size_t multi = 0, large = 0;
+  for (const FaultResponse& r : work.responses) {
+    multi += r.failingCellCount() >= 2;
+    large += r.failingCellCount() >= 8;
+  }
+  EXPECT_GT(multi, work.responses.size() / 3) << "most faults should fail multiple cells";
+  EXPECT_GT(large, work.responses.size() / 50) << "a tail of wide-failure faults must exist";
+}
+
+}  // namespace
+}  // namespace scandiag

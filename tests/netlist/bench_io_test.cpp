@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+#include "netlist/bench_writer.hpp"
+#include "netlist/synthetic_generator.hpp"
+
+namespace scandiag {
+namespace {
+
+const char* kS27 = R"(# s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+
+TEST(BenchParser, ParsesS27) {
+  const Netlist nl = parseBenchString(kS27, "s27");
+  EXPECT_EQ(nl.inputs().size(), 4u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.dffs().size(), 3u);
+  EXPECT_EQ(nl.combGateCount(), 10u);
+  // Connectivity spot checks.
+  const GateId g8 = nl.findByName("G8");
+  ASSERT_NE(g8, kInvalidGate);
+  EXPECT_EQ(nl.gate(g8).type, GateType::And);
+  ASSERT_EQ(nl.gate(g8).fanins.size(), 2u);
+  EXPECT_EQ(nl.gate(g8).fanins[0], nl.findByName("G14"));
+  EXPECT_EQ(nl.gate(g8).fanins[1], nl.findByName("G6"));
+  // DFF D connections (which appear *before* their drivers in the file).
+  const GateId g5 = nl.findByName("G5");
+  EXPECT_EQ(nl.gate(g5).fanins[0], nl.findByName("G10"));
+}
+
+TEST(BenchParser, ForwardReferencesResolve) {
+  // G2 defined after its user.
+  const Netlist nl = parseBenchString(
+      "INPUT(a)\nOUTPUT(g1)\ng1 = NOT(g2)\ng2 = BUF(a)\n", "fwd");
+  EXPECT_EQ(nl.combGateCount(), 2u);
+}
+
+TEST(BenchParser, CommentsAndBlankLinesIgnored) {
+  const Netlist nl = parseBenchString(
+      "# header\n\nINPUT(a)  # trailing comment\nOUTPUT(b)\nb = NOT(a)\n", "c");
+  EXPECT_EQ(nl.combGateCount(), 1u);
+}
+
+TEST(BenchParser, UndefinedSignalReported) {
+  try {
+    parseBenchString("INPUT(a)\nOUTPUT(b)\nb = AND(a, ghost)\n", "bad");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(BenchParser, DuplicateDefinitionReported) {
+  EXPECT_THROW(parseBenchString("INPUT(a)\na = NOT(a)\n", "dup"), std::invalid_argument);
+}
+
+TEST(BenchParser, UnknownGateReported) {
+  EXPECT_THROW(parseBenchString("INPUT(a)\nb = MUX(a)\n", "bad"), std::invalid_argument);
+}
+
+TEST(BenchParser, MalformedLineReported) {
+  EXPECT_THROW(parseBenchString("INPUT a\n", "bad"), std::invalid_argument);
+  EXPECT_THROW(parseBenchString("b = AND(a\n", "bad"), std::invalid_argument);
+  EXPECT_THROW(parseBenchString("b = AND(a) junk\n", "bad"), std::invalid_argument);
+}
+
+TEST(BenchParser, CombinationalCycleReported) {
+  try {
+    parseBenchString("INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = NOT(x)\n", "cyc");
+    FAIL() << "expected cycle error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cycle"), std::string::npos);
+  }
+}
+
+TEST(BenchParser, OutputOfUndefinedSignalReported) {
+  EXPECT_THROW(parseBenchString("INPUT(a)\nOUTPUT(ghost)\n", "bad"), std::invalid_argument);
+}
+
+TEST(BenchIo, WriterParserRoundTripIsStructurallyIdentical) {
+  for (const char* name : {"s27", "s298", "s953"}) {
+    const Netlist original = generateNamedCircuit(name);
+    const Netlist reparsed = parseBenchString(writeBenchString(original), original.name());
+    ASSERT_EQ(reparsed.gateCount(), original.gateCount()) << name;
+    EXPECT_EQ(reparsed.inputs().size(), original.inputs().size());
+    EXPECT_EQ(reparsed.dffs().size(), original.dffs().size());
+    EXPECT_EQ(reparsed.outputs().size(), original.outputs().size());
+    for (GateId id = 0; id < original.gateCount(); ++id) {
+      const GateId rid = reparsed.findByName(original.gateName(id));
+      ASSERT_NE(rid, kInvalidGate) << original.gateName(id);
+      EXPECT_EQ(reparsed.gate(rid).type, original.gate(id).type);
+      ASSERT_EQ(reparsed.gate(rid).fanins.size(), original.gate(id).fanins.size());
+      for (std::size_t k = 0; k < original.gate(id).fanins.size(); ++k) {
+        EXPECT_EQ(reparsed.gateName(reparsed.gate(rid).fanins[k]),
+                  original.gateName(original.gate(id).fanins[k]));
+      }
+    }
+  }
+}
+
+TEST(BenchIo, FileRoundTrip) {
+  const Netlist original = generateNamedCircuit("s344");
+  const std::string path = ::testing::TempDir() + "/s344.bench";
+  writeBenchFile(original, path);
+  const Netlist back = parseBenchFile(path);
+  EXPECT_EQ(back.name(), "s344");
+  EXPECT_EQ(back.gateCount(), original.gateCount());
+}
+
+TEST(BenchIo, ConstantGatesRoundTrip) {
+  Netlist nl("consts");
+  const GateId c0 = nl.addGate(GateType::Const0, "tie0", {});
+  const GateId c1 = nl.addGate(GateType::Const1, "tie1", {});
+  const GateId g = nl.addGate(GateType::Nor, "g", {c0, c1});
+  nl.markOutput(g);
+  const Netlist back = parseBenchString(writeBenchString(nl), "consts");
+  EXPECT_EQ(back.gate(back.findByName("tie0")).type, GateType::Const0);
+  EXPECT_EQ(back.gate(back.findByName("tie1")).type, GateType::Const1);
+  EXPECT_EQ(back.combGateCount(), nl.combGateCount());
+}
+
+TEST(BenchIo, MissingFileThrows) {
+  EXPECT_THROW(parseBenchFile("/nonexistent/file.bench"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scandiag

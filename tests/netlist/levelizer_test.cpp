@@ -1,0 +1,80 @@
+#include "netlist/levelizer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/synthetic_generator.hpp"
+
+namespace scandiag {
+namespace {
+
+Netlist chainCircuit() {
+  Netlist nl("chain");
+  const GateId a = nl.addInput("a");
+  const GateId g1 = nl.addGate(GateType::Not, "g1", {a});
+  const GateId g2 = nl.addGate(GateType::Not, "g2", {g1});
+  const GateId g3 = nl.addGate(GateType::Not, "g3", {g2});
+  nl.markOutput(g3);
+  return nl;
+}
+
+TEST(Levelizer, ChainLevelsAreSequential) {
+  Netlist nl = chainCircuit();
+  const Levelization lev = levelize(nl);
+  EXPECT_EQ(lev.order.size(), 3u);
+  EXPECT_EQ(lev.level[nl.findByName("a")], 0u);
+  EXPECT_EQ(lev.level[nl.findByName("g1")], 1u);
+  EXPECT_EQ(lev.level[nl.findByName("g2")], 2u);
+  EXPECT_EQ(lev.level[nl.findByName("g3")], 3u);
+  EXPECT_EQ(lev.maxLevel, 3u);
+}
+
+TEST(Levelizer, FaninsPrecedeUsers) {
+  Netlist nl = generateNamedCircuit("s953");
+  const Levelization lev = levelize(nl);
+  std::vector<std::size_t> rank(nl.gateCount(), 0);
+  for (std::size_t i = 0; i < lev.order.size(); ++i) rank[lev.order[i]] = i + 1;
+  for (GateId id : lev.order) {
+    for (GateId f : nl.gate(id).fanins) {
+      if (!isSourceType(nl.gate(f).type)) {
+        EXPECT_LT(rank[f], rank[id]) << "gate " << nl.gateName(id);
+      }
+    }
+  }
+}
+
+TEST(Levelizer, OrderIsSortedByLevel) {
+  Netlist nl = generateNamedCircuit("s298");
+  const Levelization lev = levelize(nl);
+  for (std::size_t i = 1; i < lev.order.size(); ++i)
+    EXPECT_LE(lev.level[lev.order[i - 1]], lev.level[lev.order[i]]);
+}
+
+TEST(Levelizer, SequentialLoopThroughDffIsFine) {
+  Netlist nl;
+  const GateId ff = nl.addDff("ff");
+  const GateId inv = nl.addGate(GateType::Not, "inv", {ff});
+  nl.setDffInput(ff, inv);  // classic toggle flop
+  nl.markOutput(ff);
+  EXPECT_NO_THROW(nl.validate());
+  const Levelization lev = levelize(nl);
+  EXPECT_EQ(lev.order.size(), 1u);
+}
+
+TEST(Levelizer, CombinationalCycleDetected) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  // Build g1 -> g2 -> g1 via appendFanin.
+  const GateId g1 = nl.addGate(GateType::And, "g1", {a});
+  const GateId g2 = nl.addGate(GateType::And, "g2", {g1});
+  nl.appendFanin(g1, g2);
+  EXPECT_THROW(levelize(nl), std::invalid_argument);
+}
+
+TEST(Levelizer, CoversAllCombinationalGates) {
+  Netlist nl = generateNamedCircuit("s526");
+  const Levelization lev = levelize(nl);
+  EXPECT_EQ(lev.order.size(), nl.combGateCount());
+}
+
+}  // namespace
+}  // namespace scandiag

@@ -1,0 +1,123 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scandiag {
+namespace {
+
+TEST(GateType, NamesRoundTrip) {
+  for (GateType t : {GateType::Input, GateType::Dff, GateType::Buf, GateType::Not,
+                     GateType::And, GateType::Nand, GateType::Or, GateType::Nor,
+                     GateType::Xor, GateType::Xnor, GateType::Const0, GateType::Const1}) {
+    const auto back = gateTypeFromName(gateTypeName(t));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, t);
+  }
+}
+
+TEST(GateType, ParsingIsCaseInsensitiveAndKnowsBuff) {
+  EXPECT_EQ(gateTypeFromName("nand"), GateType::Nand);
+  EXPECT_EQ(gateTypeFromName("Dff"), GateType::Dff);
+  EXPECT_EQ(gateTypeFromName("BUFF"), GateType::Buf);
+  EXPECT_FALSE(gateTypeFromName("MUX").has_value());
+}
+
+TEST(Netlist, BuildSmallCircuit) {
+  Netlist nl("t");
+  const GateId a = nl.addInput("a");
+  const GateId b = nl.addInput("b");
+  const GateId ff = nl.addDff("ff");
+  const GateId g = nl.addGate(GateType::Nand, "g", {a, b, ff});
+  nl.setDffInput(ff, g);
+  nl.markOutput(g);
+  nl.validate();
+
+  EXPECT_EQ(nl.gateCount(), 4u);
+  EXPECT_EQ(nl.combGateCount(), 1u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.dffs().size(), 1u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.findByName("g"), g);
+  EXPECT_EQ(nl.findByName("nope"), kInvalidGate);
+  EXPECT_EQ(nl.gateName(ff), "ff");
+}
+
+TEST(Netlist, DuplicateNameRejected) {
+  Netlist nl;
+  nl.addInput("x");
+  EXPECT_THROW(nl.addInput("x"), std::invalid_argument);
+  EXPECT_THROW(nl.addDff("x"), std::invalid_argument);
+}
+
+TEST(Netlist, ArityChecked) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId b = nl.addInput("b");
+  EXPECT_THROW(nl.addGate(GateType::Not, "n", {a, b}), std::invalid_argument);
+  EXPECT_THROW(nl.addGate(GateType::And, "g", {}), std::invalid_argument);
+  EXPECT_NO_THROW(nl.addGate(GateType::And, "g4", {a, b, a, b}));
+}
+
+TEST(Netlist, DffMustUseAddDff) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  EXPECT_THROW(nl.addGate(GateType::Dff, "ff", {a}), std::invalid_argument);
+}
+
+TEST(Netlist, UnconnectedDffFailsValidation) {
+  Netlist nl;
+  nl.addInput("a");
+  nl.addDff("ff");
+  EXPECT_THROW(nl.validate(), std::invalid_argument);
+}
+
+TEST(Netlist, UnresolvedFaninRejected) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  EXPECT_THROW(nl.addGate(GateType::Buf, "b", {a + 10}), std::invalid_argument);
+}
+
+TEST(Netlist, FanoutsComputedAndRefreshedAfterMutation) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId g1 = nl.addGate(GateType::Not, "g1", {a});
+  EXPECT_EQ(nl.fanoutCount(a), 1u);
+  const GateId g2 = nl.addGate(GateType::Buf, "g2", {a});
+  EXPECT_EQ(nl.fanoutCount(a), 2u);
+  (void)g1;
+  (void)g2;
+}
+
+TEST(Netlist, AppendFaninOnlyOnVariableArityGates) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId b = nl.addInput("b");
+  const GateId n = nl.addGate(GateType::Not, "n", {a});
+  const GateId g = nl.addGate(GateType::And, "g", {a, b});
+  EXPECT_THROW(nl.appendFanin(n, b), std::invalid_argument);
+  nl.appendFanin(g, n);
+  EXPECT_EQ(nl.gate(g).fanins.size(), 3u);
+  EXPECT_EQ(nl.fanoutCount(n), 1u);
+}
+
+TEST(Netlist, MarkOutputDeduplicates) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  nl.markOutput(a);
+  nl.markOutput(a);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+}
+
+TEST(Netlist, ConstantGates) {
+  Netlist nl;
+  const GateId c0 = nl.addGate(GateType::Const0, "zero", {});
+  const GateId c1 = nl.addGate(GateType::Const1, "one", {});
+  const GateId g = nl.addGate(GateType::Or, "g", {c0, c1});
+  nl.markOutput(g);
+  nl.validate();
+  EXPECT_TRUE(isSourceType(nl.gate(c0).type));
+  EXPECT_TRUE(isSourceType(nl.gate(c1).type));
+}
+
+}  // namespace
+}  // namespace scandiag

@@ -1,0 +1,89 @@
+#include "netlist/verilog_writer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "netlist/synthetic_generator.hpp"
+
+namespace scandiag {
+namespace {
+
+TEST(VerilogWriter, EmitsWellFormedModule) {
+  Netlist nl("demo");
+  const GateId a = nl.addInput("a");
+  const GateId b = nl.addInput("b");
+  const GateId ff = nl.addDff("state");
+  const GateId g = nl.addGate(GateType::Nand, "g", {a, b, ff});
+  nl.setDffInput(ff, g);
+  nl.markOutput(g);
+  nl.validate();
+
+  const std::string v = writeVerilogString(nl);
+  EXPECT_NE(v.find("module demo ("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input a;"), std::string::npos);
+  EXPECT_NE(v.find("output po_g;"), std::string::npos);
+  EXPECT_NE(v.find("nand u_g (g, a, b, state);"), std::string::npos);
+  EXPECT_NE(v.find("state <= g;"), std::string::npos);
+  EXPECT_NE(v.find("assign po_g = g;"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk)"), std::string::npos);
+}
+
+TEST(VerilogWriter, SanitizesAwkwardNames) {
+  Netlist nl("x");
+  const GateId a = nl.addInput("a[3]");
+  const GateId g = nl.addGate(GateType::Not, "1bad.name", {a});
+  const GateId k = nl.addGate(GateType::Buf, "module", {g});
+  nl.markOutput(k);
+  const std::string v = writeVerilogString(nl);
+  EXPECT_EQ(v.find('['), std::string::npos);
+  EXPECT_EQ(v.find(" 1bad"), std::string::npos);  // no identifier starts with a digit
+  EXPECT_NE(v.find("n_1bad_name"), std::string::npos);
+  EXPECT_NE(v.find("n_module"), std::string::npos);
+}
+
+TEST(VerilogWriter, CollisionAfterSanitizationRejected) {
+  Netlist nl("x");
+  const GateId a = nl.addInput("sig.a");
+  nl.addGate(GateType::Not, "sig_a", {a});
+  EXPECT_THROW(writeVerilogString(nl), std::invalid_argument);
+}
+
+TEST(VerilogWriter, ConstantsBecomeAssigns) {
+  Netlist nl("c");
+  const GateId c0 = nl.addGate(GateType::Const0, "zero", {});
+  const GateId c1 = nl.addGate(GateType::Const1, "one", {});
+  const GateId g = nl.addGate(GateType::Or, "g", {c0, c1});
+  nl.markOutput(g);
+  const std::string v = writeVerilogString(nl);
+  EXPECT_NE(v.find("assign zero = 1'b0;"), std::string::npos);
+  EXPECT_NE(v.find("assign one = 1'b1;"), std::string::npos);
+}
+
+TEST(VerilogWriter, HandlesFullGeneratedCircuit) {
+  const Netlist nl = generateNamedCircuit("s953");
+  const std::string v = writeVerilogString(nl);
+  // One primitive instance per combinational gate.
+  std::size_t instances = 0;
+  for (std::size_t pos = v.find(" u_"); pos != std::string::npos; pos = v.find(" u_", pos + 1))
+    ++instances;
+  EXPECT_EQ(instances, nl.combGateCount());
+  // One nonblocking assignment per DFF (reset + data).
+  std::size_t nba = 0;
+  for (std::size_t pos = v.find("<="); pos != std::string::npos; pos = v.find("<=", pos + 1))
+    ++nba;
+  EXPECT_EQ(nba, 2 * nl.dffs().size());
+}
+
+TEST(VerilogWriter, FileWriting) {
+  const Netlist nl = generateNamedCircuit("s27");
+  const std::string path = ::testing::TempDir() + "/s27.v";
+  writeVerilogFile(nl, path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  EXPECT_THROW(writeVerilogFile(nl, "/nonexistent-dir/x.v"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scandiag

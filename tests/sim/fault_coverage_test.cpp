@@ -1,0 +1,59 @@
+#include "sim/fault_coverage.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bist/prpg.hpp"
+#include "netlist/synthetic_generator.hpp"
+#include "sim/fault_list.hpp"
+
+namespace scandiag {
+namespace {
+
+TEST(FaultCoverage, ReportCountsDetectedFaults) {
+  const Netlist nl = generateNamedCircuit("s526");
+  const PatternSet pats = generatePatterns(nl, 128);
+  const FaultSimulator sim(nl, pats);
+  const auto faults = FaultList::enumerateCollapsed(nl).sample(200, 7);
+  const CoverageReport report = measureCoverage(sim, faults);
+  EXPECT_EQ(report.totalFaults, 200u);
+  EXPECT_GT(report.scanCoverage(), 0.5);
+  EXPECT_LE(report.scanCoverage(), 1.0);
+}
+
+TEST(FaultCoverage, FirstDetectingPattern) {
+  FaultResponse r;
+  BitVector s1(16), s2(16);
+  s1.set(9);
+  s2.set(4);
+  s2.set(12);
+  r.errorStreams = {s1, s2};
+  r.failingCellOrdinals = {0, 1};
+  EXPECT_EQ(firstDetectingPattern(r), 4u);
+  FaultResponse empty;
+  EXPECT_EQ(firstDetectingPattern(empty), BitVector::npos);
+}
+
+TEST(FaultCoverage, CurveIsMonotone) {
+  const Netlist nl = generateNamedCircuit("s526");
+  const PatternSet pats = generatePatterns(nl, 256);
+  const FaultSimulator sim(nl, pats);
+  const auto faults = FaultList::enumerateCollapsed(nl).sample(150, 7);
+  const std::vector<std::size_t> checkpoints = {1, 8, 32, 128, 256};
+  const auto curve = coverageCurve(sim, faults, checkpoints);
+  ASSERT_EQ(curve.size(), checkpoints.size());
+  for (std::size_t i = 1; i < curve.size(); ++i) EXPECT_GE(curve[i], curve[i - 1]);
+  // Pseudorandom coverage saturates: most detection happens early.
+  EXPECT_GT(curve[2], curve.back() * 3 / 4);
+  // The full-window count equals measureCoverage's detected count.
+  EXPECT_EQ(curve.back(), measureCoverage(sim, faults).scanDetected);
+}
+
+TEST(FaultCoverage, UnsortedCheckpointsRejected) {
+  const Netlist nl = generateNamedCircuit("s298");
+  const PatternSet pats = generatePatterns(nl, 32);
+  const FaultSimulator sim(nl, pats);
+  EXPECT_THROW(coverageCurve(sim, {}, {8, 4}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scandiag

@@ -1,0 +1,123 @@
+#include "sim/fault_list.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "netlist/synthetic_generator.hpp"
+
+namespace scandiag {
+namespace {
+
+// a,b both fan out to g (AND) and h (OR).
+struct FanoutFixture {
+  Netlist nl;
+  GateId a, b, g, h;
+  FanoutFixture() {
+    a = nl.addInput("a");
+    b = nl.addInput("b");
+    g = nl.addGate(GateType::And, "g", {a, b});
+    h = nl.addGate(GateType::Or, "h", {a, b});
+    nl.markOutput(g);
+    nl.markOutput(h);
+  }
+};
+
+std::size_t countFaults(const FaultList& list, GateId gate, bool output) {
+  std::size_t n = 0;
+  for (const FaultSite& f : list.faults())
+    if (f.gate == gate && f.isOutputFault() == output) ++n;
+  return n;
+}
+
+TEST(FaultList, StemFaultsOnEveryObservedGate) {
+  FanoutFixture f;
+  const FaultList list = FaultList::enumerateAll(f.nl);
+  EXPECT_EQ(countFaults(list, f.a, true), 2u);
+  EXPECT_EQ(countFaults(list, f.g, true), 2u);
+}
+
+TEST(FaultList, BranchFaultsOnlyAtFanoutStems) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId g = nl.addGate(GateType::Not, "g", {a});  // a has fanout 1
+  const GateId h = nl.addGate(GateType::Buf, "h", {g});
+  const GateId k = nl.addGate(GateType::Not, "k", {g});  // g has fanout 2
+  nl.markOutput(h);
+  nl.markOutput(k);
+  const FaultList list = FaultList::enumerateAll(nl);
+  EXPECT_EQ(countFaults(list, g, false), 0u);  // no branch faults on g's input
+  EXPECT_EQ(countFaults(list, h, false), 2u);  // branches on h's input (from g)
+  EXPECT_EQ(countFaults(list, k, false), 2u);
+}
+
+TEST(FaultList, CollapsingDropsControlledInputFaults) {
+  FanoutFixture f;
+  const FaultList all = FaultList::enumerateAll(f.nl);
+  const FaultList collapsed = FaultList::enumerateCollapsed(f.nl);
+  EXPECT_LT(collapsed.size(), all.size());
+  // AND input SA0 collapses into the stem; SA1 branches survive.
+  for (const FaultSite& fault : collapsed.faults()) {
+    if (fault.gate == f.g && !fault.isOutputFault()) {
+      EXPECT_TRUE(fault.stuckAt);
+    }
+    if (fault.gate == f.h && !fault.isOutputFault()) {
+      EXPECT_FALSE(fault.stuckAt);
+    }
+  }
+}
+
+TEST(FaultList, UnobservedStemSkipped) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId g = nl.addGate(GateType::Not, "g", {a});  // dangling
+  (void)g;
+  const FaultList list = FaultList::enumerateAll(nl);
+  EXPECT_EQ(countFaults(list, g, true), 0u);
+  EXPECT_EQ(countFaults(list, a, true), 2u);  // a is observed (drives g)
+}
+
+TEST(FaultList, DffPinsGetBranchFaultsWhenDriverFansOut) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId ff1 = nl.addDff("ff1");
+  const GateId ff2 = nl.addDff("ff2");
+  nl.setDffInput(ff1, a);
+  nl.setDffInput(ff2, a);
+  nl.markOutput(ff1);
+  nl.markOutput(ff2);
+  const FaultList list = FaultList::enumerateCollapsed(nl);
+  EXPECT_EQ(countFaults(list, ff1, false), 2u);
+  EXPECT_EQ(countFaults(list, ff2, false), 2u);
+}
+
+TEST(FaultList, SampleIsDeterministicAndDistinct) {
+  const Netlist nl = generateNamedCircuit("s526");
+  const FaultList list = FaultList::enumerateCollapsed(nl);
+  const auto s1 = list.sample(50, 123);
+  const auto s2 = list.sample(50, 123);
+  ASSERT_EQ(s1.size(), 50u);
+  EXPECT_TRUE(std::equal(s1.begin(), s1.end(), s2.begin()));
+  std::set<std::tuple<GateId, int, bool>> distinct;
+  for (const FaultSite& f : s1) distinct.insert({f.gate, f.pin, f.stuckAt});
+  EXPECT_EQ(distinct.size(), 50u);
+  const auto s3 = list.sample(50, 124);
+  EXPECT_FALSE(std::equal(s1.begin(), s1.end(), s3.begin()));
+}
+
+TEST(FaultList, SampleLargerThanUniverseReturnsAll) {
+  FanoutFixture f;
+  const FaultList list = FaultList::enumerateCollapsed(f.nl);
+  const auto s = list.sample(100000, 7);
+  EXPECT_EQ(s.size(), list.size());
+}
+
+TEST(FaultList, UniverseScalesWithCircuit) {
+  const Netlist small = generateNamedCircuit("s298");
+  const Netlist large = generateNamedCircuit("s5378");
+  EXPECT_GT(FaultList::enumerateCollapsed(large).size(),
+            FaultList::enumerateCollapsed(small).size() * 10);
+}
+
+}  // namespace
+}  // namespace scandiag

@@ -1,0 +1,174 @@
+#include "sim/fault_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bist/prpg.hpp"
+#include "netlist/synthetic_generator.hpp"
+#include "sim/fault_list.hpp"
+
+namespace scandiag {
+namespace {
+
+// Reference implementation: full (non-cone) re-simulation in level order with
+// the fault forced at its site. Any divergence from FaultSimulator's
+// cone-restricted evaluation is a bug in one of them.
+std::vector<BitVector> referenceCaptures(const Netlist& nl, const PatternSet& pats,
+                                         const FaultSite& fault) {
+  const LogicSimulator sim(nl);
+  const std::size_t words = pats.wordCount();
+  const std::size_t numDffs = nl.dffs().size();
+  const SimWord stuck = fault.stuckAt ? ~SimWord{0} : SimWord{0};
+  std::vector<BitVector> captures(numDffs, BitVector(pats.numPatterns()));
+  for (std::size_t w = 0; w < words; ++w) {
+    std::vector<SimWord> values(nl.gateCount(), 0);
+    for (GateId id = 0; id < nl.gateCount(); ++id)
+      if (pats.isSource(id)) values[id] = pats.word(id, w);
+    if (fault.isOutputFault() && isSourceType(nl.gate(fault.gate).type))
+      values[fault.gate] = stuck;
+    // Single level-order pass with the fault forced at its site: every
+    // downstream gate reads the faulty value.
+    for (GateId id : sim.levelization().order) {
+      if (id == fault.gate && fault.isOutputFault()) {
+        values[id] = stuck;
+      } else if (id == fault.gate && !fault.isOutputFault()) {
+        const Gate& g = nl.gate(id);
+        const SimWord orig = values[g.fanins[fault.pin]];
+        values[g.fanins[fault.pin]] = stuck;
+        values[id] = sim.evalGate(id, values);
+        values[g.fanins[fault.pin]] = orig;
+      } else {
+        values[id] = sim.evalGate(id, values);
+      }
+    }
+    for (std::size_t k = 0; k < numDffs; ++k) {
+      const GateId dff = nl.dffs()[k];
+      const bool dffPinFault = !fault.isOutputFault() && fault.gate == dff;
+      const SimWord captured = dffPinFault ? stuck : values[nl.gate(dff).fanins[0]];
+      captures[k].setWord(w, captured);
+    }
+  }
+  return captures;
+}
+
+class FaultSimAgainstReference : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(FaultSimAgainstReference, ErrorStreamsMatchFullResimulation) {
+  const Netlist nl = generateNamedCircuit(GetParam());
+  const PatternSet pats = generatePatterns(nl, 96);
+  const FaultSimulator fsim(nl, pats);
+  const FaultList universe = FaultList::enumerateCollapsed(nl);
+  const auto faults = universe.sample(40, 0x5EED);
+  for (const FaultSite& fault : faults) {
+    const FaultResponse resp = fsim.simulate(fault);
+    const std::vector<BitVector> faulty = referenceCaptures(nl, pats, fault);
+    for (std::size_t k = 0; k < nl.dffs().size(); ++k) {
+      const BitVector expectedErr = faulty[k] ^ fsim.goodCaptures()[k];
+      EXPECT_EQ(resp.failingCells.test(k), expectedErr.any())
+          << describeFault(nl, fault) << " cell " << k;
+      if (resp.failingCells.test(k)) {
+        // Find the stream for cell k.
+        bool found = false;
+        for (std::size_t i = 0; i < resp.failingCellOrdinals.size(); ++i) {
+          if (resp.failingCellOrdinals[i] == k) {
+            EXPECT_EQ(resp.errorStreams[i], expectedErr) << describeFault(nl, fault);
+            found = true;
+          }
+        }
+        EXPECT_TRUE(found);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, FaultSimAgainstReference,
+                         ::testing::Values("s27", "s298", "s344", "s526"));
+
+TEST(FaultSimulator, GoodCapturesConsistentWithPlainSimulation) {
+  const Netlist nl = generateNamedCircuit("s298");
+  const PatternSet pats = generatePatterns(nl, 64);
+  const FaultSimulator fsim(nl, pats);
+  const LogicSimulator sim(nl);
+  std::vector<SimWord> values(nl.gateCount(), 0);
+  for (GateId id = 0; id < nl.gateCount(); ++id)
+    if (pats.isSource(id)) values[id] = pats.word(id, 0);
+  sim.evaluate(values);
+  for (std::size_t k = 0; k < nl.dffs().size(); ++k) {
+    EXPECT_EQ(fsim.goodCaptures()[k].word(0), values[nl.gate(nl.dffs()[k]).fanins[0]]);
+  }
+}
+
+TEST(FaultSimulator, UndetectedFaultHasEmptyResponse) {
+  // A fault whose cone reaches only primary outputs is scan-undetectable.
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId ff = nl.addDff("ff");
+  const GateId po = nl.addGate(GateType::Not, "po", {a});
+  nl.setDffInput(ff, a);
+  nl.markOutput(po);
+  nl.validate();
+  const PatternSet pats = generatePatterns(nl, 32);
+  const FaultSimulator fsim(nl, pats);
+  const FaultResponse r = fsim.simulate({po, FaultSite::kOutputPin, true});
+  EXPECT_FALSE(r.detected());
+  EXPECT_TRUE(r.failingCells.none());
+}
+
+TEST(FaultSimulator, DffPinFaultFailsExactlyThatCell) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId ff1 = nl.addDff("ff1");
+  const GateId ff2 = nl.addDff("ff2");
+  nl.setDffInput(ff1, a);
+  nl.setDffInput(ff2, a);
+  nl.markOutput(ff1);
+  nl.markOutput(ff2);
+  const PatternSet pats = generatePatterns(nl, 64);
+  const FaultSimulator fsim(nl, pats);
+  const FaultResponse r = fsim.simulate({ff1, 0, true});
+  ASSERT_TRUE(r.detected());
+  EXPECT_EQ(r.failingCellCount(), 1u);
+  EXPECT_EQ(r.failingCellOrdinals[0], 0u);
+  // Error stream: patterns where a == 0.
+  const BitVector& aStream = pats.stream(a);
+  for (std::size_t t = 0; t < 64; ++t)
+    EXPECT_EQ(r.errorStreams[0].test(t), !aStream.test(t)) << "pattern " << t;
+}
+
+TEST(FaultSimulator, ErrorStreamsMaskedToPatternCount) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId ff = nl.addDff("ff");
+  nl.setDffInput(ff, a);
+  nl.markOutput(ff);
+  const PatternSet pats = generatePatterns(nl, 10);  // non-multiple of 64
+  const FaultSimulator fsim(nl, pats);
+  const FaultResponse r = fsim.simulate({a, FaultSite::kOutputPin, true});
+  if (r.detected()) {
+    EXPECT_EQ(r.errorStreams[0].size(), 10u);
+    EXPECT_LE(r.errorStreams[0].count(), 10u);
+  }
+}
+
+TEST(FaultSimulator, CollectDetectedStopsAtTarget) {
+  const Netlist nl = generateNamedCircuit("s953");
+  const PatternSet pats = generatePatterns(nl, 64);
+  const FaultSimulator fsim(nl, pats);
+  const FaultList universe = FaultList::enumerateCollapsed(nl);
+  const auto candidates = universe.sample(universe.size(), 1);
+  const auto responses = fsim.collectDetected(candidates, 20);
+  EXPECT_EQ(responses.size(), 20u);
+  for (const FaultResponse& r : responses) EXPECT_TRUE(r.detected());
+}
+
+TEST(PatternSet, StreamsOnlyForSources) {
+  const Netlist nl = generateNamedCircuit("s27");
+  PatternSet pats(nl, 16);
+  for (GateId id = 0; id < nl.gateCount(); ++id) {
+    const GateType t = nl.gate(id).type;
+    EXPECT_EQ(pats.isSource(id), t == GateType::Input || t == GateType::Dff);
+  }
+  EXPECT_THROW(pats.stream(nl.findByName("g0")), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scandiag

@@ -1,0 +1,188 @@
+#include "sim/logic_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scandiag {
+namespace {
+
+// Exhaustive two-input truth tables, evaluated bit-parallel: bit t of the
+// input words encodes pattern t of (a, b) = (t&1, t>>1).
+TEST(LogicSimulator, TwoInputTruthTables) {
+  struct Case {
+    GateType type;
+    std::uint64_t expected;  // 4-bit truth table for patterns 00,01,10,11 (a=LSB)
+  };
+  const Case cases[] = {
+      {GateType::And, 0b1000},  {GateType::Nand, 0b0111}, {GateType::Or, 0b1110},
+      {GateType::Nor, 0b0001},  {GateType::Xor, 0b0110},  {GateType::Xnor, 0b1001},
+  };
+  for (const Case& c : cases) {
+    Netlist nl;
+    const GateId a = nl.addInput("a");
+    const GateId b = nl.addInput("b");
+    const GateId g = nl.addGate(c.type, "g", {a, b});
+    nl.markOutput(g);
+    const LogicSimulator sim(nl);
+    std::vector<SimWord> values(nl.gateCount(), 0);
+    values[a] = 0b1010;  // a = pattern bit 0
+    values[b] = 0b1100;  // b = pattern bit 1
+    sim.evaluate(values);
+    EXPECT_EQ(values[g] & 0xF, c.expected) << gateTypeName(c.type);
+  }
+}
+
+TEST(LogicSimulator, NotBufConst) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId n = nl.addGate(GateType::Not, "n", {a});
+  const GateId buf = nl.addGate(GateType::Buf, "buf", {a});
+  const GateId c0 = nl.addGate(GateType::Const0, "c0", {});
+  const GateId c1 = nl.addGate(GateType::Const1, "c1", {});
+  nl.markOutput(n);
+  const LogicSimulator sim(nl);
+  std::vector<SimWord> values(nl.gateCount(), 0);
+  values[a] = 0xDEADBEEF;
+  sim.evaluate(values);
+  EXPECT_EQ(values[n], ~SimWord{0xDEADBEEF});
+  EXPECT_EQ(values[buf], SimWord{0xDEADBEEF});
+  EXPECT_EQ(values[c0], SimWord{0});
+  EXPECT_EQ(values[c1], ~SimWord{0});
+}
+
+TEST(LogicSimulator, WideGates) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId b = nl.addInput("b");
+  const GateId c = nl.addInput("c");
+  const GateId g = nl.addGate(GateType::Nand, "g", {a, b, c});
+  nl.markOutput(g);
+  const LogicSimulator sim(nl);
+  std::vector<SimWord> values(nl.gateCount(), 0);
+  values[a] = 0b10101010;
+  values[b] = 0b11001100;
+  values[c] = 0b11110000;
+  sim.evaluate(values);
+  EXPECT_EQ(values[g] & 0xFF, 0b01111111u);
+}
+
+TEST(LogicSimulator, S27SingleCycleHandCheck) {
+  // One functional cycle of s27 with known state/input values.
+  Netlist nl;
+  const GateId g0 = nl.addInput("G0");
+  const GateId g1 = nl.addInput("G1");
+  const GateId g2 = nl.addInput("G2");
+  const GateId g3 = nl.addInput("G3");
+  const GateId g5 = nl.addDff("G5");
+  const GateId g6 = nl.addDff("G6");
+  const GateId g7 = nl.addDff("G7");
+  const GateId g14 = nl.addGate(GateType::Not, "G14", {g0});
+  const GateId g8 = nl.addGate(GateType::And, "G8", {g14, g6});
+  const GateId g12 = nl.addGate(GateType::Nor, "G12", {g1, g7});
+  const GateId g15 = nl.addGate(GateType::Or, "G15", {g12, g8});
+  const GateId g16 = nl.addGate(GateType::Or, "G16", {g3, g8});
+  const GateId g9 = nl.addGate(GateType::Nand, "G9", {g16, g15});
+  const GateId g11 = nl.addGate(GateType::Nor, "G11", {g5, g9});
+  const GateId g10 = nl.addGate(GateType::Nor, "G10", {g14, g11});
+  const GateId g13 = nl.addGate(GateType::Nor, "G13", {g2, g12});
+  const GateId g17 = nl.addGate(GateType::Not, "G17", {g11});
+  nl.setDffInput(g5, g10);
+  nl.setDffInput(g6, g11);
+  nl.setDffInput(g7, g13);
+  nl.markOutput(g17);
+  nl.validate();
+
+  const LogicSimulator sim(nl);
+  std::vector<SimWord> values(nl.gateCount(), 0);
+  // Pattern (bit 0): G0=1 G1=0 G2=1 G3=0, state G5=0 G6=1 G7=0.
+  values[g0] = 1;
+  values[g2] = 1;
+  values[g6] = 1;
+  sim.evaluate(values);
+  // Hand evaluation: G14=!1=0, G8=0&1=0, G12=!(0|0)=1, G15=1|0=1, G16=0|0=0,
+  // G9=!(0&1)=1, G11=!(0|1)=0, G10=!(0|0)=1, G13=!(1|1)=0, G17=!0=1.
+  EXPECT_EQ(values[g14] & 1, 0u);
+  EXPECT_EQ(values[g8] & 1, 0u);
+  EXPECT_EQ(values[g12] & 1, 1u);
+  EXPECT_EQ(values[g15] & 1, 1u);
+  EXPECT_EQ(values[g16] & 1, 0u);
+  EXPECT_EQ(values[g9] & 1, 1u);
+  EXPECT_EQ(values[g11] & 1, 0u);
+  EXPECT_EQ(values[g10] & 1, 1u);
+  EXPECT_EQ(values[g13] & 1, 0u);
+  EXPECT_EQ(values[g17] & 1, 1u);
+}
+
+TEST(LogicSimulator, OutputFaultForcesValue) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId g = nl.addGate(GateType::Not, "g", {a});
+  const GateId h = nl.addGate(GateType::Buf, "h", {g});
+  const GateId ff = nl.addDff("ff");
+  nl.setDffInput(ff, h);
+  nl.markOutput(h);
+  const LogicSimulator sim(nl);
+  const Levelization lev = levelize(nl);
+  std::vector<SimWord> values(nl.gateCount(), 0);
+  values[a] = 0xFFFF;
+  sim.evaluate(values);
+  EXPECT_EQ(values[h] & 0xFFFF, 0u);
+
+  const FaultSite sa1{g, FaultSite::kOutputPin, true};
+  const FaultCone cone = computeCone(nl, lev, g);
+  sim.evaluateFaulty(sa1, cone, values);
+  EXPECT_EQ(values[g], ~SimWord{0});
+  EXPECT_EQ(values[h], ~SimWord{0});
+}
+
+TEST(LogicSimulator, PinFaultAffectsOnlyOwningGate) {
+  // b drives both g and h; a pin fault on g's b-input must leave h untouched.
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId b = nl.addInput("b");
+  const GateId g = nl.addGate(GateType::And, "g", {a, b});
+  const GateId h = nl.addGate(GateType::And, "h", {a, b});
+  nl.markOutput(g);
+  nl.markOutput(h);
+  const LogicSimulator sim(nl);
+  const Levelization lev = levelize(nl);
+  std::vector<SimWord> values(nl.gateCount(), 0);
+  values[a] = ~SimWord{0};
+  values[b] = 0;
+  sim.evaluate(values);
+  EXPECT_EQ(values[g], SimWord{0});
+
+  const FaultSite pinFault{g, /*pin=*/1, /*stuckAt=*/true};
+  const FaultCone cone = computeCone(nl, lev, g);
+  sim.evaluateFaulty(pinFault, cone, values);
+  EXPECT_EQ(values[g], ~SimWord{0});  // b seen as 1 inside g
+  EXPECT_EQ(values[h], SimWord{0});   // h still sees the real b
+}
+
+TEST(LogicSimulator, SourceOutputFault) {
+  Netlist nl;
+  const GateId a = nl.addInput("a");
+  const GateId g = nl.addGate(GateType::Buf, "g", {a});
+  nl.markOutput(g);
+  const LogicSimulator sim(nl);
+  const Levelization lev = levelize(nl);
+  std::vector<SimWord> values(nl.gateCount(), 0);
+  values[a] = ~SimWord{0};
+  sim.evaluate(values);
+  const FaultSite sa0{a, FaultSite::kOutputPin, false};
+  const FaultCone cone = computeCone(nl, lev, a);
+  sim.evaluateFaulty(sa0, cone, values);
+  EXPECT_EQ(values[a], SimWord{0});
+  EXPECT_EQ(values[g], SimWord{0});
+}
+
+TEST(DescribeFault, Formats) {
+  Netlist nl;
+  const GateId a = nl.addInput("sig");
+  const GateId g = nl.addGate(GateType::Not, "inv", {a});
+  (void)g;
+  EXPECT_EQ(describeFault(nl, {a, FaultSite::kOutputPin, true}), "sig/SA1");
+  EXPECT_EQ(describeFault(nl, {g, 0, false}), "inv.in0/SA0");
+}
+
+}  // namespace
+}  // namespace scandiag

@@ -1,0 +1,63 @@
+#include "sim/parallel_fault_simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bist/prpg.hpp"
+#include "netlist/synthetic_generator.hpp"
+#include "sim/fault_coverage.hpp"
+#include "sim/fault_list.hpp"
+
+namespace scandiag {
+namespace {
+
+class EngineEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EngineEquivalence, DetectionMatchesSerialFaultSimulator) {
+  const Netlist nl = generateNamedCircuit(GetParam());
+  const PatternSet pats = generatePatterns(nl, 96);
+  const FaultSimulator serial(nl, pats);
+  const ParallelFaultSimulator parallel(nl, pats);
+  const auto faults = FaultList::enumerateCollapsed(nl).sample(200, 0xF0F);
+  const std::vector<bool> detected = parallel.detectFaults(faults);
+  ASSERT_EQ(detected.size(), faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(detected[i], serial.simulate(faults[i]).detected())
+        << describeFault(nl, faults[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, EngineEquivalence,
+                         ::testing::Values("s27", "s298", "s526", "s953", "s1423"));
+
+TEST(ParallelFaultSimulator, BatchBoundariesHandled) {
+  // Exercise a fault count that is not a multiple of 64.
+  const Netlist nl = generateNamedCircuit("s526");
+  const PatternSet pats = generatePatterns(nl, 64);
+  const FaultSimulator serial(nl, pats);
+  const ParallelFaultSimulator parallel(nl, pats);
+  const auto faults = FaultList::enumerateCollapsed(nl).sample(65, 0xB0B);
+  const auto detected = parallel.detectFaults(faults);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    EXPECT_EQ(detected[i], serial.simulate(faults[i]).detected());
+  }
+}
+
+TEST(ParallelFaultSimulator, CountMatchesCoverageReport) {
+  const Netlist nl = generateNamedCircuit("s953");
+  const PatternSet pats = generatePatterns(nl, 64);
+  const FaultSimulator serial(nl, pats);
+  const ParallelFaultSimulator parallel(nl, pats);
+  const auto faults = FaultList::enumerateCollapsed(nl).sample(300, 0xC0);
+  EXPECT_EQ(parallel.countDetected(faults), measureCoverage(serial, faults).scanDetected);
+}
+
+TEST(ParallelFaultSimulator, EmptyFaultList) {
+  const Netlist nl = generateNamedCircuit("s27");
+  const PatternSet pats = generatePatterns(nl, 16);
+  const ParallelFaultSimulator parallel(nl, pats);
+  EXPECT_TRUE(parallel.detectFaults({}).empty());
+  EXPECT_EQ(parallel.countDetected({}), 0u);
+}
+
+}  // namespace
+}  // namespace scandiag

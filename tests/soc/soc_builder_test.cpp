@@ -1,0 +1,98 @@
+#include "soc/soc_builder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scandiag {
+namespace {
+
+// Small custom SOC used by most tests to keep runtimes low.
+Soc smallSoc(std::size_t tamWidth = 1) {
+  return buildSocFromModules("mini", {"s298", "s344", "s526"}, tamWidth);
+}
+
+TEST(SocBuilder, OffsetsAreContiguous) {
+  const Soc soc = smallSoc();
+  std::size_t expected = 0;
+  for (const CoreInstance& core : soc.cores()) {
+    EXPECT_EQ(core.cellOffset, expected);
+    expected += core.numCells();
+  }
+  EXPECT_EQ(soc.totalCells(), expected);
+}
+
+TEST(SocBuilder, CoreOfCellMapsBoundariesCorrectly) {
+  const Soc soc = smallSoc();
+  for (std::size_t k = 0; k < soc.coreCount(); ++k) {
+    const CoreInstance& core = soc.core(k);
+    EXPECT_EQ(soc.coreOfCell(core.cellOffset), k);
+    EXPECT_EQ(soc.coreOfCell(core.cellOffset + core.numCells() - 1), k);
+  }
+  EXPECT_THROW(soc.coreOfCell(soc.totalCells()), std::invalid_argument);
+}
+
+TEST(SocBuilder, CoreIndexByName) {
+  const Soc soc = smallSoc();
+  EXPECT_EQ(soc.coreIndex("s344"), 1u);
+  EXPECT_THROW(soc.coreIndex("sXXX"), std::invalid_argument);
+}
+
+TEST(SocBuilder, Soc1IsSixLargestSingleChain) {
+  const Soc soc = buildSoc1();
+  EXPECT_EQ(soc.coreCount(), 6u);
+  EXPECT_EQ(soc.topology().numChains(), 1u);
+  std::size_t dffSum = 0;
+  for (const std::string& name : sixLargestIscas89()) dffSum += iscas89Profile(name).numDffs;
+  EXPECT_EQ(soc.totalCells(), dffSum);
+  EXPECT_EQ(soc.topology().maxChainLength(), dffSum);
+}
+
+TEST(SocBuilder, D695HasEightCoresOnEightChains) {
+  const Soc soc = buildD695();
+  EXPECT_EQ(soc.coreCount(), 8u);
+  EXPECT_EQ(soc.topology().numChains(), 8u);
+  EXPECT_EQ(soc.core(0).name, "s838");  // daisy-chain order of paper Fig. 4
+  EXPECT_EQ(soc.core(3).name, "s38584");
+}
+
+TEST(SocBuilder, CoresOccupyContiguousPositionRuns) {
+  const Soc soc = smallSoc(2);
+  for (std::size_t k = 0; k < soc.coreCount(); ++k) {
+    const CoreInstance& core = soc.core(k);
+    // Collect this core's positions; they must form at most tamWidth runs
+    // whose union is an interval per chain. Cheap check: position spread per
+    // chain <= core cell count.
+    std::vector<std::size_t> minPos(soc.topology().numChains(), static_cast<std::size_t>(-1));
+    std::vector<std::size_t> maxPos(soc.topology().numChains(), 0);
+    std::vector<std::size_t> perChain(soc.topology().numChains(), 0);
+    for (std::size_t cell = core.cellOffset; cell < core.cellOffset + core.numCells(); ++cell) {
+      const auto loc = soc.topology().location(cell);
+      minPos[loc.chain] = std::min(minPos[loc.chain], loc.position);
+      maxPos[loc.chain] = std::max(maxPos[loc.chain], loc.position);
+      ++perChain[loc.chain];
+    }
+    for (std::size_t c = 0; c < perChain.size(); ++c) {
+      if (perChain[c] == 0) continue;
+      EXPECT_EQ(maxPos[c] - minPos[c] + 1, perChain[c])
+          << "core " << core.name << " fragmented on chain " << c;
+    }
+  }
+}
+
+TEST(SocBuilder, ValidatesCoreNetlists) {
+  const Soc soc = smallSoc();
+  for (const CoreInstance& core : soc.cores()) EXPECT_NO_THROW(core.netlist.validate());
+}
+
+TEST(Soc, ConstructionInvariantsEnforced) {
+  std::vector<CoreInstance> cores;
+  CoreInstance c;
+  c.name = "a";
+  c.netlist = generateNamedCircuit("s298");
+  c.cellOffset = 5;  // wrong: must start at 0
+  cores.push_back(std::move(c));
+  EXPECT_THROW(Soc("bad", std::move(cores), ScanTopology::singleChain(14)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scandiag

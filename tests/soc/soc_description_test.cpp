@@ -1,0 +1,91 @@
+#include "soc/soc_description.hpp"
+
+#include <gtest/gtest.h>
+
+#include "soc/soc_builder.hpp"
+
+namespace scandiag {
+namespace {
+
+const char* kMini = R"(# test soc
+soc mini
+tam 2
+core u_a profile s298
+core u_b inputs 4 outputs 2 dffs 10 gates 50
+)";
+
+TEST(SocDescription, ParsesNamesTamAndCores) {
+  const SocDescription d = parseSocDescriptionString(kMini);
+  EXPECT_EQ(d.name, "mini");
+  EXPECT_EQ(d.tamWidth, 2u);
+  ASSERT_EQ(d.cores.size(), 2u);
+  EXPECT_EQ(d.cores[0].instanceName, "u_a");
+  EXPECT_EQ(d.cores[0].profile.name, "s298");
+  EXPECT_EQ(d.cores[0].profile.numDffs, iscas89Profile("s298").numDffs);
+  EXPECT_EQ(d.cores[1].profile.numDffs, 10u);
+  EXPECT_EQ(d.cores[1].profile.numGates, 50u);
+}
+
+TEST(SocDescription, ErrorsCarryLineNumbers) {
+  try {
+    parseSocDescriptionString("soc x\ncore bad profile nothere\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(SocDescription, RejectsMalformedInput) {
+  EXPECT_THROW(parseSocDescriptionString("tam 4\n"), std::invalid_argument);  // no soc
+  EXPECT_THROW(parseSocDescriptionString("soc x\n"), std::invalid_argument);  // no cores
+  EXPECT_THROW(parseSocDescriptionString("soc x\nsoc y\ncore a profile s27\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parseSocDescriptionString("soc x\ntam 0\ncore a profile s27\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parseSocDescriptionString("soc x\ncore a inputs 3 outputs 1\n"),
+               std::invalid_argument);  // missing dffs/gates
+  EXPECT_THROW(parseSocDescriptionString("soc x\ncore a profile s27\ncore a profile s27\n"),
+               std::invalid_argument);  // duplicate instance
+  EXPECT_THROW(parseSocDescriptionString("soc x\nbogus 1\ncore a profile s27\n"),
+               std::invalid_argument);
+}
+
+TEST(SocDescription, RoundTrips) {
+  const SocDescription d = parseSocDescriptionString(kMini);
+  const SocDescription back = parseSocDescriptionString(writeSocDescription(d));
+  EXPECT_EQ(back.name, d.name);
+  EXPECT_EQ(back.tamWidth, d.tamWidth);
+  ASSERT_EQ(back.cores.size(), d.cores.size());
+  for (std::size_t i = 0; i < d.cores.size(); ++i) {
+    EXPECT_EQ(back.cores[i].instanceName, d.cores[i].instanceName);
+    EXPECT_EQ(back.cores[i].profile.numDffs, d.cores[i].profile.numDffs);
+  }
+}
+
+TEST(SocDescription, BuildsWorkingSoc) {
+  const Soc soc = buildSocFromDescription(parseSocDescriptionString(kMini));
+  EXPECT_EQ(soc.name(), "mini");
+  EXPECT_EQ(soc.coreCount(), 2u);
+  EXPECT_EQ(soc.topology().numChains(), 2u);
+  EXPECT_EQ(soc.totalCells(), iscas89Profile("s298").numDffs + 10u);
+}
+
+TEST(SocDescription, D695FileMatchesBuiltinBuilder) {
+  const SocDescription d = parseSocDescriptionFile("data/d695.soc");
+  const Soc fromFile = buildSocFromDescription(d);
+  const Soc builtin = buildD695();
+  EXPECT_EQ(fromFile.coreCount(), builtin.coreCount());
+  EXPECT_EQ(fromFile.totalCells(), builtin.totalCells());
+  EXPECT_EQ(fromFile.topology().numChains(), builtin.topology().numChains());
+  for (std::size_t k = 0; k < builtin.coreCount(); ++k) {
+    EXPECT_EQ(fromFile.core(k).name, builtin.core(k).name);
+    EXPECT_EQ(fromFile.core(k).numCells(), builtin.core(k).numCells());
+  }
+}
+
+TEST(SocDescription, MissingFileThrows) {
+  EXPECT_THROW(parseSocDescriptionFile("/nonexistent.soc"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scandiag

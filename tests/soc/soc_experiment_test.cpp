@@ -1,0 +1,101 @@
+#include "soc/soc_experiment_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "soc/soc_builder.hpp"
+
+namespace scandiag {
+namespace {
+
+Soc miniSoc(std::size_t tamWidth = 1) {
+  return buildSocFromModules("mini", {"s298", "s344", "s526"}, tamWidth);
+}
+
+WorkloadConfig quickWorkload() {
+  WorkloadConfig wc;
+  wc.numPatterns = 64;
+  wc.numFaults = 40;
+  return wc;
+}
+
+TEST(SocExperiment, ResponsesAreGlobalAndConfinedToFailingCore) {
+  const Soc soc = miniSoc();
+  const std::size_t coreIdx = 1;
+  const auto responses = socResponsesForFailingCore(soc, coreIdx, quickWorkload());
+  ASSERT_FALSE(responses.empty());
+  const CoreInstance& core = soc.core(coreIdx);
+  for (const FaultResponse& r : responses) {
+    EXPECT_TRUE(r.detected());
+    EXPECT_EQ(r.failingCells.size(), soc.totalCells());
+    for (std::size_t cell : r.failingCells.toIndices()) {
+      EXPECT_GE(cell, core.cellOffset);
+      EXPECT_LT(cell, core.cellOffset + core.numCells());
+    }
+    // Parallel arrays consistent.
+    ASSERT_EQ(r.failingCellOrdinals.size(), r.errorStreams.size());
+    for (std::size_t ord : r.failingCellOrdinals) EXPECT_TRUE(r.failingCells.test(ord));
+  }
+}
+
+TEST(SocExperiment, DifferentCoresGetDifferentFaultSamples) {
+  const Soc soc = miniSoc();
+  const auto r0 = socResponsesForFailingCore(soc, 0, quickWorkload());
+  const auto r2 = socResponsesForFailingCore(soc, 2, quickWorkload());
+  ASSERT_FALSE(r0.empty());
+  ASSERT_FALSE(r2.empty());
+  EXPECT_FALSE(r0[0].failingCells.intersects(r2[0].failingCells));
+}
+
+TEST(SocExperiment, DiagnosisOnSocIsSound) {
+  const Soc soc = miniSoc();
+  DiagnosisConfig config;
+  config.scheme = SchemeKind::TwoStep;
+  config.numPartitions = 4;
+  config.groupsPerPartition = 8;
+  config.numPatterns = 64;
+  const DiagnosisPipeline pipeline(soc.topology(), config);
+  for (std::size_t k = 0; k < soc.coreCount(); ++k) {
+    for (const FaultResponse& r : socResponsesForFailingCore(soc, k, quickWorkload())) {
+      const FaultDiagnosis d = pipeline.diagnose(r);
+      EXPECT_TRUE(r.failingCells.isSubsetOf(d.candidates.cells));
+    }
+  }
+}
+
+TEST(SocExperiment, EvaluateSocDrCoversEveryCore) {
+  const Soc soc = miniSoc();
+  DiagnosisConfig config;
+  config.scheme = SchemeKind::TwoStep;
+  config.numPartitions = 4;
+  config.groupsPerPartition = 8;
+  config.numPatterns = 64;
+  const auto rows = evaluateSocDr(soc, quickWorkload(), config);
+  ASSERT_EQ(rows.size(), soc.coreCount());
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    EXPECT_EQ(rows[k].failingCore, soc.core(k).name);
+    EXPECT_GT(rows[k].report.faults, 0u);
+    EXPECT_GE(rows[k].report.dr, 0.0);
+  }
+}
+
+TEST(SocExperiment, MultiChainSocWorks) {
+  const Soc soc = miniSoc(4);
+  EXPECT_EQ(soc.topology().numChains(), 4u);
+  DiagnosisConfig config;
+  config.scheme = SchemeKind::TwoStep;
+  config.numPartitions = 4;
+  config.groupsPerPartition = 4;
+  config.numPatterns = 64;
+  const DiagnosisPipeline pipeline(soc.topology(), config);
+  const auto responses = socResponsesForFailingCore(soc, 0, quickWorkload());
+  const DrReport report = pipeline.evaluate(responses);
+  EXPECT_GT(report.faults, 0u);
+}
+
+TEST(SocExperiment, InvalidCoreIndexRejected) {
+  const Soc soc = miniSoc();
+  EXPECT_THROW(socResponsesForFailingCore(soc, 99, quickWorkload()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scandiag

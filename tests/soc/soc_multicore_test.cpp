@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "soc/soc_builder.hpp"
+#include "soc/soc_experiment_driver.hpp"
+
+namespace scandiag {
+namespace {
+
+Soc miniSoc() { return buildSocFromModules("mini", {"s298", "s344", "s526"}, 1); }
+
+WorkloadConfig quickWorkload() {
+  WorkloadConfig wc;
+  wc.numPatterns = 64;
+  wc.numFaults = 30;
+  return wc;
+}
+
+TEST(SocMulticore, CombinedResponsesUnionFailingCells) {
+  const Soc soc = miniSoc();
+  const auto combined = socResponsesForFailingCores(soc, {0, 2}, quickWorkload());
+  const auto r0 = socResponsesForFailingCore(soc, 0, quickWorkload());
+  const auto r2 = socResponsesForFailingCore(soc, 2, quickWorkload());
+  ASSERT_FALSE(combined.empty());
+  ASSERT_EQ(combined.size(), std::min(r0.size(), r2.size()));
+  for (std::size_t i = 0; i < combined.size(); ++i) {
+    EXPECT_EQ(combined[i].failingCells, r0[i].failingCells | r2[i].failingCells);
+    EXPECT_EQ(combined[i].failingCellOrdinals.size(),
+              r0[i].failingCellOrdinals.size() + r2[i].failingCellOrdinals.size());
+    EXPECT_EQ(combined[i].errorStreams.size(), combined[i].failingCellOrdinals.size());
+  }
+}
+
+TEST(SocMulticore, FailingCellsSpanBothCores) {
+  const Soc soc = miniSoc();
+  const auto combined = socResponsesForFailingCores(soc, {0, 2}, quickWorkload());
+  for (const FaultResponse& r : combined) {
+    bool inCore0 = false, inCore2 = false;
+    for (std::size_t cell : r.failingCells.toIndices()) {
+      const std::size_t core = soc.coreOfCell(cell);
+      inCore0 |= (core == 0);
+      inCore2 |= (core == 2);
+      EXPECT_NE(core, 1u) << "cell from a healthy core marked failing";
+    }
+    EXPECT_TRUE(inCore0);
+    EXPECT_TRUE(inCore2);
+  }
+}
+
+TEST(SocMulticore, DiagnosisStaysSound) {
+  const Soc soc = miniSoc();
+  DiagnosisConfig config;
+  config.scheme = SchemeKind::TwoStep;
+  config.numPartitions = 4;
+  config.groupsPerPartition = 8;
+  config.numPatterns = 64;
+  const DiagnosisPipeline pipeline(soc.topology(), config);
+  for (const FaultResponse& r : socResponsesForFailingCores(soc, {0, 1}, quickWorkload())) {
+    const FaultDiagnosis d = pipeline.diagnose(r);
+    EXPECT_TRUE(r.failingCells.isSubsetOf(d.candidates.cells));
+  }
+}
+
+TEST(SocMulticore, SingleCoreListMatchesSingleCoreDriver) {
+  const Soc soc = miniSoc();
+  const auto viaList = socResponsesForFailingCores(soc, {1}, quickWorkload());
+  const auto direct = socResponsesForFailingCore(soc, 1, quickWorkload());
+  ASSERT_EQ(viaList.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    EXPECT_EQ(viaList[i].failingCells, direct[i].failingCells);
+}
+
+TEST(SocMulticore, EmptyCoreListRejected) {
+  const Soc soc = miniSoc();
+  EXPECT_THROW(socResponsesForFailingCores(soc, {}, quickWorkload()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scandiag

@@ -1,0 +1,352 @@
+// scandiag — command-line front end.
+//
+// Subcommands:
+//   info <circuit>                       circuit statistics and fault universe
+//   emit <circuit> -o <file.bench>       write a synthetic circuit as .bench
+//   diagnose <circuit> --fault <site>    diagnose one injected stuck-at fault
+//   dr <circuit>                         DR experiment on one circuit
+//   soc-dr (soc1|d695)                   DR per failing core on a built-in SOC
+//   plan <circuit>                       calibrate (groups, partitions) for a DR target
+//   offline --log <file> --cells N       diagnose from a tester session log
+//   partitions <length>                  print a partition sequence
+//
+// <circuit> is either a .bench file path (contains '.' or '/') or a built-in
+// ISCAS-89 profile name (s27, s953, ..., s38584).
+//
+// Common options:
+//   --scheme interval|random|two-step|deterministic   (default two-step)
+//   --partitions N    (default 8)      --groups N      (default 16)
+//   --patterns N      (default 128)    --faults N      (default 500)
+//   --chains N        (default 1)      --prune         (off by default)
+//   --seed N          (fault-sample seed, default 0xFA17)
+//   --json            machine-readable output (diagnose, dr, plan)
+//   --target X        DR target for plan (default 0.5)
+
+#include <cstdio>
+#include <iostream>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/scandiag.hpp"
+
+using namespace scandiag;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  std::map<std::string, bool> flags;
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      std::string a = argv[i];
+      if (a.rfind("--", 0) == 0) {
+        const std::string key = a.substr(2);
+        if (key == "prune" || key == "json") {
+          args.flags[key] = true;
+        } else if (i + 1 < argc) {
+          args.options[key] = argv[++i];
+        } else {
+          throw std::invalid_argument("option --" + key + " needs a value");
+        }
+      } else {
+        args.positional.push_back(a);
+      }
+    }
+    return args;
+  }
+
+  std::string get(const std::string& key, const std::string& def) const {
+    const auto it = options.find(key);
+    return it == options.end() ? def : it->second;
+  }
+  std::size_t getN(const std::string& key, std::size_t def) const {
+    const auto it = options.find(key);
+    return it == options.end() ? def : std::strtoull(it->second.c_str(), nullptr, 0);
+  }
+  bool getFlag(const std::string& key) const {
+    const auto it = flags.find(key);
+    return it != flags.end() && it->second;
+  }
+};
+
+SchemeKind parseScheme(const std::string& name) {
+  if (name == "interval") return SchemeKind::IntervalBased;
+  if (name == "random") return SchemeKind::RandomSelection;
+  if (name == "two-step") return SchemeKind::TwoStep;
+  if (name == "deterministic") return SchemeKind::DeterministicInterval;
+  throw std::invalid_argument("unknown scheme '" + name +
+                              "' (interval|random|two-step|deterministic)");
+}
+
+Netlist loadCircuit(const std::string& spec) {
+  if (spec.find('/') != std::string::npos || spec.find('.') != std::string::npos)
+    return parseBenchFile(spec);
+  return generateNamedCircuit(spec);
+}
+
+DiagnosisConfig configFrom(const Args& args) {
+  DiagnosisConfig c;
+  c.scheme = parseScheme(args.get("scheme", "two-step"));
+  c.numPartitions = args.getN("partitions", 8);
+  c.groupsPerPartition = args.getN("groups", 16);
+  c.numPatterns = args.getN("patterns", 128);
+  c.pruning = args.getFlag("prune");
+  return c;
+}
+
+int cmdInfo(const Args& args) {
+  const Netlist nl = loadCircuit(args.positional.at(1));
+  const Levelization lev = levelize(nl);
+  std::printf("circuit   %s\n", nl.name().c_str());
+  std::printf("inputs    %zu\n", nl.inputs().size());
+  std::printf("outputs   %zu\n", nl.outputs().size());
+  std::printf("scancells %zu\n", nl.dffs().size());
+  std::printf("gates     %zu (depth %zu)\n", nl.combGateCount(), lev.maxLevel);
+  std::printf("faults    %zu collapsed / %zu uncollapsed\n",
+              FaultList::enumerateCollapsed(nl).size(), FaultList::enumerateAll(nl).size());
+  return 0;
+}
+
+int cmdEmit(const Args& args) {
+  const Netlist nl = loadCircuit(args.positional.at(1));
+  const std::string out = args.get("o", nl.name() + ".bench");
+  writeBenchFile(nl, out);
+  std::printf("wrote %s (%zu gates)\n", out.c_str(), nl.gateCount());
+  return 0;
+}
+
+int cmdDiagnose(const Args& args) {
+  Netlist nl = loadCircuit(args.positional.at(1));
+  const std::string faultSpec = args.get("fault", "");
+  if (faultSpec.empty()) throw std::invalid_argument("diagnose needs --fault <gate-name>");
+  const GateId site = nl.findByName(faultSpec);
+  if (site == kInvalidGate) throw std::invalid_argument("no gate named '" + faultSpec + "'");
+  const bool sa = args.getN("sa", 1) != 0;
+
+  DiagnoserOptions opts;
+  opts.diagnosis = configFrom(args);
+  opts.numChains = args.getN("chains", 1);
+  const Diagnoser diag(std::move(nl), opts);
+  const Diagnoser::Result r = diag.diagnoseInjectedFault({site, FaultSite::kOutputPin, sa});
+  if (!r.detected) {
+    std::printf("fault %s/SA%d not detected by %zu patterns\n", faultSpec.c_str(), sa ? 1 : 0,
+                opts.diagnosis.numPatterns);
+    return 0;
+  }
+  if (args.getFlag("json")) {
+    JsonWriter json(std::cout);
+    json.beginObject()
+        .field("circuit", diag.netlist().name())
+        .field("fault", faultSpec + "/SA" + (sa ? "1" : "0"))
+        .field("detected", true)
+        .field("exact", r.exact());
+    json.key("actualFailingCells").beginArray();
+    for (std::size_t c : r.actualFailingCells) json.value(diag.cellName(c));
+    json.endArray();
+    json.key("candidateCells").beginArray();
+    for (std::size_t c : r.candidateCells) json.value(diag.cellName(c));
+    json.endArray();
+    json.endObject();
+    std::printf("\n");
+    return 0;
+  }
+  std::printf("fault %s/SA%d: %zu failing cells, %zu candidates (%s)\n", faultSpec.c_str(),
+              sa ? 1 : 0, r.actualFailingCells.size(), r.candidateCells.size(),
+              r.exact() ? "exact" : "superset");
+  std::printf("candidates:");
+  for (std::size_t c : r.candidateCells) std::printf(" %s", diag.cellName(c).c_str());
+  std::printf("\n");
+  const DiagnosisCost cost = partitionRunCost(opts.diagnosis.numPartitions,
+                                              opts.diagnosis.groupsPerPartition,
+                                              opts.diagnosis.numPatterns,
+                                              diag.topology().maxChainLength());
+  std::printf("cost: %zu sessions, %llu clock cycles\n", cost.sessions,
+              static_cast<unsigned long long>(cost.clockCycles));
+  return 0;
+}
+
+int cmdDr(const Args& args) {
+  Netlist nl = loadCircuit(args.positional.at(1));
+  DiagnoserOptions opts;
+  opts.diagnosis = configFrom(args);
+  opts.numChains = args.getN("chains", 1);
+  const Diagnoser diag(std::move(nl), opts);
+  const DrReport rep =
+      diag.evaluateResolution(args.getN("faults", 500), args.getN("seed", 0xFA17));
+  if (args.getFlag("json")) {
+    JsonWriter json(std::cout);
+    json.beginObject()
+        .field("circuit", diag.netlist().name())
+        .field("scheme", schemeName(opts.diagnosis.scheme))
+        .field("partitions", opts.diagnosis.numPartitions)
+        .field("groups", opts.diagnosis.groupsPerPartition)
+        .field("pruning", opts.diagnosis.pruning)
+        .field("faults", rep.faults)
+        .field("sumCandidates", rep.sumCandidates)
+        .field("sumActual", rep.sumActual)
+        .field("dr", rep.dr)
+        .endObject();
+    std::printf("\n");
+    return 0;
+  }
+  std::printf("%s %s: DR = %.4f over %zu detected faults "
+              "(candidates %llu, actual %llu)\n",
+              diag.netlist().name().c_str(), schemeName(opts.diagnosis.scheme).c_str(), rep.dr,
+              rep.faults, static_cast<unsigned long long>(rep.sumCandidates),
+              static_cast<unsigned long long>(rep.sumActual));
+  return 0;
+}
+
+int cmdSocDr(const Args& args) {
+  const std::string which = args.positional.at(1);
+  const Soc soc = which == "soc1"   ? buildSoc1()
+                  : which == "d695" ? buildD695()
+                                    : throw std::invalid_argument("soc-dr takes soc1|d695");
+  WorkloadConfig workload = presets::socWorkload();
+  workload.numFaults = args.getN("faults", 500);
+  workload.numPatterns = args.getN("patterns", 128);
+  DiagnosisConfig config = which == "soc1"
+                               ? presets::soc1Config(parseScheme(args.get("scheme", "two-step")),
+                                                     args.getFlag("prune"))
+                               : presets::d695Config(parseScheme(args.get("scheme", "two-step")),
+                                                     args.getFlag("prune"));
+  config.numPartitions = args.getN("partitions", config.numPartitions);
+  config.groupsPerPartition = args.getN("groups", config.groupsPerPartition);
+  std::printf("%s: %zu cores, %zu cells, %zu meta chains — %s%s\n", soc.name().c_str(),
+              soc.coreCount(), soc.totalCells(), soc.topology().numChains(),
+              schemeName(config.scheme).c_str(), config.pruning ? " + pruning" : "");
+  for (const SocDrRow& row : evaluateSocDr(soc, workload, config)) {
+    std::printf("  failing %-9s DR = %8.3f (%zu faults)\n", row.failingCore.c_str(),
+                row.report.dr, row.report.faults);
+  }
+  return 0;
+}
+
+int cmdPlan(const Args& args) {
+  const Netlist nl = loadCircuit(args.positional.at(1));
+  WorkloadConfig wc;
+  wc.numPatterns = args.getN("patterns", 128);
+  wc.numFaults = args.getN("faults", 200);
+  const CircuitWorkload work = prepareWorkload(nl, wc, args.getN("chains", 1));
+
+  PlanRequest request;
+  request.targetDr = std::strtod(args.get("target", "0.5").c_str(), nullptr);
+  request.maxPartitions = args.getN("partitions", 16);
+  request.scheme = parseScheme(args.get("scheme", "two-step"));
+  request.numPatterns = wc.numPatterns;
+  const PlanResult plan = planDiagnosis(work.topology, work.responses, request);
+
+  if (args.getFlag("json")) {
+    JsonWriter json(std::cout);
+    json.beginObject()
+        .field("circuit", nl.name())
+        .field("targetDr", request.targetDr)
+        .field("feasible", plan.feasible);
+    if (plan.feasible) {
+      json.field("partitions", plan.config.numPartitions)
+          .field("groups", plan.config.groupsPerPartition)
+          .field("achievedDr", plan.achievedDr)
+          .field("sessions", plan.cost.sessions)
+          .field("clockCycles", plan.cost.clockCycles);
+    }
+    json.endObject();
+    std::printf("\n");
+    return 0;
+  }
+  std::printf("rule-of-thumb group count for %zu positions: %zu\n",
+              work.topology.maxChainLength(),
+              recommendGroupCount(work.topology.maxChainLength()));
+  if (!plan.feasible) {
+    std::printf("no candidate configuration reaches DR <= %.3f within %zu partitions\n",
+                request.targetDr, request.maxPartitions);
+    return 1;
+  }
+  std::printf("cheapest plan for DR <= %.3f (%s): %zu partitions x %zu groups\n",
+              request.targetDr, schemeName(request.scheme).c_str(),
+              plan.config.numPartitions, plan.config.groupsPerPartition);
+  std::printf("achieved DR %.3f at %zu sessions (%llu clock cycles)\n", plan.achievedDr,
+              plan.cost.sessions, static_cast<unsigned long long>(plan.cost.clockCycles));
+  return 0;
+}
+
+int cmdOffline(const Args& args) {
+  const std::string logPath = args.get("log", "");
+  if (logPath.empty()) throw std::invalid_argument("offline needs --log <file>");
+  const std::size_t cells = args.getN("cells", 0);
+  if (cells == 0) throw std::invalid_argument("offline needs --cells <scan cell count>");
+  const std::size_t chains = args.getN("chains", 1);
+  const ScanTopology topology = chains <= 1 ? ScanTopology::singleChain(cells)
+                                            : ScanTopology::blockChains(cells, chains);
+  const TesterLog log = parseTesterLogFile(logPath);
+  DiagnosisConfig config = configFrom(args);
+  config.numPartitions = args.getN("partitions", log.numPartitions);
+  config.groupsPerPartition = args.getN("groups", log.groupsPerPartition);
+  const CandidateSet candidates = diagnoseFromLog(topology, config, log);
+
+  if (args.getFlag("json")) {
+    JsonWriter json(std::cout);
+    json.beginObject()
+        .field("log", logPath)
+        .field("cells", cells)
+        .field("candidateCount", candidates.cellCount());
+    json.key("candidateCells").beginArray();
+    for (std::size_t c : candidates.cells.toIndices()) json.value(c);
+    json.endArray().endObject();
+    std::printf("\n");
+    return 0;
+  }
+  std::printf("%zu candidate failing cell(s):", candidates.cellCount());
+  for (std::size_t c : candidates.cells.toIndices()) std::printf(" %zu", c);
+  std::printf("\n");
+  return 0;
+}
+
+int cmdPartitions(const Args& args) {
+  const std::size_t length = std::strtoull(args.positional.at(1).c_str(), nullptr, 0);
+  DiagnosisConfig config = configFrom(args);
+  const auto partitions = buildPartitions(config, length);
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    std::printf("partition %zu (%s):\n", p, schemeName(config.scheme).c_str());
+    for (std::size_t g = 0; g < partitions[p].groupCount(); ++g) {
+      std::printf("  group %2zu (%4zu cells):", g, partitions[p].groups[g].count());
+      const auto idx = partitions[p].groups[g].toIndices();
+      for (std::size_t i = 0; i < idx.size() && i < 16; ++i) std::printf(" %zu", idx[i]);
+      if (idx.size() > 16) std::printf(" ...");
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
+
+int usage() {
+  std::printf("usage: scandiag <info|emit|diagnose|dr|soc-dr|plan|offline|partitions> ... (see header)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = Args::parse(argc, argv);
+    if (args.positional.empty()) return usage();
+    const std::string& cmd = args.positional[0];
+    if (cmd == "info") return cmdInfo(args);
+    if (cmd == "emit") return cmdEmit(args);
+    if (cmd == "diagnose") return cmdDiagnose(args);
+    if (cmd == "dr") return cmdDr(args);
+    if (cmd == "soc-dr") return cmdSocDr(args);
+    if (cmd == "plan") return cmdPlan(args);
+    if (cmd == "offline") return cmdOffline(args);
+    if (cmd == "partitions") return cmdPartitions(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
