@@ -1,8 +1,16 @@
 // Performance microbenchmarks (google-benchmark): throughput of the hot
 // kernels — bit-parallel logic simulation, cone-restricted fault simulation,
-// LFSR stepping, partition generation, and whole-fault diagnosis.
+// LFSR stepping, partition generation, and whole-fault diagnosis — plus the
+// serial-vs-threaded DR experiment comparison, which is also written to
+// BENCH_perf_parallel.json (results/ when run via scripts/reproduce.sh).
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
 
 #include "core/scandiag.hpp"
 
@@ -140,4 +148,88 @@ void BM_FullDrExperiment(benchmark::State& state) {
 }
 BENCHMARK(BM_FullDrExperiment);
 
+void BM_FullDrExperimentThreads(benchmark::State& state) {
+  // Same experiment through the thread pool; DR output is bit-identical at
+  // every arg (the determinism tests hold this), only wall time changes.
+  setGlobalThreadCount(static_cast<std::size_t>(state.range(0)));
+  const CircuitWorkload& work = workload();
+  const DiagnosisPipeline pipeline(work.topology,
+                                   presets::table2(SchemeKind::TwoStep, false));
+  for (auto _ : state) benchmark::DoNotOptimize(pipeline.evaluate(work.responses));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(work.responses.size()));
+  setGlobalThreadCount(1);
+}
+BENCHMARK(BM_FullDrExperimentThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Serial-vs-threaded speedup on the largest synthetic profile (s38584). Runs
+// after the microbenchmarks and records throughput + speedup per thread
+// count into BENCH_perf_parallel.json — the artifact the EXPERIMENTS.md
+// threading row is checked against.
+
+double bestEvaluateMillis(const DiagnosisPipeline& pipeline,
+                          const std::vector<FaultResponse>& responses, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(pipeline.evaluate(responses));
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    best = std::min(best, elapsed.count());
+  }
+  return best;
+}
+
+void reportParallelSpeedup() {
+  const Netlist nl = generateNamedCircuit("s38584");
+  const CircuitWorkload work = prepareWorkload(nl, presets::table2Workload());
+  const DiagnosisPipeline pipeline(work.topology,
+                                   presets::table2(SchemeKind::TwoStep, false));
+
+  std::printf("\nDR experiment scaling, s38584 (%zu detected faults, two-step):\n",
+              work.responses.size());
+  std::printf("%-8s %-12s %-16s %-8s\n", "threads", "best ms", "faults/s", "speedup");
+
+  std::filesystem::create_directories("results");
+  std::ofstream out("results/BENCH_perf_parallel.json");
+  JsonWriter json(out);
+  json.beginObject()
+      .field("circuit", nl.name())
+      .field("scheme", std::string("two-step"))
+      .field("faults", static_cast<std::uint64_t>(work.responses.size()))
+      .field("patterns", static_cast<std::uint64_t>(work.patternsApplied));
+  json.key("runs").beginArray();
+
+  double serialMillis = 0.0;
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    setGlobalThreadCount(threads);
+    bestEvaluateMillis(pipeline, work.responses, 1);  // warm-up (pool + caches)
+    const double millis = bestEvaluateMillis(pipeline, work.responses, 5);
+    if (threads == 1) serialMillis = millis;
+    const double faultsPerSec = 1000.0 * static_cast<double>(work.responses.size()) / millis;
+    const double speedup = serialMillis / millis;
+    std::printf("%-8zu %-12.2f %-16.0f %-8.2f\n", threads, millis, faultsPerSec, speedup);
+    json.beginObject()
+        .field("threads", static_cast<std::uint64_t>(threads))
+        .field("millis", millis)
+        .field("faultsPerSecond", faultsPerSec)
+        .field("speedup", speedup)
+        .endObject();
+  }
+  json.endArray().endObject();
+  out << "\n";
+  setGlobalThreadCount(1);
+  std::printf("wrote results/BENCH_perf_parallel.json\n");
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  reportParallelSpeedup();
+  return 0;
+}

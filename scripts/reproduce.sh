@@ -2,8 +2,17 @@
 # Full reproduction run: build, test, regenerate every table/figure/ablation.
 # Outputs land in results/ (and test_output.txt / bench_output.txt at the
 # repository root, the canonical artifacts EXPERIMENTS.md is checked against).
+#
+# THREADS=N sets the worker-thread count for the parallel per-fault loops
+# (exported as SCANDIAG_THREADS; default: all hardware threads). Results are
+# bit-identical for every value — the final step proves it by diffing a
+# 1-thread against an N-thread bench_table1 run.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+if [ -n "${THREADS:-}" ]; then
+  export SCANDIAG_THREADS="${THREADS}"
+fi
 
 cmake -B build -G Ninja
 cmake --build build
@@ -20,5 +29,10 @@ for b in build/bench/*; do
     echo | tee -a bench_output.txt
   fi
 done
+
+echo "### thread-count determinism check (bench_table1, 1 vs ${SCANDIAG_THREADS:-auto} threads)"
+SCANDIAG_THREADS=1 build/bench/bench_table1 > results/bench_table1.1thread.txt
+diff results/bench_table1.1thread.txt results/bench_table1.txt
+echo "ok: tables identical at every thread count"
 
 echo "done: test_output.txt, bench_output.txt, results/*.txt"

@@ -1,0 +1,162 @@
+#include "common/thread_pool.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+#include "common/assert.hpp"
+
+namespace scandiag {
+
+namespace {
+
+thread_local bool tlsInsideParallelRegion = false;
+
+/// RAII guard marking the current thread as being inside pool-managed work.
+struct RegionGuard {
+  bool previous;
+  RegionGuard() : previous(tlsInsideParallelRegion) { tlsInsideParallelRegion = true; }
+  ~RegionGuard() { tlsInsideParallelRegion = previous; }
+};
+
+}  // namespace
+
+std::size_t defaultThreadCount() {
+  if (const char* env = std::getenv("SCANDIAG_THREADS")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+bool insideParallelRegion() { return tlsInsideParallelRegion; }
+
+ThreadPool::ThreadPool(std::size_t numThreads) {
+  const std::size_t lanes = numThreads == 0 ? defaultThreadCount() : numThreads;
+  SCANDIAG_REQUIRE(lanes <= 4096,
+                   "thread count " + std::to_string(lanes) +
+                       " is implausibly large (negative value passed to --threads?)");
+  workers_.reserve(lanes - 1);
+  for (std::size_t i = 0; i + 1 < lanes; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  if (workers_.empty() || tlsInsideParallelRegion) {
+    RegionGuard guard;
+    task();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    SCANDIAG_ASSERT(!stopping_, "task posted to a stopping thread pool");
+    queue_.push_back(std::move(task));
+  }
+  available_.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.erase(queue_.begin());
+    }
+    RegionGuard guard;
+    task();
+  }
+}
+
+void ThreadPool::parallelForRange(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(threadCount(), n);
+  if (chunks == 1 || tlsInsideParallelRegion) {
+    RegionGuard guard;
+    body(0, n);
+    return;
+  }
+
+  // Fixed partition: chunk c owns [c*n/chunks, (c+1)*n/chunks) — a pure
+  // function of (n, threadCount), independent of scheduling.
+  struct Completion {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::vector<std::exception_ptr> errors;
+  };
+  auto state = std::make_shared<Completion>();
+  state->remaining = chunks - 1;
+  state->errors.assign(chunks, nullptr);
+
+  for (std::size_t c = 1; c < chunks; ++c) {
+    const std::size_t begin = c * n / chunks;
+    const std::size_t end = (c + 1) * n / chunks;
+    post([state, &body, c, begin, end] {
+      try {
+        body(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->errors[c] = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (--state->remaining == 0) state->done.notify_one();
+    });
+  }
+
+  {
+    RegionGuard guard;
+    try {
+      body(0, n / chunks);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      state->errors[0] = std::current_exception();
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done.wait(lock, [&] { return state->remaining == 0; });
+  for (const std::exception_ptr& error : state->errors) {
+    if (error) std::rethrow_exception(error);
+  }
+}
+
+namespace {
+
+std::mutex globalPoolMutex;
+std::unique_ptr<ThreadPool>& globalPoolSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& globalPool() {
+  std::lock_guard<std::mutex> lock(globalPoolMutex);
+  std::unique_ptr<ThreadPool>& slot = globalPoolSlot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void setGlobalThreadCount(std::size_t n) {
+  std::lock_guard<std::mutex> lock(globalPoolMutex);
+  globalPoolSlot() = std::make_unique<ThreadPool>(n);
+}
+
+}  // namespace scandiag

@@ -1,6 +1,7 @@
 #include "diagnosis/experiment_driver.hpp"
 
 #include "common/assert.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/fault_list.hpp"
 
 namespace scandiag {
@@ -47,11 +48,24 @@ FaultDiagnosis DiagnosisPipeline::diagnose(const FaultResponse& response) const 
 }
 
 DrReport DiagnosisPipeline::evaluate(const std::vector<FaultResponse>& responses) const {
-  DrAccumulator acc;
-  for (const FaultResponse& r : responses) {
-    if (!r.detected()) continue;
+  // Faults are independent: slot i depends only on responses[i], so the
+  // parallel loop writes disjoint slots and the accumulation below runs in
+  // fault-index order — DR output is bit-identical for every thread count.
+  struct Slot {
+    std::size_t candidates = 0;
+    std::size_t actual = 0;
+    bool detected = false;
+  };
+  std::vector<Slot> slots(responses.size());
+  globalPool().parallelFor(responses.size(), [&](std::size_t i) {
+    const FaultResponse& r = responses[i];
+    if (!r.detected()) return;
     const FaultDiagnosis d = diagnose(r);
-    acc.add(d.candidateCount, d.actualCount);
+    slots[i] = Slot{d.candidateCount, d.actualCount, true};
+  });
+  DrAccumulator acc;
+  for (const Slot& s : slots) {
+    if (s.detected) acc.add(s.candidates, s.actual);
   }
   return DrReport{acc.dr(), acc.faults(), acc.sumCandidates(), acc.sumActual()};
 }
@@ -59,19 +73,32 @@ DrReport DiagnosisPipeline::evaluate(const std::vector<FaultResponse>& responses
 std::vector<double> DiagnosisPipeline::evaluateSweep(
     const std::vector<FaultResponse>& responses) const {
   const std::size_t length = topology_->maxChainLength();
-  std::vector<DrAccumulator> acc(partitions_.size());
-  for (const FaultResponse& r : responses) {
-    if (!r.detected()) continue;
+  // Per fault, the candidate count after each partition prefix; reduced into
+  // the per-prefix accumulators in fault-index order below (same ordered-
+  // reduction contract as evaluate()).
+  std::vector<std::vector<std::size_t>> prefixCandidates(responses.size());
+  globalPool().parallelFor(responses.size(), [&](std::size_t i) {
+    const FaultResponse& r = responses[i];
+    if (!r.detected()) return;
     const GroupVerdicts verdicts = engine_.run(partitions_, r);
     BitVector positions(length, true);
-    const std::size_t actual = r.failingCellCount();
+    std::vector<std::size_t>& counts = prefixCandidates[i];
+    counts.reserve(partitions_.size());
     for (std::size_t p = 0; p < partitions_.size(); ++p) {
       BitVector failingUnion(length);
       for (std::size_t g = 0; g < partitions_[p].groupCount(); ++g) {
         if (verdicts.failing[p].test(g)) failingUnion |= partitions_[p].groups[g];
       }
       positions &= failingUnion;
-      acc[p].add(topology_->expandPositions(positions).count(), actual);
+      counts.push_back(topology_->expandPositions(positions).count());
+    }
+  });
+  std::vector<DrAccumulator> acc(partitions_.size());
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    if (!responses[i].detected()) continue;
+    const std::size_t actual = responses[i].failingCellCount();
+    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+      acc[p].add(prefixCandidates[i][p], actual);
     }
   }
   std::vector<double> dr;

@@ -1,15 +1,33 @@
 #include "diagnosis/metrics.hpp"
 
+#include <limits>
+
 #include "common/assert.hpp"
 
 namespace scandiag {
 
+namespace {
+
+/// a += b with a wrap check; `what` names the counter in the error.
+void checkedAdd(std::uint64_t& a, std::uint64_t b, const char* what) {
+  SCANDIAG_ASSERT(a <= std::numeric_limits<std::uint64_t>::max() - b, what);
+  a += b;
+}
+
+}  // namespace
+
 void DrAccumulator::add(std::size_t candidateCells, std::size_t actualFailingCells) {
   SCANDIAG_REQUIRE(actualFailingCells > 0,
                    "DR accumulates detected faults only (no failing cells given)");
-  ++faults_;
-  sumCandidates_ += candidateCells;
-  sumActual_ += actualFailingCells;
+  checkedAdd(faults_, 1, "fault counter overflow");
+  checkedAdd(sumCandidates_, candidateCells, "candidate-cell sum overflow");
+  checkedAdd(sumActual_, actualFailingCells, "actual-failing-cell sum overflow");
+}
+
+void DrAccumulator::merge(const DrAccumulator& other) {
+  checkedAdd(faults_, other.faults_, "fault counter overflow");
+  checkedAdd(sumCandidates_, other.sumCandidates_, "candidate-cell sum overflow");
+  checkedAdd(sumActual_, other.sumActual_, "actual-failing-cell sum overflow");
 }
 
 double DrAccumulator::dr() const {

@@ -14,11 +14,19 @@
 
 namespace scandiag {
 
+// All counters are 64-bit and every addition is overflow-checked (throws
+// std::logic_error): parallel evaluation reduces many per-fault counts — and
+// merged sub-accumulators — into one accumulator, where a silent wrap would
+// quietly corrupt DR instead of failing one fault loudly.
 class DrAccumulator {
  public:
   void add(std::size_t candidateCells, std::size_t actualFailingCells);
 
-  std::size_t faults() const { return faults_; }
+  /// Folds another accumulator in (the parallel sum path: one accumulator
+  /// per worker chunk, merged in chunk order). Overflow-checked like add().
+  void merge(const DrAccumulator& other);
+
+  std::uint64_t faults() const { return faults_; }
   std::uint64_t sumCandidates() const { return sumCandidates_; }
   std::uint64_t sumActual() const { return sumActual_; }
 
@@ -26,7 +34,7 @@ class DrAccumulator {
   double dr() const;
 
  private:
-  std::size_t faults_ = 0;
+  std::uint64_t faults_ = 0;
   std::uint64_t sumCandidates_ = 0;
   std::uint64_t sumActual_ = 0;
 };

@@ -13,7 +13,7 @@ SessionEngine::SessionEngine(const ScanTopology& topology, const SessionConfig& 
 }
 
 const MisrLinearModel& SessionEngine::model() const {
-  if (!model_) {
+  std::call_once(modelOnce_, [this] {
     const unsigned degree =
         config_.mode == SignatureMode::Misr ? config_.misrDegree : config_.pruneDegree;
     const std::uint64_t taps =
@@ -29,7 +29,7 @@ const MisrLinearModel& SessionEngine::model() const {
     }
     model_ = std::make_unique<MisrLinearModel>(degree, taps, static_cast<unsigned>(lines),
                                                totalCycles);
-  }
+  });
   return *model_;
 }
 

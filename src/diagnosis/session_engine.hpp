@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "bist/misr.hpp"
@@ -80,7 +81,10 @@ class SessionEngine {
 
   const ScanTopology* topology_;
   SessionConfig config_;
-  mutable std::unique_ptr<MisrLinearModel> model_;  // lazy: big precompute
+  // Lazy (big precompute, only needed in signature modes); call_once so
+  // concurrent run() calls from the thread pool race-freely share one model.
+  mutable std::once_flag modelOnce_;
+  mutable std::unique_ptr<MisrLinearModel> model_;
 };
 
 }  // namespace scandiag

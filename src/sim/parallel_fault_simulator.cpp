@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/thread_pool.hpp"
 
 namespace scandiag {
 
@@ -19,88 +20,100 @@ ParallelFaultSimulator::ParallelFaultSimulator(const Netlist& netlist,
   }
 }
 
-std::vector<bool> ParallelFaultSimulator::detectFaults(
-    const std::vector<FaultSite>& faults) const {
+SimWord ParallelFaultSimulator::detectBatch(const std::vector<FaultSite>& faults,
+                                            std::size_t base) const {
   const Netlist& nl = *netlist_;
   const std::size_t numPatterns = patterns_->numPatterns();
+  const std::size_t lanes = std::min<std::size_t>(64, faults.size() - base);
+
+  // Per-gate lane injection masks for this batch. Output faults force the
+  // lane bit after evaluation; pin faults (rare per gate) are patched by
+  // scalar re-evaluation of the owning gate's lane.
+  std::vector<SimWord> force0(nl.gateCount(), 0), force1(nl.gateCount(), 0);
+  std::vector<std::pair<GateId, std::size_t>> pinLanes;  // (owner gate, lane)
+  std::vector<std::uint8_t> hasPinLane(nl.gateCount(), 0);
+  SimWord laneAlive = lanes == 64 ? ~SimWord{0} : ((SimWord{1} << lanes) - 1);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const FaultSite& f = faults[base + l];
+    SCANDIAG_REQUIRE(f.gate < nl.gateCount(), "fault site out of range");
+    if (f.isOutputFault()) {
+      (f.stuckAt ? force1 : force0)[f.gate] |= SimWord{1} << l;
+    } else {
+      pinLanes.push_back({f.gate, l});
+      hasPinLane[f.gate] = 1;
+    }
+  }
+
+  std::vector<SimWord> values(nl.gateCount(), 0);
+  SimWord detectedMask = 0;
+  for (std::size_t t = 0; t < numPatterns && (detectedMask & laneAlive) != laneAlive;
+       ++t) {
+    const std::size_t w = t / 64;
+    const SimWord bit = SimWord{1} << (t % 64);
+
+    // Sources broadcast the pattern bit to every lane, then output faults
+    // on sources are forced.
+    for (GateId id = 0; id < nl.gateCount(); ++id) {
+      if (patterns_->isSource(id)) {
+        values[id] = (good_[w][id] & bit) ? ~SimWord{0} : SimWord{0};
+        values[id] = (values[id] & ~force0[id] & ~force1[id]) | force1[id];
+      } else if (nl.gate(id).type == GateType::Const0) {
+        values[id] = force1[id];  // constant 0 except stuck-at-1 lanes
+      } else if (nl.gate(id).type == GateType::Const1) {
+        values[id] = ~force0[id];
+      }
+    }
+    for (GateId id : sim_.levelization().order) {
+      SimWord v = sim_.evalGate(id, values);
+      // Pin-fault lanes: recompute this gate's bit with the pin forced.
+      if (hasPinLane[id]) for (const auto& [owner, lane] : pinLanes) {
+        if (owner != id) continue;
+        const FaultSite& f = faults[base + lane];
+        if (nl.gate(id).type == GateType::Dff) continue;  // handled at capture
+        const GateId driver = nl.gate(id).fanins[f.pin];
+        const SimWord saved = values[driver];
+        values[driver] = f.stuckAt ? ~SimWord{0} : SimWord{0};
+        const SimWord patched = sim_.evalGate(id, values);
+        values[driver] = saved;
+        v = (v & ~(SimWord{1} << lane)) | (patched & (SimWord{1} << lane));
+      }
+      v = (v & ~force0[id] & ~force1[id]) | force1[id];
+      values[id] = v;
+    }
+
+    // Capture comparison against the good machine.
+    for (GateId dff : nl.dffs()) {
+      const GateId driver = nl.gate(dff).fanins[0];
+      const SimWord goodBit = (good_[w][driver] & bit) ? ~SimWord{0} : SimWord{0};
+      SimWord capture = values[driver];
+      // DFF D-pin faults force the captured value on their lane.
+      if (hasPinLane[dff]) for (const auto& [owner, lane] : pinLanes) {
+        if (owner != dff) continue;
+        const FaultSite& f = faults[base + lane];
+        capture = (capture & ~(SimWord{1} << lane)) |
+                  ((f.stuckAt ? ~SimWord{0} : SimWord{0}) & (SimWord{1} << lane));
+      }
+      detectedMask |= (capture ^ goodBit) & laneAlive;
+    }
+  }
+  return detectedMask & laneAlive;
+}
+
+std::vector<bool> ParallelFaultSimulator::detectFaults(
+    const std::vector<FaultSite>& faults) const {
+  // Batches are independent (each reads only the shared good machine), so
+  // they fan out across the pool; each batch owns one word of `masks`, and
+  // the bit-packed vector<bool> is filled serially afterwards. Batch results
+  // do not depend on scheduling, so detection output is thread-count
+  // invariant.
+  const std::size_t numBatches = (faults.size() + 63) / 64;
+  std::vector<SimWord> masks(numBatches, 0);
+  globalPool().parallelFor(numBatches, [&](std::size_t batch) {
+    masks[batch] = detectBatch(faults, batch * 64);
+  });
   std::vector<bool> detected(faults.size(), false);
-
-  for (std::size_t base = 0; base < faults.size(); base += 64) {
-    const std::size_t lanes = std::min<std::size_t>(64, faults.size() - base);
-
-    // Per-gate lane injection masks for this batch. Output faults force the
-    // lane bit after evaluation; pin faults (rare per gate) are patched by
-    // scalar re-evaluation of the owning gate's lane.
-    std::vector<SimWord> force0(nl.gateCount(), 0), force1(nl.gateCount(), 0);
-    std::vector<std::pair<GateId, std::size_t>> pinLanes;  // (owner gate, lane)
-    std::vector<std::uint8_t> hasPinLane(nl.gateCount(), 0);
-    SimWord laneAlive = lanes == 64 ? ~SimWord{0} : ((SimWord{1} << lanes) - 1);
-    for (std::size_t l = 0; l < lanes; ++l) {
-      const FaultSite& f = faults[base + l];
-      SCANDIAG_REQUIRE(f.gate < nl.gateCount(), "fault site out of range");
-      if (f.isOutputFault()) {
-        (f.stuckAt ? force1 : force0)[f.gate] |= SimWord{1} << l;
-      } else {
-        pinLanes.push_back({f.gate, l});
-        hasPinLane[f.gate] = 1;
-      }
-    }
-
-    std::vector<SimWord> values(nl.gateCount(), 0);
-    SimWord detectedMask = 0;
-    for (std::size_t t = 0; t < numPatterns && (detectedMask & laneAlive) != laneAlive;
-         ++t) {
-      const std::size_t w = t / 64;
-      const SimWord bit = SimWord{1} << (t % 64);
-
-      // Sources broadcast the pattern bit to every lane, then output faults
-      // on sources are forced.
-      for (GateId id = 0; id < nl.gateCount(); ++id) {
-        if (patterns_->isSource(id)) {
-          values[id] = (good_[w][id] & bit) ? ~SimWord{0} : SimWord{0};
-          values[id] = (values[id] & ~force0[id] & ~force1[id]) | force1[id];
-        } else if (nl.gate(id).type == GateType::Const0) {
-          values[id] = force1[id];  // constant 0 except stuck-at-1 lanes
-        } else if (nl.gate(id).type == GateType::Const1) {
-          values[id] = ~force0[id];
-        }
-      }
-      for (GateId id : sim_.levelization().order) {
-        SimWord v = sim_.evalGate(id, values);
-        // Pin-fault lanes: recompute this gate's bit with the pin forced.
-        if (hasPinLane[id]) for (const auto& [owner, lane] : pinLanes) {
-          if (owner != id) continue;
-          const FaultSite& f = faults[base + lane];
-          if (nl.gate(id).type == GateType::Dff) continue;  // handled at capture
-          const GateId driver = nl.gate(id).fanins[f.pin];
-          const SimWord saved = values[driver];
-          values[driver] = f.stuckAt ? ~SimWord{0} : SimWord{0};
-          const SimWord patched = sim_.evalGate(id, values);
-          values[driver] = saved;
-          v = (v & ~(SimWord{1} << lane)) | (patched & (SimWord{1} << lane));
-        }
-        v = (v & ~force0[id] & ~force1[id]) | force1[id];
-        values[id] = v;
-      }
-
-      // Capture comparison against the good machine.
-      for (GateId dff : nl.dffs()) {
-        const GateId driver = nl.gate(dff).fanins[0];
-        const SimWord goodBit = (good_[w][driver] & bit) ? ~SimWord{0} : SimWord{0};
-        SimWord capture = values[driver];
-        // DFF D-pin faults force the captured value on their lane.
-        if (hasPinLane[dff]) for (const auto& [owner, lane] : pinLanes) {
-          if (owner != dff) continue;
-          const FaultSite& f = faults[base + lane];
-          capture = (capture & ~(SimWord{1} << lane)) |
-                    ((f.stuckAt ? ~SimWord{0} : SimWord{0}) & (SimWord{1} << lane));
-        }
-        detectedMask |= (capture ^ goodBit) & laneAlive;
-      }
-    }
-    for (std::size_t l = 0; l < lanes; ++l) {
-      detected[base + l] = (detectedMask >> l) & 1u;
-    }
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    detected[i] = (masks[i / 64] >> (i % 64)) & 1u;
   }
   return detected;
 }

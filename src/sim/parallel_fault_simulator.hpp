@@ -25,12 +25,18 @@ class ParallelFaultSimulator {
   ParallelFaultSimulator(const Netlist& netlist, const PatternSet& patterns);
 
   /// detected[i] == the pattern set detects faults[i] at some scan cell.
+  /// Batches of 64 faults fan out across globalPool(); the result is
+  /// bit-identical for every thread count (each batch only reads shared
+  /// state and owns its own output word).
   std::vector<bool> detectFaults(const std::vector<FaultSite>& faults) const;
 
   /// Convenience: count of detected faults (coverage numerator).
   std::size_t countDetected(const std::vector<FaultSite>& faults) const;
 
  private:
+  /// One 64-lane pass over faults[base, base+64); bit l of the result is the
+  /// detection verdict of faults[base + l].
+  SimWord detectBatch(const std::vector<FaultSite>& faults, std::size_t base) const;
   const Netlist* netlist_;
   const PatternSet* patterns_;
   LogicSimulator sim_;

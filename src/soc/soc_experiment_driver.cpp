@@ -2,6 +2,7 @@
 
 #include "bist/prpg.hpp"
 #include "common/assert.hpp"
+#include "common/thread_pool.hpp"
 #include "sim/fault_list.hpp"
 
 namespace scandiag {
@@ -64,13 +65,16 @@ std::vector<FaultResponse> socResponsesForFailingCores(
 
 std::vector<SocDrRow> evaluateSocDr(const Soc& soc, const WorkloadConfig& workload,
                                     const DiagnosisConfig& config) {
+  // Cores are independent experiments (each derives its own seeds from the
+  // core index), so they fan out across the pool into per-core row slots;
+  // the nested pipeline.evaluate() parallelism runs inline on the worker
+  // (thread_pool nested-use guard). Row k never depends on scheduling.
   const DiagnosisPipeline pipeline(soc.topology(), config);
-  std::vector<SocDrRow> rows;
-  rows.reserve(soc.coreCount());
-  for (std::size_t k = 0; k < soc.coreCount(); ++k) {
+  std::vector<SocDrRow> rows(soc.coreCount());
+  globalPool().parallelFor(soc.coreCount(), [&](std::size_t k) {
     const std::vector<FaultResponse> responses = socResponsesForFailingCore(soc, k, workload);
-    rows.push_back(SocDrRow{soc.core(k).name, pipeline.evaluate(responses)});
-  }
+    rows[k] = SocDrRow{soc.core(k).name, pipeline.evaluate(responses)};
+  });
   return rows;
 }
 

@@ -1,0 +1,181 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace scandiag {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValueThroughFuture) {
+  ThreadPool pool(4);
+  auto future = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, SubmitManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  const std::size_t n = 10'000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallelFor(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, ParallelForHandlesZeroAndFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  pool.parallelFor(0, [](std::size_t) { FAIL() << "body called for n == 0"; });
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallelFor(3, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRangeChunksAreContiguousAndFixed) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  pool.parallelForRange(1000, [&](std::size_t begin, std::size_t end) {
+    std::lock_guard<std::mutex> lock(mutex);
+    ranges.push_back({begin, end});
+  });
+  // Sorted by begin, the chunks must exactly tile [0, 1000) — the fixed
+  // partition that makes indexed results scheduling-independent.
+  std::sort(ranges.begin(), ranges.end());
+  ASSERT_EQ(ranges.size(), 4u);
+  EXPECT_EQ(ranges.front().first, 0u);
+  EXPECT_EQ(ranges.back().second, 1000u);
+  for (std::size_t c = 1; c < ranges.size(); ++c) {
+    EXPECT_EQ(ranges[c].first, ranges[c - 1].second);
+  }
+}
+
+TEST(ThreadPool, ParallelForPropagatesLowestIndexException) {
+  ThreadPool pool(4);
+  // Both chunk 0 (caller) and a worker chunk throw; the lowest-index chunk's
+  // exception must win so the observed error is scheduling-independent.
+  try {
+    pool.parallelFor(1000, [](std::size_t i) {
+      if (i == 10) throw std::runtime_error("low");
+      if (i == 990) throw std::invalid_argument("high");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "low");
+  }
+}
+
+TEST(ThreadPool, OneThreadRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(64);
+  pool.parallelFor(seen.size(), [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+  for (const std::thread::id& id : seen) EXPECT_EQ(id, caller);
+  auto future = pool.submit([] { return std::this_thread::get_id(); });
+  EXPECT_EQ(future.get(), caller);
+}
+
+TEST(ThreadPool, MultiThreadUsesWorkers) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> threads;
+  pool.parallelFor(10'000, [&](std::size_t) {
+    std::lock_guard<std::mutex> lock(mutex);
+    threads.insert(std::this_thread::get_id());
+  });
+  EXPECT_GT(threads.size(), 1u);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  const std::size_t outer = 16, inner = 100;
+  std::vector<std::vector<int>> sums(outer);
+  pool.parallelFor(outer, [&](std::size_t o) {
+    EXPECT_TRUE(insideParallelRegion());
+    const std::thread::id worker = std::this_thread::get_id();
+    std::vector<int>& out = sums[o];
+    out.assign(inner, 0);
+    // The nested loop must complete on this worker thread (inline), never
+    // re-enter the queue — re-entering could deadlock with every worker
+    // blocked waiting for the others' nested loops.
+    pool.parallelFor(inner, [&](std::size_t i) {
+      EXPECT_EQ(std::this_thread::get_id(), worker);
+      out[i] = static_cast<int>(o * inner + i);
+    });
+  });
+  for (std::size_t o = 0; o < outer; ++o) {
+    for (std::size_t i = 0; i < inner; ++i) {
+      EXPECT_EQ(sums[o][i], static_cast<int>(o * inner + i));
+    }
+  }
+}
+
+TEST(ThreadPool, DefaultThreadCountReadsEnvironment) {
+  const char* saved = std::getenv("SCANDIAG_THREADS");
+  const std::string restore = saved ? saved : "";
+
+  ::setenv("SCANDIAG_THREADS", "3", 1);
+  EXPECT_EQ(defaultThreadCount(), 3u);
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.threadCount(), 3u);
+
+  // Unset / zero / garbage fall back to hardware concurrency (>= 1).
+  ::setenv("SCANDIAG_THREADS", "0", 1);
+  EXPECT_GE(defaultThreadCount(), 1u);
+  ::setenv("SCANDIAG_THREADS", "banana", 1);
+  EXPECT_GE(defaultThreadCount(), 1u);
+  ::unsetenv("SCANDIAG_THREADS");
+  EXPECT_GE(defaultThreadCount(), 1u);
+
+  if (saved) ::setenv("SCANDIAG_THREADS", restore.c_str(), 1);
+}
+
+TEST(ThreadPool, GlobalPoolThreadCountIsConfigurable) {
+  setGlobalThreadCount(2);
+  EXPECT_EQ(globalPool().threadCount(), 2u);
+  setGlobalThreadCount(1);
+  EXPECT_EQ(globalPool().threadCount(), 1u);
+  setGlobalThreadCount(0);  // back to the environment default
+  EXPECT_EQ(globalPool().threadCount(), defaultThreadCount());
+}
+
+TEST(ThreadPool, ParallelForSumMatchesSerial) {
+  const std::size_t n = 4096;
+  std::vector<std::uint64_t> values(n);
+  std::iota(values.begin(), values.end(), 1);
+  const std::uint64_t expected = std::accumulate(values.begin(), values.end(), std::uint64_t{0});
+  for (std::size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<std::uint64_t> squaredSlots(n);
+    pool.parallelFor(n, [&](std::size_t i) { squaredSlots[i] = values[i]; });
+    // Ordered reduction: identical result regardless of thread count.
+    EXPECT_EQ(std::accumulate(squaredSlots.begin(), squaredSlots.end(), std::uint64_t{0}),
+              expected)
+        << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace scandiag

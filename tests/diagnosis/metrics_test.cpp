@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 namespace scandiag {
 namespace {
 
@@ -39,6 +41,55 @@ TEST(DrAccumulator, RejectsUndetectedFaults) {
 TEST(DrAccumulator, DrBeforeAnyFaultThrows) {
   DrAccumulator acc;
   EXPECT_THROW(acc.dr(), std::logic_error);
+}
+
+TEST(DrAccumulator, MergeCombinesPartialSums) {
+  // The parallel sum path: per-chunk accumulators folded together must equal
+  // one accumulator fed everything in order.
+  DrAccumulator whole, left, right;
+  whole.add(10, 2);
+  whole.add(6, 2);
+  whole.add(9, 3);
+  left.add(10, 2);
+  left.add(6, 2);
+  right.add(9, 3);
+  left.merge(right);
+  EXPECT_EQ(left.faults(), whole.faults());
+  EXPECT_EQ(left.sumCandidates(), whole.sumCandidates());
+  EXPECT_EQ(left.sumActual(), whole.sumActual());
+  EXPECT_DOUBLE_EQ(left.dr(), whole.dr());
+}
+
+TEST(DrAccumulator, MergeWithEmptyIsIdentity) {
+  DrAccumulator acc, empty;
+  acc.add(5, 2);
+  acc.merge(empty);
+  EXPECT_EQ(acc.faults(), 1u);
+  EXPECT_EQ(acc.sumCandidates(), 5u);
+  EXPECT_EQ(acc.sumActual(), 2u);
+}
+
+TEST(DrAccumulator, CandidateSumOverflowThrowsInsteadOfWrapping) {
+  constexpr std::uint64_t kHuge = std::numeric_limits<std::uint64_t>::max() - 1;
+  DrAccumulator acc;
+  acc.add(kHuge, 1);
+  EXPECT_EQ(acc.sumCandidates(), kHuge);
+  EXPECT_THROW(acc.add(2, 1), std::logic_error);
+}
+
+TEST(DrAccumulator, ActualSumOverflowThrowsInsteadOfWrapping) {
+  constexpr std::uint64_t kHuge = std::numeric_limits<std::uint64_t>::max() - 1;
+  DrAccumulator acc;
+  acc.add(1, kHuge);
+  EXPECT_THROW(acc.add(1, 2), std::logic_error);
+}
+
+TEST(DrAccumulator, MergeOverflowThrowsInsteadOfWrapping) {
+  constexpr std::uint64_t kHuge = std::numeric_limits<std::uint64_t>::max() - 1;
+  DrAccumulator a, b;
+  a.add(kHuge, 1);
+  b.add(kHuge, 1);
+  EXPECT_THROW(a.merge(b), std::logic_error);
 }
 
 }  // namespace

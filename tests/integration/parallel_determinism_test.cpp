@@ -1,0 +1,144 @@
+// The threading determinism contract (docs/ARCHITECTURE.md §"Threading"):
+// every parallelized experiment driver must produce bit-identical output for
+// any thread count. These tests run the same workloads at 1, 2, and 8
+// threads — 1 thread being the exact serial code path — and require exact
+// equality of every integer sum and every double, for all three partitioning
+// schemes, with and without superposition pruning (pruning also exercises
+// the lazily built MISR linear model under concurrency).
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/scandiag.hpp"
+#include "soc/soc_builder.hpp"
+
+namespace scandiag {
+namespace {
+
+/// Restores the global pool to the environment default even if a test fails.
+class ParallelDeterminism : public ::testing::Test {
+ protected:
+  void TearDown() override { setGlobalThreadCount(0); }
+
+  static constexpr std::size_t kThreadCounts[] = {1, 2, 8};
+};
+
+const CircuitWorkload& s953Workload() {
+  static const CircuitWorkload work = [] {
+    const Netlist nl = generateNamedCircuit("s953");
+    WorkloadConfig wc;
+    wc.numPatterns = 96;
+    wc.numFaults = 150;
+    return prepareWorkload(nl, wc);
+  }();
+  return work;
+}
+
+DiagnosisConfig configFor(SchemeKind scheme, bool pruning) {
+  DiagnosisConfig config;
+  config.scheme = scheme;
+  config.numPartitions = 6;
+  config.groupsPerPartition = 8;
+  config.numPatterns = 96;
+  config.pruning = pruning;
+  return config;
+}
+
+void expectSameReport(const DrReport& expected, const DrReport& actual,
+                      const std::string& what) {
+  EXPECT_EQ(expected.faults, actual.faults) << what;
+  EXPECT_EQ(expected.sumCandidates, actual.sumCandidates) << what;
+  EXPECT_EQ(expected.sumActual, actual.sumActual) << what;
+  EXPECT_EQ(expected.dr, actual.dr) << what;  // bitwise: same sums, same divide
+}
+
+TEST_F(ParallelDeterminism, EvaluateIsBitIdenticalAcrossThreadCounts) {
+  const CircuitWorkload& work = s953Workload();
+  for (SchemeKind scheme :
+       {SchemeKind::IntervalBased, SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
+    for (bool pruning : {false, true}) {
+      const DiagnosisPipeline pipeline(work.topology, configFor(scheme, pruning));
+      setGlobalThreadCount(1);
+      const DrReport serial = pipeline.evaluate(work.responses);
+      for (std::size_t threads : kThreadCounts) {
+        setGlobalThreadCount(threads);
+        const std::string what = schemeName(scheme) + (pruning ? "+prune" : "") + " @" +
+                                 std::to_string(threads) + " threads";
+        expectSameReport(serial, pipeline.evaluate(work.responses), what);
+      }
+    }
+  }
+}
+
+TEST_F(ParallelDeterminism, EvaluateSweepIsBitIdenticalAcrossThreadCounts) {
+  const CircuitWorkload& work = s953Workload();
+  for (SchemeKind scheme :
+       {SchemeKind::IntervalBased, SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
+    const DiagnosisPipeline pipeline(work.topology, configFor(scheme, false));
+    setGlobalThreadCount(1);
+    const std::vector<double> serial = pipeline.evaluateSweep(work.responses);
+    ASSERT_EQ(serial.size(), pipeline.partitions().size());
+    for (std::size_t threads : kThreadCounts) {
+      setGlobalThreadCount(threads);
+      const std::vector<double> parallel = pipeline.evaluateSweep(work.responses);
+      ASSERT_EQ(parallel.size(), serial.size());
+      for (std::size_t p = 0; p < serial.size(); ++p) {
+        EXPECT_EQ(serial[p], parallel[p])
+            << schemeName(scheme) << " prefix " << p + 1 << " @" << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST_F(ParallelDeterminism, SocDriverIsBitIdenticalAcrossThreadCounts) {
+  const Soc soc = buildSocFromModules("mini", {"s298", "s344", "s526"}, 1);
+  WorkloadConfig workload;
+  workload.numPatterns = 64;
+  workload.numFaults = 40;
+  for (SchemeKind scheme :
+       {SchemeKind::IntervalBased, SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
+    DiagnosisConfig config = configFor(scheme, false);
+    config.numPatterns = workload.numPatterns;
+    setGlobalThreadCount(1);
+    const std::vector<SocDrRow> serial = evaluateSocDr(soc, workload, config);
+    ASSERT_EQ(serial.size(), soc.coreCount());
+    for (std::size_t threads : kThreadCounts) {
+      setGlobalThreadCount(threads);
+      const std::vector<SocDrRow> parallel = evaluateSocDr(soc, workload, config);
+      ASSERT_EQ(parallel.size(), serial.size());
+      for (std::size_t k = 0; k < serial.size(); ++k) {
+        EXPECT_EQ(serial[k].failingCore, parallel[k].failingCore);
+        expectSameReport(serial[k].report, parallel[k].report,
+                         schemeName(scheme) + " core " + serial[k].failingCore + " @" +
+                             std::to_string(threads) + " threads");
+      }
+    }
+  }
+}
+
+TEST_F(ParallelDeterminism, DiagnoseStaysSoundUnderConcurrency) {
+  // Soundness (candidates ⊇ actual) per fault, diagnosed concurrently via
+  // submit() — the per-fault entry point users may drive from their own
+  // threads.
+  const CircuitWorkload& work = s953Workload();
+  const DiagnosisPipeline pipeline(work.topology, configFor(SchemeKind::TwoStep, true));
+  setGlobalThreadCount(8);
+  std::vector<std::future<bool>> sound;
+  sound.reserve(work.responses.size());
+  for (const FaultResponse& r : work.responses) {
+    sound.push_back(globalPool().submit([&pipeline, &r] {
+      const FaultDiagnosis d = pipeline.diagnose(r);
+      return r.failingCells.isSubsetOf(d.candidates.cells);
+    }));
+  }
+  for (std::size_t i = 0; i < sound.size(); ++i) {
+    EXPECT_TRUE(sound[i].get()) << "fault " << i;
+  }
+}
+
+}  // namespace
+}  // namespace scandiag

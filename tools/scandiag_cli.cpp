@@ -19,6 +19,9 @@
 //   --patterns N      (default 128)    --faults N      (default 500)
 //   --chains N        (default 1)      --prune         (off by default)
 //   --seed N          (fault-sample seed, default 0xFA17)
+//   --threads N       (worker threads for the per-fault loops; default
+//                      SCANDIAG_THREADS, else all hardware threads; results
+//                      are bit-identical for every value)
 //   --json            machine-readable output (diagnose, dr, plan)
 //   --target X        DR target for plan (default 0.5)
 
@@ -335,6 +338,7 @@ int main(int argc, char** argv) {
   try {
     const Args args = Args::parse(argc, argv);
     if (args.positional.empty()) return usage();
+    if (args.options.count("threads")) setGlobalThreadCount(args.getN("threads", 0));
     const std::string& cmd = args.positional[0];
     if (cmd == "info") return cmdInfo(args);
     if (cmd == "emit") return cmdEmit(args);
