@@ -1,0 +1,132 @@
+// Noise-resilience sweep: DR and misdiagnosis rate as a function of tester
+// noise rate, with and without bounded-retry recovery, at 1 and 8 threads.
+//
+// The paper's DR tables assume perfect session verdicts; this bench measures
+// what a noisy tester does to them and how much the resilience layer
+// (inconsistency detection + bounded session retry + graceful degradation)
+// buys back. The 1- vs 8-thread rows double as a determinism check: every
+// metric must be bit-identical across thread counts.
+//
+// Writes results/BENCH_noise_resilience.json. Set SCANDIAG_NOISE_FULL=1 for
+// the dense sweep (more faults, more rates).
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/scandiag.hpp"
+
+using namespace scandiag;
+
+namespace {
+
+struct SweepPoint {
+  double noiseRate = 0.0;
+  bool recovery = false;
+  std::size_t threads = 1;
+  NoisyDrReport report;
+};
+
+bool sameReport(const NoisyDrReport& a, const NoisyDrReport& b) {
+  return a.sumCandidates == b.sumCandidates && a.sumActual == b.sumActual &&
+         a.faults == b.faults && a.totalInconsistencies == b.totalInconsistencies &&
+         a.totalRetrySessions == b.totalRetrySessions && a.unresolved == b.unresolved &&
+         a.misdiagnosisRate == b.misdiagnosisRate && a.meanConfidence == b.meanConfidence;
+}
+
+}  // namespace
+
+int main() {
+  const bool full = std::getenv("SCANDIAG_NOISE_FULL") != nullptr;
+
+  const Netlist nl = generateNamedCircuit("s953");
+  WorkloadConfig wc;
+  wc.numPatterns = 128;
+  wc.numFaults = full ? 500 : 200;
+  const CircuitWorkload work = prepareWorkload(nl, wc);
+
+  DiagnosisConfig config;  // two-step, 8 partitions x 16 groups, 128 patterns
+  RetryPolicy recovery;
+  recovery.maxRetriesPerSession = 2;
+  recovery.sessionBudget = 64;  // half a schedule's worth of extra sessions
+
+  std::vector<double> rates{0.0, 0.005, 0.01, 0.02, 0.05};
+  if (full) rates = {0.0, 0.002, 0.005, 0.01, 0.02, 0.05, 0.1};
+
+  benchutil::banner(
+      "Noise resilience: DR / misdiagnosis vs verdict-flip rate (s953, two-step)",
+      "no claim — robustness extension; paper assumes noiseless session verdicts");
+  std::printf("faults %zu, retry budget %zu sessions x %zu re-runs, seed 0x%llX\n\n",
+              work.responses.size(), recovery.sessionBudget, recovery.maxRetriesPerSession,
+              static_cast<unsigned long long>(NoiseConfig{}.seed));
+  std::printf("%-8s %-9s %-8s %-9s %-9s %-7s %-7s %-8s %-7s %-6s\n", "noise", "recovery",
+              "threads", "DR", "misdiag", "empty", "conf", "inconsis", "retry", "unres");
+
+  std::vector<SweepPoint> points;
+  bool deterministic = true;
+  for (const double rate : rates) {
+    NoiseConfig noise;
+    noise.flipRate = rate;
+    for (const bool withRecovery : {false, true}) {
+      const RetryPolicy policy = withRecovery ? recovery : RetryPolicy{};
+      const NoisyPipeline pipeline(work.topology, config, noise, policy);
+      NoisyDrReport reference;
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+        setGlobalThreadCount(threads);
+        SweepPoint point;
+        point.noiseRate = rate;
+        point.recovery = withRecovery;
+        point.threads = threads;
+        point.report = pipeline.evaluate(work.responses);
+        if (threads == 1) {
+          reference = point.report;
+        } else if (!sameReport(reference, point.report)) {
+          deterministic = false;
+        }
+        benchutil::row("%-8.3f %-9s %-8zu %-9.4f %-9.4f %-7.4f %-7.3f %-8zu %-7zu %-6zu",
+                       rate, withRecovery ? "on" : "off", threads, point.report.dr,
+                       point.report.misdiagnosisRate, point.report.emptyRate,
+                       point.report.meanConfidence, point.report.totalInconsistencies,
+                       point.report.totalRetrySessions, point.report.unresolved);
+        points.push_back(point);
+      }
+    }
+  }
+  setGlobalThreadCount(1);
+  std::printf("\nthread determinism (1 vs 8): %s\n", deterministic ? "OK" : "MISMATCH");
+
+  std::filesystem::create_directories("results");
+  std::ofstream out("results/BENCH_noise_resilience.json");
+  JsonWriter json(out);
+  json.beginObject()
+      .field("circuit", nl.name())
+      .field("scheme", std::string("two-step"))
+      .field("partitions", static_cast<std::uint64_t>(config.numPartitions))
+      .field("groups", static_cast<std::uint64_t>(config.groupsPerPartition))
+      .field("faults", static_cast<std::uint64_t>(work.responses.size()))
+      .field("retryBudget", static_cast<std::uint64_t>(recovery.sessionBudget))
+      .field("maxRetriesPerSession", static_cast<std::uint64_t>(recovery.maxRetriesPerSession))
+      .field("threadDeterministic", deterministic);
+  json.key("curves").beginArray();
+  for (const SweepPoint& p : points) {
+    json.beginObject()
+        .field("noiseRate", p.noiseRate)
+        .field("recovery", p.recovery)
+        .field("threads", static_cast<std::uint64_t>(p.threads))
+        .field("dr", p.report.dr)
+        .field("misdiagnosisRate", p.report.misdiagnosisRate)
+        .field("emptyRate", p.report.emptyRate)
+        .field("meanConfidence", p.report.meanConfidence)
+        .field("sumCandidates", p.report.sumCandidates)
+        .field("sumActual", p.report.sumActual)
+        .field("inconsistencies", static_cast<std::uint64_t>(p.report.totalInconsistencies))
+        .field("retrySessions", static_cast<std::uint64_t>(p.report.totalRetrySessions))
+        .field("unresolved", static_cast<std::uint64_t>(p.report.unresolved))
+        .endObject();
+  }
+  json.endArray().endObject();
+  std::printf("wrote results/BENCH_noise_resilience.json (%zu curve points)\n", points.size());
+  return deterministic ? 0 : 1;
+}

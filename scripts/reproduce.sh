@@ -7,11 +7,19 @@
 # (exported as SCANDIAG_THREADS; default: all hardware threads). Results are
 # bit-identical for every value — the final step proves it by diffing a
 # 1-thread against an N-thread bench_table1 run.
+#
+# NOISE=1 runs the dense noise-resilience sweep (exported as
+# SCANDIAG_NOISE_FULL; bench_noise then uses 500 faults and 7 noise rates
+# instead of the 200-fault / 5-rate smoke sweep).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 if [ -n "${THREADS:-}" ]; then
   export SCANDIAG_THREADS="${THREADS}"
+fi
+
+if [ "${NOISE:-0}" = "1" ]; then
+  export SCANDIAG_NOISE_FULL=1
 fi
 
 cmake -B build -G Ninja

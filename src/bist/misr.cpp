@@ -1,6 +1,7 @@
 #include "bist/misr.hpp"
 
 #include <bit>
+#include <cmath>
 
 #include "common/assert.hpp"
 
@@ -52,6 +53,12 @@ std::uint64_t MisrLinearModel::weight(unsigned line, std::size_t cycle) const {
   SCANDIAG_REQUIRE(line < inputWidth_, "MISR line out of range");
   SCANDIAG_REQUIRE(cycle < totalCycles_, "MISR cycle out of range");
   return weights_[static_cast<std::size_t>(line) * totalCycles_ + cycle];
+}
+
+double misrAliasingProbability(unsigned degree) {
+  SCANDIAG_REQUIRE(degree >= 1, "MISR degree must be at least 1");
+  if (degree >= 64) return std::ldexp(1.0, -static_cast<int>(degree));
+  return 1.0 / (std::ldexp(1.0, static_cast<int>(degree)) - 1.0);
 }
 
 }  // namespace scandiag

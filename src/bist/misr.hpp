@@ -82,4 +82,10 @@ class MisrLinearModel {
   std::vector<std::uint64_t> weights_;
 };
 
+/// Theoretical aliasing probability of a degree-bit MISR: the chance that a
+/// random nonzero error stream compacts to signature 0 is 1/(2^degree - 1)
+/// (2^-degree for degree >= 64). The noise injector's forced-aliasing rate
+/// and bench_noise report against this reference.
+double misrAliasingProbability(unsigned degree);
+
 }  // namespace scandiag

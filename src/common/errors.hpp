@@ -1,0 +1,56 @@
+// Typed error hierarchy for external-input failures.
+//
+// The parsers (.bench netlists, .soc descriptions, tester session logs) face
+// data produced outside this process — truncated uploads, corrupted tester
+// dumps, hand-edited files. Every malformed input must surface as a typed
+// exception carrying the source location, never as UB or silent acceptance,
+// so callers (and scandiag_cli's exit-code mapping) can distinguish
+//   * ParseError         — the bytes are wrong (carries a 1-based line),
+//   * FileNotFoundError  — the path is wrong,
+// from plain std::invalid_argument (caller misuse / usage errors).
+// ParseError derives from std::invalid_argument so existing catch sites keep
+// working; FileNotFoundError derives from std::runtime_error because the
+// input itself was never inspected.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace scandiag {
+
+class ParseError : public std::invalid_argument {
+ public:
+  /// `format` names the input kind ("session log", ".soc", ".bench");
+  /// `line` is 1-based, 0 when the error is not tied to one line.
+  ParseError(std::string format, int line, const std::string& message)
+      : std::invalid_argument(compose(format, line, message)),
+        format_(std::move(format)),
+        line_(line) {}
+
+  const std::string& format() const { return format_; }
+  int line() const { return line_; }
+
+ private:
+  static std::string compose(const std::string& format, int line, const std::string& message) {
+    std::string out = format + " parse error";
+    if (line > 0) out += " at line " + std::to_string(line);
+    out += ": " + message;
+    return out;
+  }
+
+  std::string format_;
+  int line_;
+};
+
+class FileNotFoundError : public std::runtime_error {
+ public:
+  explicit FileNotFoundError(const std::string& path)
+      : std::runtime_error("cannot open file: " + path), path_(path) {}
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace scandiag

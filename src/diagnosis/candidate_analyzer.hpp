@@ -6,7 +6,24 @@
 // computed on the selection axis and then expanded to cells. In exact mode
 // this is sound: every truly failing cell lies in a failing group of every
 // partition, so it always survives (tested as the soundness invariant).
+//
+// analyzeChecked() adds the noisy-tester invariants. For a real (permanent)
+// fault and a correct tester, three things can never happen, because each
+// partition's groups cover every position:
+//   * a partition with zero failing groups while another partition fails
+//     (the fault fired somewhere, so every partition must see it);
+//   * a partition whose failing union is disjoint from the intersection of
+//     the preceding partitions (the true cells lie in that intersection);
+//   * a failing group disjoint from the final candidate set (every failing
+//     group contains at least one true failing cell).
+// Each violation is reported as an InconsistencyReport — which partition,
+// which session (group) is suspect — instead of silently emptying the
+// candidate set; partitions that would empty it are excluded so the returned
+// candidates stay a meaningful superset for the recovery layer to refine.
 #pragma once
+
+#include <string>
+#include <vector>
 
 #include "bist/scan_topology.hpp"
 #include "diagnosis/partition.hpp"
@@ -23,12 +40,52 @@ struct CandidateSet {
   std::size_t cellCount() const { return cells.count(); }
 };
 
+enum class InconsistencyKind {
+  /// Every group of this partition passed while another partition failed:
+  /// some fail verdict of this partition was lost (flip, aliasing,
+  /// intermittency, or X-masking of all its failing cells).
+  AllGroupsPassing,
+  /// This partition's failing union shares no position with the running
+  /// intersection of the preceding partitions: either one of its fail
+  /// verdicts was lost or an earlier pass verdict was spurious.
+  DisjointFailingUnion,
+  /// A failing group shares no position with the final candidate set: its
+  /// fail verdict is almost certainly a spurious pass→fail flip.
+  PhantomFailingGroup,
+};
+
+const char* inconsistencyKindName(InconsistencyKind kind);
+
+struct InconsistencyReport {
+  InconsistencyKind kind;
+  std::size_t partition = 0;
+  /// Suspect session within the partition (BitVector::npos when unknown).
+  std::size_t group = BitVector::npos;
+
+  /// "partition 3 session 7: phantom-failing-group ..." for logs/stderr.
+  std::string describe() const;
+};
+
+struct CheckedAnalysis {
+  CandidateSet candidates;
+  std::vector<InconsistencyReport> inconsistencies;
+  /// Partitions whose verdicts entered the intersection (ascending).
+  std::vector<std::size_t> usedPartitions;
+
+  bool consistent() const { return inconsistencies.empty(); }
+};
+
 class CandidateAnalyzer {
  public:
   explicit CandidateAnalyzer(const ScanTopology& topology) : topology_(&topology) {}
 
   CandidateSet analyze(const std::vector<Partition>& partitions,
                        const GroupVerdicts& verdicts) const;
+
+  /// Inclusion–exclusion with the impossibility checks above. On clean
+  /// verdicts this returns exactly analyze()'s candidates and no reports.
+  CheckedAnalysis analyzeChecked(const std::vector<Partition>& partitions,
+                                 const GroupVerdicts& verdicts) const;
 
  private:
   const ScanTopology* topology_;

@@ -18,4 +18,13 @@ DiagnosisCost partitionRunCost(std::size_t numPartitions, std::size_t groupsPerP
   return total;
 }
 
+DiagnosisCost repeatedSessionsCost(std::size_t numSessions, std::size_t numPatterns,
+                                   std::size_t chainLength) {
+  const DiagnosisCost one = sessionCost(numPatterns, chainLength);
+  DiagnosisCost total;
+  total.sessions = numSessions;
+  total.clockCycles = one.clockCycles * numSessions;
+  return total;
+}
+
 }  // namespace scandiag

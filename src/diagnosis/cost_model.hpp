@@ -35,4 +35,10 @@ DiagnosisCost sessionCost(std::size_t numPatterns, std::size_t chainLength);
 DiagnosisCost partitionRunCost(std::size_t numPartitions, std::size_t groupsPerPartition,
                                std::size_t numPatterns, std::size_t chainLength);
 
+/// Cost of `numSessions` repeated sessions — the retry-budget accounting
+/// unit: RecoveredDiagnosis::retrySessions through this gives the exact
+/// tester-time overhead of recovery on top of partitionRunCost.
+DiagnosisCost repeatedSessionsCost(std::size_t numSessions, std::size_t numPatterns,
+                                   std::size_t chainLength);
+
 }  // namespace scandiag

@@ -50,6 +50,10 @@ class DiagnosisPipeline {
   const std::vector<Partition>& partitions() const { return partitions_; }
   const DiagnosisConfig& config() const { return config_; }
   const ScanTopology& topology() const { return *topology_; }
+  /// Exposed for the resilience layer (src/inject): retry re-runs go through
+  /// the same engine; checked analysis through the same analyzer.
+  const SessionEngine& engine() const { return engine_; }
+  const CandidateAnalyzer& analyzer() const { return analyzer_; }
 
   /// Diagnoses one fault: sessions → inclusion-exclusion → optional pruning.
   FaultDiagnosis diagnose(const FaultResponse& response) const;

@@ -53,23 +53,55 @@ std::uint64_t SessionEngine::cellErrorSignature(std::size_t cell,
   return sig;
 }
 
-GroupVerdicts SessionEngine::run(const std::vector<Partition>& partitions,
-                                 const FaultResponse& response) const {
-  const bool needSignatures =
-      config_.mode == SignatureMode::Misr || config_.computeSignatures;
+PartitionVerdictRow SessionEngine::computeRow(const Partition& partition,
+                                              const BitVector& failingPositions,
+                                              const std::vector<std::size_t>& cellPos,
+                                              const std::vector<std::uint64_t>& cellSig,
+                                              bool needSignatures) const {
+  SCANDIAG_REQUIRE(partition.length() == topology_->maxChainLength(),
+                   "partition length does not match topology");
+  const std::size_t b = partition.groupCount();
+  PartitionVerdictRow row;
+  row.failing = BitVector(b);
+  std::vector<std::uint64_t> sig(b, 0);
+  if (needSignatures) {
+    const std::vector<std::size_t> table = partition.groupTable();
+    for (std::size_t i = 0; i < cellPos.size(); ++i) sig[table[cellPos[i]]] ^= cellSig[i];
+  }
+  for (std::size_t g = 0; g < b; ++g) {
+    const bool exactFail = partition.groups[g].intersects(failingPositions);
+    const bool verdict = config_.mode == SignatureMode::Exact ? exactFail : (sig[g] != 0);
+    if (verdict) row.failing.set(g);
+  }
+  if (needSignatures) row.errorSig = std::move(sig);
+  return row;
+}
 
+void SessionEngine::prepareCells(const FaultResponse& response, bool needSignatures,
+                                 BitVector& failingPositions, std::vector<std::size_t>& cellPos,
+                                 std::vector<std::uint64_t>& cellSig) const {
   // Positions holding at least one failing cell (drives exact verdicts).
-  const BitVector failingPositions = topology_->collapseCells(response.failingCells);
-
+  failingPositions = topology_->collapseCells(response.failingCells);
   // Per failing cell: chain position and (optionally) error signature.
   const std::size_t numFailing = response.failingCellOrdinals.size();
-  std::vector<std::size_t> cellPos(numFailing);
-  std::vector<std::uint64_t> cellSig(numFailing, 0);
+  cellPos.assign(numFailing, 0);
+  cellSig.assign(numFailing, 0);
   for (std::size_t i = 0; i < numFailing; ++i) {
     const std::size_t cell = response.failingCellOrdinals[i];
     cellPos[i] = topology_->location(cell).position;
     if (needSignatures) cellSig[i] = cellErrorSignature(cell, response.errorStreams[i]);
   }
+}
+
+GroupVerdicts SessionEngine::run(const std::vector<Partition>& partitions,
+                                 const FaultResponse& response) const {
+  const bool needSignatures =
+      config_.mode == SignatureMode::Misr || config_.computeSignatures;
+
+  BitVector failingPositions;
+  std::vector<std::size_t> cellPos;
+  std::vector<std::uint64_t> cellSig;
+  prepareCells(response, needSignatures, failingPositions, cellPos, cellSig);
 
   GroupVerdicts verdicts;
   verdicts.failing.reserve(partitions.size());
@@ -81,25 +113,23 @@ GroupVerdicts SessionEngine::run(const std::vector<Partition>& partitions,
   }
 
   for (const Partition& partition : partitions) {
-    SCANDIAG_REQUIRE(partition.length() == topology_->maxChainLength(),
-                     "partition length does not match topology");
-    const std::size_t b = partition.groupCount();
-    BitVector fail(b);
-    std::vector<std::uint64_t> sig(b, 0);
-    if (needSignatures) {
-      const std::vector<std::size_t> table = partition.groupTable();
-      for (std::size_t i = 0; i < numFailing; ++i) sig[table[cellPos[i]]] ^= cellSig[i];
-    }
-    for (std::size_t g = 0; g < b; ++g) {
-      const bool exactFail = partition.groups[g].intersects(failingPositions);
-      const bool verdict =
-          config_.mode == SignatureMode::Exact ? exactFail : (sig[g] != 0);
-      if (verdict) fail.set(g);
-    }
-    verdicts.failing.push_back(std::move(fail));
-    if (needSignatures) verdicts.errorSig.push_back(std::move(sig));
+    PartitionVerdictRow row =
+        computeRow(partition, failingPositions, cellPos, cellSig, needSignatures);
+    verdicts.failing.push_back(std::move(row.failing));
+    if (needSignatures) verdicts.errorSig.push_back(std::move(row.errorSig));
   }
   return verdicts;
+}
+
+PartitionVerdictRow SessionEngine::runPartition(const Partition& partition,
+                                                const FaultResponse& response) const {
+  const bool needSignatures =
+      config_.mode == SignatureMode::Misr || config_.computeSignatures;
+  BitVector failingPositions;
+  std::vector<std::size_t> cellPos;
+  std::vector<std::uint64_t> cellSig;
+  prepareCells(response, needSignatures, failingPositions, cellPos, cellSig);
+  return computeRow(partition, failingPositions, cellPos, cellSig, needSignatures);
 }
 
 }  // namespace scandiag

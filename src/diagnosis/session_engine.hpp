@@ -62,6 +62,13 @@ struct GroupVerdicts {
   unsigned signatureDegree = 0;
 };
 
+/// One partition's worth of session results (the retry granularity: a tester
+/// re-run repeats the b sessions of one partition, not the whole schedule).
+struct PartitionVerdictRow {
+  BitVector failing;                    // failing.test(g): group g failed
+  std::vector<std::uint64_t> errorSig;  // empty unless signatures are computed
+};
+
 class SessionEngine {
  public:
   SessionEngine(const ScanTopology& topology, const SessionConfig& config);
@@ -72,12 +79,26 @@ class SessionEngine {
   GroupVerdicts run(const std::vector<Partition>& partitions,
                     const FaultResponse& response) const;
 
+  /// Re-runs the sessions of one partition (same patterns, same capture data
+  /// — on a noiseless tester this reproduces run()'s row for that partition
+  /// bit-for-bit). This is the unit the recovery layer re-executes when a
+  /// session verdict is suspect.
+  PartitionVerdictRow runPartition(const Partition& partition,
+                                   const FaultResponse& response) const;
+
   /// Per-cell error signature of one failing cell (line = its chain, cycle =
   /// pattern * maxChainLength + position). Exposed for tests.
   std::uint64_t cellErrorSignature(std::size_t cell, const BitVector& errorStream) const;
 
  private:
   const MisrLinearModel& model() const;
+  void prepareCells(const FaultResponse& response, bool needSignatures,
+                    BitVector& failingPositions, std::vector<std::size_t>& cellPos,
+                    std::vector<std::uint64_t>& cellSig) const;
+  PartitionVerdictRow computeRow(const Partition& partition, const BitVector& failingPositions,
+                                 const std::vector<std::size_t>& cellPos,
+                                 const std::vector<std::uint64_t>& cellSig,
+                                 bool needSignatures) const;
 
   const ScanTopology* topology_;
   SessionConfig config_;

@@ -4,16 +4,22 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "common/errors.hpp"
 
 namespace scandiag {
 
 namespace {
 
 [[noreturn]] void fail(int line, const std::string& msg) {
-  std::ostringstream os;
-  os << "session log parse error at line " << line << ": " << msg;
-  throw std::invalid_argument(os.str());
+  throw ParseError("session log", line, msg);
 }
+
+// Tester logs come from outside this process; a corrupted header must not be
+// able to request a multi-terabyte verdict table. Real schedules are a few
+// dozen partitions x a few hundred groups.
+constexpr std::size_t kMaxPartitions = 1 << 16;
+constexpr std::size_t kMaxGroups = 1 << 16;
+constexpr std::size_t kMaxSessions = 1 << 24;
 
 }  // namespace
 
@@ -36,6 +42,11 @@ TesterLog parseTesterLog(std::istream& in) {
       if (!(is >> log.numPartitions >> log.groupsPerPartition) || log.numPartitions == 0 ||
           log.groupsPerPartition == 0)
         fail(lineNo, "sessions needs positive <partitions> <groups>");
+      if (log.numPartitions > kMaxPartitions || log.groupsPerPartition > kMaxGroups ||
+          log.numPartitions * log.groupsPerPartition > kMaxSessions)
+        fail(lineNo, "sessions header requests an implausibly large schedule");
+      std::string trailing;
+      if (is >> trailing) fail(lineNo, "unexpected trailing token '" + trailing + "'");
       sawHeader = true;
       log.verdicts.failing.assign(log.numPartitions, BitVector(log.groupsPerPartition));
       log.verdicts.errorSig.assign(log.numPartitions,
@@ -58,12 +69,16 @@ TesterLog parseTesterLog(std::istream& in) {
         if (sigKeyword != "sig") fail(lineNo, "expected 'sig <hex>', got '" + sigKeyword + "'");
         std::string hex;
         if (!(is >> hex)) fail(lineNo, "sig needs a hex value");
+        std::size_t consumed = 0;
         try {
-          log.verdicts.errorSig[p][g] = std::stoull(hex, nullptr, 16);
+          log.verdicts.errorSig[p][g] = std::stoull(hex, &consumed, 16);
         } catch (const std::exception&) {
           fail(lineNo, "bad hex signature '" + hex + "'");
         }
+        if (consumed != hex.size()) fail(lineNo, "bad hex signature '" + hex + "'");
         if (result == "fail") ++failingWithSig;
+        std::string trailing;
+        if (is >> trailing) fail(lineNo, "unexpected trailing token '" + trailing + "'");
       }
     } else {
       fail(lineNo, "unknown keyword '" + keyword + "'");
@@ -85,7 +100,7 @@ TesterLog parseTesterLogString(const std::string& text) {
 
 TesterLog parseTesterLogFile(const std::string& path) {
   std::ifstream in(path);
-  SCANDIAG_REQUIRE(in.good(), "cannot open session log: " + path);
+  if (!in.good()) throw FileNotFoundError(path);
   return parseTesterLog(in);
 }
 

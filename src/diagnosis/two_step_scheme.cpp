@@ -20,6 +20,16 @@ std::string schemeName(SchemeKind kind) {
   throw std::logic_error("unknown SchemeKind");
 }
 
+SchemeKind parseSchemeKind(const std::string& name) {
+  if (name == "interval" || name == "interval-based") return SchemeKind::IntervalBased;
+  if (name == "random" || name == "random-selection") return SchemeKind::RandomSelection;
+  if (name == "two-step") return SchemeKind::TwoStep;
+  if (name == "deterministic" || name == "deterministic-interval")
+    return SchemeKind::DeterministicInterval;
+  throw std::invalid_argument("unknown scheme '" + name +
+                              "' (interval|random|two-step|deterministic)");
+}
+
 TwoStepScheme::TwoStepScheme(const SchemeConfig& config, std::size_t chainLength,
                              std::size_t groupCount)
     : intervalRemaining_(config.intervalPartitions),

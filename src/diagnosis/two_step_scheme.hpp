@@ -27,6 +27,11 @@ enum class SchemeKind {
 
 std::string schemeName(SchemeKind kind);
 
+/// Inverse of schemeName, also accepting the CLI short names
+/// (interval|random|two-step|deterministic). Throws std::invalid_argument
+/// with the accepted spellings on anything else.
+SchemeKind parseSchemeKind(const std::string& name);
+
 struct SchemeConfig {
   LfsrConfig lfsr{/*degree=*/16, /*tapMask=*/0};
   std::uint64_t randomSeed = 0xACE1;

@@ -1,0 +1,115 @@
+#include "inject/noisy_pipeline.hpp"
+
+#include "common/assert.hpp"
+#include "common/thread_pool.hpp"
+#include "diagnosis/metrics.hpp"
+
+namespace scandiag {
+
+NoisyPipeline::NoisyPipeline(const ScanTopology& topology, const DiagnosisConfig& config,
+                             const NoiseConfig& noise, const RetryPolicy& retry)
+    : topology_(&topology),
+      base_(topology, config),
+      corruptor_(noise),
+      recovery_(topology, retry) {}
+
+ResilientDiagnosis NoisyPipeline::diagnose(const FaultResponse& response,
+                                           std::uint64_t faultKey) const {
+  const DiagnosisConfig& config = base_.config();
+  const std::size_t chainLength = topology_->maxChainLength();
+  ResilientDiagnosis out;
+  out.actualCount = response.failingCellCount();
+  out.cost = partitionRunCost(config.numPartitions, config.groupsPerPartition,
+                              config.numPatterns, chainLength);
+
+  if (!corruptor_.config().enabled()) {
+    // Zero noise: the resilience layer is bit-identical to the base pipeline.
+    FaultDiagnosis clean = base_.diagnose(response);
+    out.candidates = std::move(clean.candidates);
+    out.candidateCount = clean.candidateCount;
+    out.emptyCandidates = out.candidateCount == 0;
+    out.misdiagnosed = !response.failingCells.isSubsetOf(out.candidates.cells);
+    return out;
+  }
+
+  const std::vector<Partition>& partitions = base_.partitions();
+  const SessionEngine& engine = base_.engine();
+  const BitVector failingPositions = topology_->collapseCells(response.failingCells);
+
+  GroupVerdicts verdicts = engine.run(partitions, response);
+  out.injected = corruptor_.corrupt(verdicts, partitions, failingPositions, faultKey,
+                                    /*attempt=*/0);
+
+  // A retry re-runs the partition's sessions on the same noisy tester: fresh
+  // capture, fresh independent noise stream (attempt >= 1).
+  const PartitionRerun rerun = [&](std::size_t p, std::size_t attempt) {
+    PartitionVerdictRow row = engine.runPartition(partitions[p], response);
+    corruptor_.corruptRow(row, partitions[p], p, failingPositions, faultKey, attempt);
+    return row;
+  };
+
+  RecoveredDiagnosis recovered = recovery_.recover(partitions, verdicts, rerun);
+  out.candidates = std::move(recovered.candidates);
+  out.candidateCount = out.candidates.cellCount();
+  out.confidence = recovered.confidence;
+  out.resolved = recovered.resolved;
+  out.inconsistencies = recovered.inconsistencies.size();
+  out.retrySessions = recovered.retrySessions;
+  out.cost += repeatedSessionsCost(recovered.retrySessions, config.numPatterns, chainLength);
+  out.emptyCandidates = out.candidateCount == 0;
+  out.misdiagnosed = !response.failingCells.isSubsetOf(out.candidates.cells);
+  return out;
+}
+
+NoisyDrReport NoisyPipeline::evaluate(const std::vector<FaultResponse>& responses) const {
+  // Same ordered-reduction contract as DiagnosisPipeline::evaluate: slot i
+  // depends only on responses[i] and the fault-index-keyed noise stream, so
+  // the report is bit-identical for every thread count.
+  struct Slot {
+    std::size_t candidates = 0;
+    std::size_t actual = 0;
+    bool detected = false;
+    bool misdiagnosed = false;
+    bool empty = false;
+    bool unresolved = false;
+    double confidence = 1.0;
+    std::size_t inconsistencies = 0;
+    std::size_t retrySessions = 0;
+  };
+  std::vector<Slot> slots(responses.size());
+  globalPool().parallelFor(responses.size(), [&](std::size_t i) {
+    const FaultResponse& r = responses[i];
+    if (!r.detected()) return;
+    const ResilientDiagnosis d = diagnose(r, static_cast<std::uint64_t>(i));
+    slots[i] = Slot{d.candidateCount,    d.actualCount, true,        d.misdiagnosed,
+                    d.emptyCandidates,   !d.resolved,   d.confidence, d.inconsistencies,
+                    d.retrySessions};
+  });
+
+  DrAccumulator acc;
+  NoisyDrReport report;
+  double confidenceSum = 0.0;
+  std::size_t misdiagnosed = 0, empty = 0;
+  for (const Slot& s : slots) {
+    if (!s.detected) continue;
+    acc.add(s.candidates, s.actual);
+    confidenceSum += s.confidence;
+    misdiagnosed += s.misdiagnosed ? 1 : 0;
+    empty += s.empty ? 1 : 0;
+    report.unresolved += s.unresolved ? 1 : 0;
+    report.totalInconsistencies += s.inconsistencies;
+    report.totalRetrySessions += s.retrySessions;
+  }
+  report.dr = acc.dr();
+  report.faults = acc.faults();
+  report.sumCandidates = acc.sumCandidates();
+  report.sumActual = acc.sumActual();
+  const double n = static_cast<double>(report.faults);
+  SCANDIAG_REQUIRE(report.faults > 0, "no detected responses");
+  report.misdiagnosisRate = static_cast<double>(misdiagnosed) / n;
+  report.emptyRate = static_cast<double>(empty) / n;
+  report.meanConfidence = confidenceSum / n;
+  return report;
+}
+
+}  // namespace scandiag

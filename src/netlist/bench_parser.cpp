@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/errors.hpp"
 
 namespace scandiag {
 
@@ -21,9 +22,7 @@ struct Statement {
 };
 
 [[noreturn]] void fail(int line, const std::string& msg) {
-  std::ostringstream os;
-  os << ".bench parse error at line " << line << ": " << msg;
-  throw std::invalid_argument(os.str());
+  throw ParseError(".bench", line, msg);
 }
 
 std::string strip(const std::string& s) {
@@ -107,6 +106,8 @@ Netlist parseBench(std::istream& in, const std::string& circuitName) {
       st.type = *type;
       const bool isConst = st.type == GateType::Const0 || st.type == GateType::Const1;
       if (args.empty() && !isConst) fail(lineNo, "gate '" + st.lhs + "' has no fanins");
+      if (st.type == GateType::Dff && args.size() != 1)
+        fail(lineNo, "DFF '" + st.lhs + "' takes exactly one D input");
       for (const std::string& a : args) {
         if (!validSignalName(a)) fail(lineNo, "invalid fanin name '" + a + "'");
       }
@@ -207,7 +208,7 @@ Netlist parseBenchString(const std::string& text, const std::string& circuitName
 
 Netlist parseBenchFile(const std::string& path) {
   std::ifstream in(path);
-  SCANDIAG_REQUIRE(in.good(), "cannot open .bench file: " + path);
+  if (!in.good()) throw FileNotFoundError(path);
   std::string stem = path;
   const std::size_t slash = stem.find_last_of('/');
   if (slash != std::string::npos) stem.erase(0, slash + 1);

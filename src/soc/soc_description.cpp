@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "common/errors.hpp"
 #include "soc/meta_scan_builder.hpp"
 
 namespace scandiag {
@@ -12,10 +13,12 @@ namespace scandiag {
 namespace {
 
 [[noreturn]] void fail(int line, const std::string& msg) {
-  std::ostringstream os;
-  os << ".soc parse error at line " << line << ": " << msg;
-  throw std::invalid_argument(os.str());
+  throw ParseError(".soc", line, msg);
 }
+
+// Descriptions come from disk; a corrupted count must not be able to request a
+// billion-gate synthetic circuit. The largest ISCAS-89 profile is ~24k gates.
+constexpr unsigned long long kMaxCount = 1ull << 24;
 
 std::vector<std::string> tokenize(const std::string& line) {
   std::vector<std::string> tokens;
@@ -26,10 +29,18 @@ std::vector<std::string> tokenize(const std::string& line) {
 }
 
 std::size_t parseCount(const std::string& text, int line, const std::string& what) {
+  // std::stoull silently wraps negative input; reject it explicitly.
+  if (!text.empty() && text[0] == '-') fail(line, what + " must be positive, got '" + text + "'");
   try {
-    const unsigned long long v = std::stoull(text);
+    std::size_t consumed = 0;
+    const unsigned long long v = std::stoull(text, &consumed);
+    if (consumed != text.size())
+      fail(line, "expected a number for " + what + ", got '" + text + "'");
     if (v == 0) fail(line, what + " must be positive");
+    if (v > kMaxCount) fail(line, what + " out of range: '" + text + "'");
     return static_cast<std::size_t>(v);
+  } catch (const ParseError&) {
+    throw;
   } catch (const std::invalid_argument&) {
     fail(line, "expected a number for " + what + ", got '" + text + "'");
   } catch (const std::out_of_range&) {
@@ -71,34 +82,36 @@ SocDescription parseSocDescription(std::istream& in) {
         if (tokens.size() != 4) fail(lineNo, "core ... profile takes one library name");
         try {
           core.profile = iscas89Profile(tokens[3]);
+        } catch (const ParseError&) {
+          throw;
         } catch (const std::invalid_argument& e) {
           fail(lineNo, e.what());
         }
       } else {
         // Explicit counts: inputs N outputs N dffs N gates N (any order).
         core.profile.name = core.instanceName;
-        bool in = false, out = false, ff = false, g = false;
+        bool gotIn = false, gotOut = false, gotFf = false, gotGates = false;
         for (std::size_t i = 2; i + 1 < tokens.size(); i += 2) {
           const std::string& key = tokens[i];
           const std::size_t value = parseCount(tokens[i + 1], lineNo, key);
           if (key == "inputs") {
             core.profile.numInputs = value;
-            in = true;
+            gotIn = true;
           } else if (key == "outputs") {
             core.profile.numOutputs = value;
-            out = true;
+            gotOut = true;
           } else if (key == "dffs") {
             core.profile.numDffs = value;
-            ff = true;
+            gotFf = true;
           } else if (key == "gates") {
             core.profile.numGates = value;
-            g = true;
+            gotGates = true;
           } else {
             fail(lineNo, "unknown core attribute '" + key + "'");
           }
         }
         if (tokens.size() % 2 != 0) fail(lineNo, "core attribute without a value");
-        if (!(in && out && ff && g))
+        if (!(gotIn && gotOut && gotFf && gotGates))
           fail(lineNo, "explicit core needs inputs, outputs, dffs, and gates");
       }
       desc.cores.push_back(std::move(core));
@@ -118,7 +131,7 @@ SocDescription parseSocDescriptionString(const std::string& text) {
 
 SocDescription parseSocDescriptionFile(const std::string& path) {
   std::ifstream in(path);
-  SCANDIAG_REQUIRE(in.good(), "cannot open .soc file: " + path);
+  if (!in.good()) throw FileNotFoundError(path);
   return parseSocDescription(in);
 }
 

@@ -1,0 +1,248 @@
+// Bounded-budget recovery: suspect partitions are re-run and majority-voted;
+// when the budget runs out, the offending partitions are dropped and the
+// candidate set widens instead of emptying.
+
+#include <gtest/gtest.h>
+
+#include "diagnosis/binary_search_diagnoser.hpp"
+#include "diagnosis/experiment_driver.hpp"
+#include "diagnosis/recovery.hpp"
+
+namespace scandiag {
+namespace {
+
+FaultResponse makeResponse(std::size_t numCells, const std::vector<std::size_t>& failing) {
+  FaultResponse r;
+  r.failingCells = BitVector(numCells);
+  for (std::size_t c : failing) {
+    r.failingCells.set(c);
+    r.failingCellOrdinals.push_back(c);
+    BitVector stream(4);
+    stream.set(0);
+    r.errorStreams.push_back(stream);
+  }
+  return r;
+}
+
+struct SchemeFixture {
+  explicit SchemeFixture(SchemeKind scheme) : topo(ScanTopology::singleChain(24)) {
+    config.scheme = scheme;
+    config.numPartitions = 4;
+    config.groupsPerPartition = 4;
+    config.numPatterns = 4;
+    parts = buildPartitions(config, topo.maxChainLength());
+  }
+
+  ScanTopology topo;
+  DiagnosisConfig config;
+  std::vector<Partition> parts;
+  SessionEngine engine{topo, SessionConfig{SignatureMode::Exact, 4}};
+};
+
+/// Re-run that returns the clean (noiseless) row — models a transient glitch.
+PartitionRerun cleanRerun(const SessionEngine& engine, const std::vector<Partition>& parts,
+                          const FaultResponse& response) {
+  return [&engine, &parts, &response](std::size_t p, std::size_t) {
+    return engine.runPartition(parts[p], response);
+  };
+}
+
+// The headline satellite guarantee: a single verdict flip at EVERY
+// (partition, group) position, in either direction, across all three
+// partition schemes, is either repaired by retry (fail->pass flips, which
+// trigger detection) or yields a candidate superset containing the true
+// failing cell — never an empty set.
+TEST(DiagnosisRecovery, SingleFlipEveryPositionRepairedOrSuperset) {
+  RetryPolicy policy;
+  policy.maxRetriesPerSession = 2;
+  policy.sessionBudget = 64;
+  for (const SchemeKind scheme :
+       {SchemeKind::IntervalBased, SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
+    const SchemeFixture f(scheme);
+    const DiagnosisRecovery recovery(f.topo, policy);
+    const CandidateAnalyzer analyzer(f.topo);
+    for (const std::size_t cell : {std::size_t{0}, std::size_t{13}, std::size_t{23}}) {
+      const FaultResponse response = makeResponse(24, {cell});
+      const GroupVerdicts clean = f.engine.run(f.parts, response);
+      const CandidateSet cleanCandidates = analyzer.analyze(f.parts, clean);
+      for (std::size_t p = 0; p < f.parts.size(); ++p) {
+        for (std::size_t g = 0; g < f.parts[p].groupCount(); ++g) {
+          GroupVerdicts noisy = clean;
+          const bool wasFailing = noisy.failing[p].test(g);
+          noisy.failing[p].flip(g);
+          const RecoveredDiagnosis d =
+              recovery.recover(f.parts, noisy, cleanRerun(f.engine, f.parts, response));
+          const std::string where = std::string(schemeName(scheme)) + " cell " +
+                                    std::to_string(cell) + " flip p" + std::to_string(p) +
+                                    " g" + std::to_string(g);
+          EXPECT_GT(d.candidates.cellCount(), 0u) << where;
+          EXPECT_TRUE(d.candidates.cells.test(cell)) << where;
+          if (wasFailing) {
+            // fail->pass always trips AllGroupsPassing on a single-cell fault
+            // (each partition has exactly one failing group), and two clean
+            // re-runs outvote the flip: full repair, exact clean candidates.
+            EXPECT_TRUE(d.resolved) << where;
+            EXPECT_EQ(d.candidates.cells.toIndices(), cleanCandidates.cells.toIndices())
+                << where;
+            EXPECT_EQ(d.retrySessions, 2 * f.parts[p].groupCount()) << where;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DiagnosisRecovery, ConsistentVerdictsSpendNothing) {
+  const SchemeFixture f(SchemeKind::TwoStep);
+  RetryPolicy policy;
+  policy.sessionBudget = 100;
+  const DiagnosisRecovery recovery(f.topo, policy);
+  const FaultResponse response = makeResponse(24, {7});
+  const GroupVerdicts clean = f.engine.run(f.parts, response);
+  std::size_t reruns = 0;
+  const RecoveredDiagnosis d = recovery.recover(
+      f.parts, clean, [&](std::size_t p, std::size_t) {
+        ++reruns;
+        return f.engine.runPartition(f.parts[p], response);
+      });
+  EXPECT_EQ(reruns, 0u);
+  EXPECT_EQ(d.retrySessions, 0u);
+  EXPECT_TRUE(d.resolved);
+  EXPECT_DOUBLE_EQ(d.confidence, 1.0);
+}
+
+TEST(DiagnosisRecovery, BudgetIsNeverExceeded) {
+  const SchemeFixture f(SchemeKind::TwoStep);
+  RetryPolicy policy;
+  policy.maxRetriesPerSession = 5;
+  policy.sessionBudget = 6;  // groupCount is 4: one re-run fits, a second does not
+  const DiagnosisRecovery recovery(f.topo, policy);
+  const FaultResponse response = makeResponse(24, {7});
+  GroupVerdicts noisy = f.engine.run(f.parts, response);
+  noisy.failing[1].resetAll();  // lost fail verdict -> partition 1 suspect
+  const RecoveredDiagnosis d =
+      recovery.recover(f.parts, noisy, cleanRerun(f.engine, f.parts, response));
+  EXPECT_LE(d.retrySessions, policy.sessionBudget);
+  EXPECT_EQ(d.retrySessions, 4u);
+  EXPECT_TRUE(d.candidates.cells.test(7));
+}
+
+TEST(DiagnosisRecovery, NoRerunDegradesToDroppedPartition) {
+  const SchemeFixture f(SchemeKind::TwoStep);
+  RetryPolicy policy;
+  policy.sessionBudget = 100;
+  const DiagnosisRecovery recovery(f.topo, policy);
+  const FaultResponse response = makeResponse(24, {7});
+  GroupVerdicts noisy = f.engine.run(f.parts, response);
+  noisy.failing[1].resetAll();
+  // Offline logs cannot be re-run: null rerun goes straight to degradation.
+  const RecoveredDiagnosis d = recovery.recover(f.parts, noisy, nullptr);
+  EXPECT_FALSE(d.resolved);
+  EXPECT_EQ(d.droppedPartitions, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(d.retrySessions, 0u);
+  EXPECT_TRUE(d.candidates.cells.test(7));
+  EXPECT_LT(d.confidence, 1.0);
+}
+
+TEST(DiagnosisRecovery, PersistentLieFallsBackToDegradation) {
+  const SchemeFixture f(SchemeKind::TwoStep);
+  RetryPolicy policy;
+  policy.maxRetriesPerSession = 2;
+  policy.sessionBudget = 64;
+  const DiagnosisRecovery recovery(f.topo, policy);
+  const FaultResponse response = makeResponse(24, {7});
+  GroupVerdicts noisy = f.engine.run(f.parts, response);
+  noisy.failing[1].resetAll();
+  // The tester keeps lying: every re-run of partition 1 reads all-pass too.
+  const RecoveredDiagnosis d = recovery.recover(
+      f.parts, noisy, [&](std::size_t p, std::size_t) {
+        PartitionVerdictRow row = f.engine.runPartition(f.parts[p], response);
+        if (p == 1) row.failing.resetAll();
+        return row;
+      });
+  EXPECT_FALSE(d.resolved);
+  EXPECT_EQ(d.droppedPartitions, (std::vector<std::size_t>{1}));
+  EXPECT_TRUE(d.candidates.cells.test(7));
+  EXPECT_GT(d.candidates.cellCount(), 0u);
+}
+
+// Multi-cell faults fail several groups per partition, so a single lost fail
+// verdict leaves that partition self-consistent while its shrunken union
+// silently removes true cells from the intersection — the phantom reports
+// then land on the *honest* partitions. Whenever that is detected,
+// degradation must widen (leave-one-out) to a superset of every true failing
+// cell; flips whose shrunken union stays consistent with every other
+// partition are undetectable from verdicts alone (the documented residual)
+// but must still never empty the candidate set.
+TEST(DiagnosisRecovery, MultiCellLostFailVerdictWidensWhenDetected) {
+  for (const SchemeKind scheme :
+       {SchemeKind::IntervalBased, SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
+    const SchemeFixture f(scheme);
+    const DiagnosisRecovery recovery(f.topo, RetryPolicy{});
+    const FaultResponse response = makeResponse(24, {3, 4, 10, 17, 18, 22});
+    const GroupVerdicts clean = f.engine.run(f.parts, response);
+    std::size_t detected = 0;
+    for (std::size_t p = 0; p < f.parts.size(); ++p) {
+      for (std::size_t g = 0; g < f.parts[p].groupCount(); ++g) {
+        if (!clean.failing[p].test(g)) continue;
+        GroupVerdicts noisy = clean;
+        noisy.failing[p].reset(g);
+        const RecoveredDiagnosis d = recovery.recover(f.parts, noisy, nullptr);
+        const std::string where = std::string(schemeName(scheme)) + " flip p" +
+                                  std::to_string(p) + " g" + std::to_string(g);
+        EXPECT_GT(d.candidates.cellCount(), 0u) << where;
+        if (!d.consistent()) {
+          ++detected;
+          EXPECT_TRUE(response.failingCells.isSubsetOf(d.candidates.cells)) << where;
+        }
+      }
+    }
+    EXPECT_GT(detected, 0u) << schemeName(scheme);
+  }
+}
+
+// Adaptive baseline: a lying interval session is caught by the parent-fails/
+// both-halves-pass check and repaired by majority re-query.
+TEST(BinarySearchDiagnoser, OracleFlipRepairedByRequery) {
+  const ScanTopology topo = ScanTopology::singleChain(16);
+  const BinarySearchDiagnoser diagnoser(topo, 4);
+  const std::size_t failingPos = 7;
+  RetryPolicy policy;
+  policy.maxRetriesPerSession = 2;
+  policy.sessionBudget = 16;
+  std::size_t lies = 0;
+  const IntervalOracle oracle = [&](std::size_t lo, std::size_t hi, std::size_t attempt) {
+    const bool truth = lo <= failingPos && failingPos < hi;
+    if (lo == 0 && hi == 8 && attempt == 0) {
+      ++lies;
+      return false;  // one-shot fail->pass flip on the left half
+    }
+    return truth;
+  };
+  const BinarySearchResult r = diagnoser.diagnoseWithOracle(oracle, policy);
+  EXPECT_EQ(lies, 1u);
+  EXPECT_GE(r.inconsistencies, 1u);
+  EXPECT_GT(r.retrySessions, 0u);
+  EXPECT_TRUE(r.resolved);
+  EXPECT_EQ(r.candidates.positions.toIndices(), (std::vector<std::size_t>{failingPos}));
+}
+
+TEST(BinarySearchDiagnoser, OracleLieWithoutBudgetWidensInterval) {
+  const ScanTopology topo = ScanTopology::singleChain(16);
+  const BinarySearchDiagnoser diagnoser(topo, 4);
+  const std::size_t failingPos = 7;
+  const RetryPolicy noBudget;  // sessionBudget 0: no re-queries possible
+  const IntervalOracle oracle = [&](std::size_t lo, std::size_t hi, std::size_t attempt) {
+    if (lo == 0 && hi == 8 && attempt == 0) return false;
+    return lo <= failingPos && failingPos < hi;
+  };
+  const BinarySearchResult r = diagnoser.diagnoseWithOracle(oracle, noBudget);
+  EXPECT_FALSE(r.resolved);
+  EXPECT_GE(r.inconsistencies, 1u);
+  // The unrepairable parent interval is kept whole: superset, never empty.
+  EXPECT_TRUE(r.candidates.positions.test(failingPos));
+  EXPECT_GT(r.candidates.positions.count(), 1u);
+}
+
+}  // namespace
+}  // namespace scandiag

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/errors.hpp"
 #include "netlist/bench_parser.hpp"
 #include "netlist/bench_writer.hpp"
 #include "netlist/synthetic_generator.hpp"
@@ -139,7 +140,7 @@ TEST(BenchIo, ConstantGatesRoundTrip) {
 }
 
 TEST(BenchIo, MissingFileThrows) {
-  EXPECT_THROW(parseBenchFile("/nonexistent/file.bench"), std::invalid_argument);
+  EXPECT_THROW(parseBenchFile("/nonexistent/file.bench"), FileNotFoundError);
 }
 
 }  // namespace

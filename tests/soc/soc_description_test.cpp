@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/errors.hpp"
 #include "soc/soc_builder.hpp"
 
 namespace scandiag {
@@ -84,7 +85,7 @@ TEST(SocDescription, D695FileMatchesBuiltinBuilder) {
 }
 
 TEST(SocDescription, MissingFileThrows) {
-  EXPECT_THROW(parseSocDescriptionFile("/nonexistent.soc"), std::invalid_argument);
+  EXPECT_THROW(parseSocDescriptionFile("/nonexistent.soc"), FileNotFoundError);
 }
 
 }  // namespace

@@ -2,7 +2,7 @@
 //
 // Subcommands:
 //   info <circuit>                       circuit statistics and fault universe
-//   emit <circuit> -o <file.bench>       write a synthetic circuit as .bench
+//   emit <circuit> --o <file.bench>      write a synthetic circuit as .bench
 //   diagnose <circuit> --fault <site>    diagnose one injected stuck-at fault
 //   dr <circuit>                         DR experiment on one circuit
 //   soc-dr (soc1|d695)                   DR per failing core on a built-in SOC
@@ -24,6 +24,24 @@
 //                      are bit-identical for every value)
 //   --json            machine-readable output (diagnose, dr, plan)
 //   --target X        DR target for plan (default 0.5)
+//
+// Noise / resilience options (diagnose, dr):
+//   --noise R         raw verdict-flip rate per session (both directions)
+//   --intermittent R  intermittent fail->pass rate per failing session
+//   --xmask R         per-position X-masking rate
+//   --alias R         forced MISR aliasing rate per failing session
+//   --noise-seed N    noise stream seed (default 0x7E57ED)
+//   --retry-budget N  max extra sessions spent re-running suspect partitions
+//   --max-retries N   re-runs per suspect partition (default 2)
+//
+// Exit codes:
+//   0  success
+//   1  internal/runtime failure
+//   2  usage error (bad flag, unknown scheme, missing argument)
+//   3  input file not found
+//   4  input file failed to parse
+//   5  diagnosis still inconsistent after the retry budget was exhausted
+//      (a widened candidate superset was still printed)
 
 #include <cstdio>
 #include <iostream>
@@ -38,6 +56,20 @@
 using namespace scandiag;
 
 namespace {
+
+enum ExitCode {
+  kExitOk = 0,
+  kExitFailure = 1,
+  kExitUsage = 2,
+  kExitFileNotFound = 3,
+  kExitParseError = 4,
+  kExitInconsistent = 5,
+};
+
+/// Diagnosis stayed inconsistent after recovery; the CLI maps this to exit 5.
+struct InconsistentDiagnosisError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct Args {
   std::vector<std::string> positional;
@@ -64,6 +96,10 @@ struct Args {
     return args;
   }
 
+  const std::string& positionalAt(std::size_t i, const std::string& what) const {
+    if (i >= positional.size()) throw std::invalid_argument("missing " + what + " argument");
+    return positional[i];
+  }
   std::string get(const std::string& key, const std::string& def) const {
     const auto it = options.find(key);
     return it == options.end() ? def : it->second;
@@ -72,20 +108,21 @@ struct Args {
     const auto it = options.find(key);
     return it == options.end() ? def : std::strtoull(it->second.c_str(), nullptr, 0);
   }
+  double getD(const std::string& key, double def) const {
+    const auto it = options.find(key);
+    if (it == options.end()) return def;
+    char* end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+      throw std::invalid_argument("option --" + key + " needs a number, got '" + it->second +
+                                  "'");
+    return v;
+  }
   bool getFlag(const std::string& key) const {
     const auto it = flags.find(key);
     return it != flags.end() && it->second;
   }
 };
-
-SchemeKind parseScheme(const std::string& name) {
-  if (name == "interval") return SchemeKind::IntervalBased;
-  if (name == "random") return SchemeKind::RandomSelection;
-  if (name == "two-step") return SchemeKind::TwoStep;
-  if (name == "deterministic") return SchemeKind::DeterministicInterval;
-  throw std::invalid_argument("unknown scheme '" + name +
-                              "' (interval|random|two-step|deterministic)");
-}
 
 Netlist loadCircuit(const std::string& spec) {
   if (spec.find('/') != std::string::npos || spec.find('.') != std::string::npos)
@@ -95,7 +132,7 @@ Netlist loadCircuit(const std::string& spec) {
 
 DiagnosisConfig configFrom(const Args& args) {
   DiagnosisConfig c;
-  c.scheme = parseScheme(args.get("scheme", "two-step"));
+  c.scheme = parseSchemeKind(args.get("scheme", "two-step"));
   c.numPartitions = args.getN("partitions", 8);
   c.groupsPerPartition = args.getN("groups", 16);
   c.numPatterns = args.getN("patterns", 128);
@@ -103,8 +140,29 @@ DiagnosisConfig configFrom(const Args& args) {
   return c;
 }
 
+/// Noise model requested on the command line; nullopt when no noise flag given.
+std::optional<NoiseConfig> noiseFrom(const Args& args) {
+  const bool any = args.options.count("noise") || args.options.count("intermittent") ||
+                   args.options.count("xmask") || args.options.count("alias");
+  if (!any) return std::nullopt;
+  NoiseConfig noise;
+  noise.flipRate = args.getD("noise", 0.0);
+  noise.intermittentRate = args.getD("intermittent", 0.0);
+  noise.xMaskRate = args.getD("xmask", 0.0);
+  noise.aliasRate = args.getD("alias", 0.0);
+  noise.seed = args.getN("noise-seed", 0x7E57ED);
+  return noise;
+}
+
+RetryPolicy retryFrom(const Args& args) {
+  RetryPolicy retry;
+  retry.sessionBudget = args.getN("retry-budget", 0);
+  retry.maxRetriesPerSession = args.getN("max-retries", 2);
+  return retry;
+}
+
 int cmdInfo(const Args& args) {
-  const Netlist nl = loadCircuit(args.positional.at(1));
+  const Netlist nl = loadCircuit(args.positionalAt(1, "circuit"));
   const Levelization lev = levelize(nl);
   std::printf("circuit   %s\n", nl.name().c_str());
   std::printf("inputs    %zu\n", nl.inputs().size());
@@ -113,34 +171,90 @@ int cmdInfo(const Args& args) {
   std::printf("gates     %zu (depth %zu)\n", nl.combGateCount(), lev.maxLevel);
   std::printf("faults    %zu collapsed / %zu uncollapsed\n",
               FaultList::enumerateCollapsed(nl).size(), FaultList::enumerateAll(nl).size());
-  return 0;
+  return kExitOk;
 }
 
 int cmdEmit(const Args& args) {
-  const Netlist nl = loadCircuit(args.positional.at(1));
+  const Netlist nl = loadCircuit(args.positionalAt(1, "circuit"));
   const std::string out = args.get("o", nl.name() + ".bench");
   writeBenchFile(nl, out);
   std::printf("wrote %s (%zu gates)\n", out.c_str(), nl.gateCount());
-  return 0;
+  return kExitOk;
+}
+
+int diagnoseNoisy(const Netlist& nl, const Args& args, const FaultSite& fault,
+                  const std::string& faultSpec, const NoiseConfig& noise) {
+  const DiagnosisConfig config = configFrom(args);
+  const std::size_t chains = args.getN("chains", 1);
+  const ScanTopology topology = chains <= 1 ? ScanTopology::singleChain(nl.dffs().size())
+                                            : ScanTopology::blockChains(nl.dffs().size(), chains);
+  const PatternSet patterns = generatePatterns(nl, config.numPatterns, PrpgConfig{});
+  const FaultSimulator sim(nl, patterns);
+  const FaultResponse response = sim.simulate(fault);
+  if (!response.detected()) {
+    std::printf("fault %s not detected by %zu patterns\n", faultSpec.c_str(),
+                config.numPatterns);
+    return kExitOk;
+  }
+  const NoisyPipeline noisy(topology, config, noise, retryFrom(args));
+  const ResilientDiagnosis d = noisy.diagnose(response, /*faultKey=*/0);
+
+  if (args.getFlag("json")) {
+    JsonWriter json(std::cout);
+    json.beginObject()
+        .field("circuit", nl.name())
+        .field("fault", faultSpec)
+        .field("detected", true)
+        .field("candidateCount", d.candidateCount)
+        .field("actualCount", d.actualCount)
+        .field("misdiagnosed", d.misdiagnosed)
+        .field("confidence", d.confidence)
+        .field("resolved", d.resolved)
+        .field("inconsistencies", d.inconsistencies)
+        .field("retrySessions", d.retrySessions)
+        .field("injectedEvents", d.injected.count());
+    json.key("candidateCells").beginArray();
+    for (std::size_t c : d.candidates.cells.toIndices()) json.value(c);
+    json.endArray().endObject();
+    std::printf("\n");
+  } else {
+    std::printf("fault %s under noise: %zu failing cells, %zu candidates "
+                "(confidence %.3f, %zu injected events, %zu inconsistencies, "
+                "%zu retry sessions)\n",
+                faultSpec.c_str(), d.actualCount, d.candidateCount, d.confidence,
+                d.injected.count(), d.inconsistencies, d.retrySessions);
+    std::printf("candidates:");
+    for (std::size_t c : d.candidates.cells.toIndices()) std::printf(" %zu", c);
+    std::printf("\n");
+  }
+  if (!d.resolved)
+    throw InconsistentDiagnosisError(
+        "diagnosis of " + faultSpec + " is still inconsistent after the retry budget (" +
+        std::to_string(d.retrySessions) + " retry sessions spent); candidates were widened");
+  return kExitOk;
 }
 
 int cmdDiagnose(const Args& args) {
-  Netlist nl = loadCircuit(args.positional.at(1));
+  Netlist nl = loadCircuit(args.positionalAt(1, "circuit"));
   const std::string faultSpec = args.get("fault", "");
   if (faultSpec.empty()) throw std::invalid_argument("diagnose needs --fault <gate-name>");
   const GateId site = nl.findByName(faultSpec);
   if (site == kInvalidGate) throw std::invalid_argument("no gate named '" + faultSpec + "'");
   const bool sa = args.getN("sa", 1) != 0;
+  const FaultSite fault{site, FaultSite::kOutputPin, sa};
+
+  if (const std::optional<NoiseConfig> noise = noiseFrom(args))
+    return diagnoseNoisy(nl, args, fault, faultSpec + "/SA" + (sa ? "1" : "0"), *noise);
 
   DiagnoserOptions opts;
   opts.diagnosis = configFrom(args);
   opts.numChains = args.getN("chains", 1);
   const Diagnoser diag(std::move(nl), opts);
-  const Diagnoser::Result r = diag.diagnoseInjectedFault({site, FaultSite::kOutputPin, sa});
+  const Diagnoser::Result r = diag.diagnoseInjectedFault(fault);
   if (!r.detected) {
     std::printf("fault %s/SA%d not detected by %zu patterns\n", faultSpec.c_str(), sa ? 1 : 0,
                 opts.diagnosis.numPatterns);
-    return 0;
+    return kExitOk;
   }
   if (args.getFlag("json")) {
     JsonWriter json(std::cout);
@@ -157,7 +271,7 @@ int cmdDiagnose(const Args& args) {
     json.endArray();
     json.endObject();
     std::printf("\n");
-    return 0;
+    return kExitOk;
   }
   std::printf("fault %s/SA%d: %zu failing cells, %zu candidates (%s)\n", faultSpec.c_str(),
               sa ? 1 : 0, r.actualFailingCells.size(), r.candidateCells.size(),
@@ -171,11 +285,53 @@ int cmdDiagnose(const Args& args) {
                                               diag.topology().maxChainLength());
   std::printf("cost: %zu sessions, %llu clock cycles\n", cost.sessions,
               static_cast<unsigned long long>(cost.clockCycles));
-  return 0;
+  return kExitOk;
+}
+
+int drNoisy(const Netlist& nl, const Args& args, const NoiseConfig& noise) {
+  const DiagnosisConfig config = configFrom(args);
+  WorkloadConfig wc;
+  wc.numPatterns = config.numPatterns;
+  wc.numFaults = args.getN("faults", 500);
+  wc.faultSeed = args.getN("seed", 0xFA17);
+  const CircuitWorkload work = prepareWorkload(nl, wc, args.getN("chains", 1));
+  const NoisyPipeline noisy(work.topology, config, noise, retryFrom(args));
+  const NoisyDrReport rep = noisy.evaluate(work.responses);
+
+  if (args.getFlag("json")) {
+    JsonWriter json(std::cout);
+    json.beginObject()
+        .field("circuit", nl.name())
+        .field("scheme", schemeName(config.scheme))
+        .field("partitions", config.numPartitions)
+        .field("groups", config.groupsPerPartition)
+        .field("noiseFlipRate", noise.flipRate)
+        .field("retryBudget", retryFrom(args).sessionBudget)
+        .field("faults", rep.faults)
+        .field("dr", rep.dr)
+        .field("misdiagnosisRate", rep.misdiagnosisRate)
+        .field("emptyRate", rep.emptyRate)
+        .field("meanConfidence", rep.meanConfidence)
+        .field("inconsistencies", rep.totalInconsistencies)
+        .field("retrySessions", rep.totalRetrySessions)
+        .field("unresolved", rep.unresolved)
+        .endObject();
+    std::printf("\n");
+    return kExitOk;
+  }
+  std::printf("%s %s under noise: DR = %.4f over %zu faults "
+              "(misdiagnosis %.4f, empty %.4f, confidence %.3f, "
+              "%zu inconsistencies, %zu retry sessions, %zu unresolved)\n",
+              nl.name().c_str(), schemeName(config.scheme).c_str(), rep.dr, rep.faults,
+              rep.misdiagnosisRate, rep.emptyRate, rep.meanConfidence,
+              rep.totalInconsistencies, rep.totalRetrySessions, rep.unresolved);
+  return kExitOk;
 }
 
 int cmdDr(const Args& args) {
-  Netlist nl = loadCircuit(args.positional.at(1));
+  Netlist nl = loadCircuit(args.positionalAt(1, "circuit"));
+  if (const std::optional<NoiseConfig> noise = noiseFrom(args)) return drNoisy(nl, args, *noise);
+
   DiagnoserOptions opts;
   opts.diagnosis = configFrom(args);
   opts.numChains = args.getN("chains", 1);
@@ -196,29 +352,29 @@ int cmdDr(const Args& args) {
         .field("dr", rep.dr)
         .endObject();
     std::printf("\n");
-    return 0;
+    return kExitOk;
   }
   std::printf("%s %s: DR = %.4f over %zu detected faults "
               "(candidates %llu, actual %llu)\n",
               diag.netlist().name().c_str(), schemeName(opts.diagnosis.scheme).c_str(), rep.dr,
               rep.faults, static_cast<unsigned long long>(rep.sumCandidates),
               static_cast<unsigned long long>(rep.sumActual));
-  return 0;
+  return kExitOk;
 }
 
 int cmdSocDr(const Args& args) {
-  const std::string which = args.positional.at(1);
+  const std::string which = args.positionalAt(1, "soc name");
   const Soc soc = which == "soc1"   ? buildSoc1()
                   : which == "d695" ? buildD695()
                                     : throw std::invalid_argument("soc-dr takes soc1|d695");
   WorkloadConfig workload = presets::socWorkload();
   workload.numFaults = args.getN("faults", 500);
   workload.numPatterns = args.getN("patterns", 128);
-  DiagnosisConfig config = which == "soc1"
-                               ? presets::soc1Config(parseScheme(args.get("scheme", "two-step")),
-                                                     args.getFlag("prune"))
-                               : presets::d695Config(parseScheme(args.get("scheme", "two-step")),
-                                                     args.getFlag("prune"));
+  DiagnosisConfig config =
+      which == "soc1" ? presets::soc1Config(parseSchemeKind(args.get("scheme", "two-step")),
+                                            args.getFlag("prune"))
+                      : presets::d695Config(parseSchemeKind(args.get("scheme", "two-step")),
+                                            args.getFlag("prune"));
   config.numPartitions = args.getN("partitions", config.numPartitions);
   config.groupsPerPartition = args.getN("groups", config.groupsPerPartition);
   std::printf("%s: %zu cores, %zu cells, %zu meta chains — %s%s\n", soc.name().c_str(),
@@ -228,20 +384,20 @@ int cmdSocDr(const Args& args) {
     std::printf("  failing %-9s DR = %8.3f (%zu faults)\n", row.failingCore.c_str(),
                 row.report.dr, row.report.faults);
   }
-  return 0;
+  return kExitOk;
 }
 
 int cmdPlan(const Args& args) {
-  const Netlist nl = loadCircuit(args.positional.at(1));
+  const Netlist nl = loadCircuit(args.positionalAt(1, "circuit"));
   WorkloadConfig wc;
   wc.numPatterns = args.getN("patterns", 128);
   wc.numFaults = args.getN("faults", 200);
   const CircuitWorkload work = prepareWorkload(nl, wc, args.getN("chains", 1));
 
   PlanRequest request;
-  request.targetDr = std::strtod(args.get("target", "0.5").c_str(), nullptr);
+  request.targetDr = args.getD("target", 0.5);
   request.maxPartitions = args.getN("partitions", 16);
-  request.scheme = parseScheme(args.get("scheme", "two-step"));
+  request.scheme = parseSchemeKind(args.get("scheme", "two-step"));
   request.numPatterns = wc.numPatterns;
   const PlanResult plan = planDiagnosis(work.topology, work.responses, request);
 
@@ -260,7 +416,7 @@ int cmdPlan(const Args& args) {
     }
     json.endObject();
     std::printf("\n");
-    return 0;
+    return kExitOk;
   }
   std::printf("rule-of-thumb group count for %zu positions: %zu\n",
               work.topology.maxChainLength(),
@@ -268,14 +424,14 @@ int cmdPlan(const Args& args) {
   if (!plan.feasible) {
     std::printf("no candidate configuration reaches DR <= %.3f within %zu partitions\n",
                 request.targetDr, request.maxPartitions);
-    return 1;
+    return kExitFailure;
   }
   std::printf("cheapest plan for DR <= %.3f (%s): %zu partitions x %zu groups\n",
               request.targetDr, schemeName(request.scheme).c_str(),
               plan.config.numPartitions, plan.config.groupsPerPartition);
   std::printf("achieved DR %.3f at %zu sessions (%llu clock cycles)\n", plan.achievedDr,
               plan.cost.sessions, static_cast<unsigned long long>(plan.cost.clockCycles));
-  return 0;
+  return kExitOk;
 }
 
 int cmdOffline(const Args& args) {
@@ -290,28 +446,54 @@ int cmdOffline(const Args& args) {
   DiagnosisConfig config = configFrom(args);
   config.numPartitions = args.getN("partitions", log.numPartitions);
   config.groupsPerPartition = args.getN("groups", log.groupsPerPartition);
-  const CandidateSet candidates = diagnoseFromLog(topology, config, log);
+
+  // A recorded log cannot be re-run, so an inconsistent session set can only
+  // be degraded — DiagnosisRecovery with a null re-run callback drops the
+  // offending partitions and applies leave-one-out widening, so corrupted
+  // logs are reported instead of silently intersected away.
+  const std::vector<Partition> partitions = buildPartitions(config, topology.maxChainLength());
+  const DiagnosisRecovery recovery(topology, RetryPolicy{});
+  const RecoveredDiagnosis recovered = recovery.recover(partitions, log.verdicts, nullptr);
+
+  CandidateSet candidates;
+  if (recovered.consistent()) {
+    candidates = diagnoseFromLog(topology, config, log);
+  } else {
+    for (const InconsistencyReport& report : recovered.inconsistencies)
+      std::fprintf(stderr, "inconsistency: %s\n", report.describe().c_str());
+    candidates = recovered.candidates;
+  }
 
   if (args.getFlag("json")) {
     JsonWriter json(std::cout);
     json.beginObject()
         .field("log", logPath)
         .field("cells", cells)
+        .field("consistent", recovered.consistent())
+        .field("inconsistencies", recovered.inconsistencies.size())
+        .field("confidence", recovered.confidence)
         .field("candidateCount", candidates.cellCount());
     json.key("candidateCells").beginArray();
     for (std::size_t c : candidates.cells.toIndices()) json.value(c);
     json.endArray().endObject();
     std::printf("\n");
-    return 0;
+  } else {
+    std::printf("%zu candidate failing cell(s):", candidates.cellCount());
+    for (std::size_t c : candidates.cells.toIndices()) std::printf(" %zu", c);
+    std::printf("\n");
   }
-  std::printf("%zu candidate failing cell(s):", candidates.cellCount());
-  for (std::size_t c : candidates.cells.toIndices()) std::printf(" %zu", c);
-  std::printf("\n");
-  return 0;
+  if (!recovered.consistent())
+    throw InconsistentDiagnosisError(
+        "session log " + logPath + " is inconsistent (" +
+        std::to_string(recovered.inconsistencies.size()) +
+        " inconsistency report(s)); a widened candidate superset was printed");
+  return kExitOk;
 }
 
 int cmdPartitions(const Args& args) {
-  const std::size_t length = std::strtoull(args.positional.at(1).c_str(), nullptr, 0);
+  const std::size_t length =
+      std::strtoull(args.positionalAt(1, "chain length").c_str(), nullptr, 0);
+  if (length == 0) throw std::invalid_argument("partitions needs a positive chain length");
   DiagnosisConfig config = configFrom(args);
   const auto partitions = buildPartitions(config, length);
   for (std::size_t p = 0; p < partitions.size(); ++p) {
@@ -324,12 +506,14 @@ int cmdPartitions(const Args& args) {
       std::printf("\n");
     }
   }
-  return 0;
+  return kExitOk;
 }
 
 int usage() {
-  std::printf("usage: scandiag <info|emit|diagnose|dr|soc-dr|plan|offline|partitions> ... (see header)\n");
-  return 2;
+  std::fprintf(stderr,
+               "usage: scandiag <info|emit|diagnose|dr|soc-dr|plan|offline|partitions> ... "
+               "(see header)\n");
+  return kExitUsage;
 }
 
 }  // namespace
@@ -348,9 +532,22 @@ int main(int argc, char** argv) {
     if (cmd == "plan") return cmdPlan(args);
     if (cmd == "offline") return cmdOffline(args);
     if (cmd == "partitions") return cmdPartitions(args);
+    std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
     return usage();
+  } catch (const FileNotFoundError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitFileNotFound;
+  } catch (const ParseError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitParseError;
+  } catch (const InconsistentDiagnosisError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitInconsistent;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitUsage;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    return kExitFailure;
   }
 }
