@@ -17,8 +17,11 @@ int main() {
   banner("Ablation: exact verdicts vs true MISR signatures (s9234, two-step)",
          "aliasing probability ~2^-degree per group; 16-bit MISRs are effectively exact");
 
+  BenchReport report("ablation_aliasing");
   const Netlist nl = generateNamedCircuit("s9234");
   const CircuitWorkload work = prepareWorkload(nl, presets::table2Workload());
+  report.context("circuit", "s9234");
+  report.context("faults", work.responses.size());
 
   row("%-12s %10s %22s", "verdicts", "DR", "soundness violations");
   for (int degree : {0, 8, 12, 16, 24}) {
@@ -38,6 +41,8 @@ int main() {
     const std::string label = degree == 0 ? "exact" : ("MISR-" + std::to_string(degree));
     row("%-12s %10.3f %15zu / %zu", label.c_str(), acc.dr(), violations,
         work.responses.size());
+    report.row({{"verdicts", label}, {"dr", acc.dr()}, {"violations", violations}});
   }
+  report.write();
   return 0;
 }

@@ -19,10 +19,14 @@ int main() {
   banner("Ablation: space compactor fold (8 chains -> M MISR lines, s38417)",
          "compaction merges chains' evidence and introduces cancellation aliasing");
 
+  BenchReport report("ablation_compactor");
   const Netlist nl = generateNamedCircuit("s38417");
   const std::size_t chains = 8;
   WorkloadConfig wl = presets::table2Workload();
   const CircuitWorkload work = prepareWorkload(nl, wl, chains);
+  report.context("circuit", "s38417");
+  report.context("chains", chains);
+  report.context("faults", work.responses.size());
 
   row("%zu chains of ~%zu cells, %zu detected faults", chains,
       work.topology.maxChainLength(), work.responses.size());
@@ -81,6 +85,12 @@ int main() {
     const auto [drDual, vDual] = evaluate(dual);
     row("%-10zu %12.3f %15zu / %-6zu %12.3f %15zu / %zu", lines, drSingle, vSingle,
         work.responses.size(), drDual, vDual, dual.size());
+    report.row({{"misr_lines", static_cast<std::size_t>(lines)},
+                {"dr_single", drSingle},
+                {"violations_single", vSingle},
+                {"dr_dual", drDual},
+                {"violations_dual", vDual}});
   }
+  report.write();
   return 0;
 }

@@ -15,8 +15,12 @@ int main() {
   banner("Ablation: groups per partition (s9234, 8 partitions, 128 patterns)",
          "groups buy DR at linear session cost; paper sizes groups to chain length");
 
+  BenchReport report("ablation_groups");
   const Netlist nl = generateNamedCircuit("s9234");
   const CircuitWorkload work = prepareWorkload(nl, presets::table2Workload());
+  report.context("circuit", "s9234");
+  report.context("partitions", 8);
+  report.context("faults", work.responses.size());
   row("chain length %zu, %zu detected faults", work.topology.maxChainLength(),
       work.responses.size());
   row("");
@@ -32,6 +36,11 @@ int main() {
       dr[i++] = pipeline.evaluate(work.responses).dr;
     }
     row("%-8zu %10zu %16.3f %16.3f", groups, 8 * groups, dr[0], dr[1]);
+    report.row({{"groups", groups},
+                {"sessions", 8 * groups},
+                {"dr_random", dr[0]},
+                {"dr_two_step", dr[1]}});
   }
+  report.write();
   return 0;
 }

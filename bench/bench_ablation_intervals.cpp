@@ -27,6 +27,7 @@ int main() {
   banner("Ablation: interval partitions in step 1 (k interval + (8-k) random)",
          "paper uses k=1; more interval partitions sometimes help");
 
+  BenchReport report("ablation_intervals");
   row("%-12s %8s %8s %8s %8s %8s", "workload", "k=0", "k=1", "k=2", "k=3", "k=4");
 
   {
@@ -39,6 +40,12 @@ int main() {
       dr[k] = pipeline.evaluate(work.responses).dr;
     }
     row("%-12s %8.3f %8.3f %8.3f %8.3f %8.3f", "s9234", dr[0], dr[1], dr[2], dr[3], dr[4]);
+    report.row({{"workload", "s9234"},
+                {"dr_k0", dr[0]},
+                {"dr_k1", dr[1]},
+                {"dr_k2", dr[2]},
+                {"dr_k3", dr[3]},
+                {"dr_k4", dr[4]}});
   }
 
   {
@@ -55,6 +62,13 @@ int main() {
       }
     }
     row("%-12s %8.2f %8.2f %8.2f %8.2f %8.2f", "soc1 (mean)", dr[0], dr[1], dr[2], dr[3], dr[4]);
+    report.row({{"workload", "soc1_mean"},
+                {"dr_k0", dr[0]},
+                {"dr_k1", dr[1]},
+                {"dr_k2", dr[2]},
+                {"dr_k3", dr[3]},
+                {"dr_k4", dr[4]}});
   }
+  report.write();
   return 0;
 }

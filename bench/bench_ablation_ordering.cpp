@@ -39,8 +39,11 @@ int main() {
   banner("Ablation: scan-chain ordering (s9234, 8 partitions x 16 groups)",
          "interval/two-step rely on clustering; random selection does not");
 
+  BenchReport report("ablation_ordering");
   const Netlist nl = generateNamedCircuit("s9234");
   const CircuitWorkload work = prepareWorkload(nl, presets::table2Workload());
+  report.context("circuit", "s9234");
+  report.context("faults", work.responses.size());
 
   row("%-10s %16s %16s %12s", "ordering", "DR(random-sel)", "DR(two-step)", "two-step gain");
   for (const char* kind : {"natural", "reversed", "shuffled"}) {
@@ -52,6 +55,8 @@ int main() {
       dr[i++] = pipeline.evaluate(work.responses).dr;
     }
     row("%-10s %16.3f %16.3f %11sx", kind, dr[0], dr[1], improvement(dr[0], dr[1]).c_str());
+    report.row({{"ordering", kind}, {"dr_random", dr[0]}, {"dr_two_step", dr[1]}});
   }
+  report.write();
   return 0;
 }

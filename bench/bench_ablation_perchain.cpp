@@ -16,8 +16,11 @@ int main() {
   banner("Ablation: shared compactor vs per-chain MISRs (d695, 8 partitions x 8 groups)",
          "W MISRs restore (position x chain) granularity; Table 4's DR collapses");
 
+  BenchReport report("ablation_perchain");
   const Soc soc = buildD695();
   const WorkloadConfig workload = presets::socWorkload();
+  report.context("soc", "d695");
+  report.context("chains", soc.topology().numChains());
   const DiagnosisConfig config = presets::d695Config(SchemeKind::TwoStep, false);
   const std::vector<Partition> partitions =
       buildPartitions(config, soc.topology().maxChainLength());
@@ -37,9 +40,13 @@ int main() {
     }
     row("%-9s | %14.2f %14.2f %7sx", soc.core(k).name.c_str(), accShared.dr(),
         accPerChain.dr(), improvement(accShared.dr(), accPerChain.dr()).c_str());
+    report.row({{"failing_core", soc.core(k).name},
+                {"dr_shared", accShared.dr()},
+                {"dr_per_chain", accPerChain.dr()}});
   }
   row("");
   row("hardware price: %zu MISRs instead of 1 (two-step's selection counters unchanged)",
       soc.topology().numChains());
+  report.write();
   return 0;
 }

@@ -24,6 +24,7 @@ int main() {
          "two-step dominates the fixed-schedule baselines; binary search trades "
          "exactness for adaptivity");
 
+  BenchReport report("baselines");
   for (const char* name : {"s9234", "s38417"}) {
     const Netlist nl = generateNamedCircuit(name);
     const CircuitWorkload work = prepareWorkload(nl, presets::table2Workload());
@@ -43,6 +44,11 @@ int main() {
                                                   config.numPatterns, chain);
       row("%-24s %10.3f %10zu %14llu", schemeName(scheme).c_str(), rep.dr, cost.sessions,
           static_cast<unsigned long long>(cost.clockCycles));
+      report.row({{"circuit", name},
+                  {"scheme", schemeName(scheme)},
+                  {"dr", rep.dr},
+                  {"sessions", cost.sessions},
+                  {"clock_cycles", cost.clockCycles}});
     }
 
     // Binary search: DR is positionally exact by construction (0 on a single
@@ -61,6 +67,12 @@ int main() {
         sessions / static_cast<double>(work.responses.size()),
         static_cast<unsigned long long>(cycles / work.responses.size()));
     row("(binary-search rows are per-fault means; schedule is adaptive)");
+    report.row({{"circuit", name},
+                {"scheme", "binary-search"},
+                {"dr", acc.dr()},
+                {"mean_sessions", sessions / static_cast<double>(work.responses.size())},
+                {"mean_clock_cycles", cycles / work.responses.size()}});
   }
+  report.write();
   return 0;
 }

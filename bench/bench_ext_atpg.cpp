@@ -19,9 +19,12 @@ int main() {
   banner("Extension: ATPG (PODEM) deterministic patterns vs PRPG pseudorandom",
          "compact sets shrink per-fault evidence; pseudorandom sessions aid diagnosis");
 
+  BenchReport jsonReport("ext_atpg");
   const Netlist nl = generateNamedCircuit("s9234");
   const FaultList universe = FaultList::enumerateCollapsed(nl);
   const auto targetFaults = universe.sample(600, 0xA7B6);
+  jsonReport.context("circuit", "s9234");
+  jsonReport.context("target_faults", targetFaults.size());
 
   // Deterministic compact set via PODEM with fault dropping.
   const PodemAtpg atpg(nl);
@@ -49,13 +52,20 @@ int main() {
     DiagnosisConfig config = presets::table2(SchemeKind::TwoStep, false);
     config.numPatterns = patterns.numPatterns();
     const DiagnosisPipeline pipeline(topology, config);
+    const double dr = pipeline.evaluate(responses).dr;
     row("%-26s %9zu %10zu %12.2f %12.3f", label, patterns.numPatterns(), responses.size(),
-        avgFail, pipeline.evaluate(responses).dr);
+        avgFail, dr);
+    jsonReport.row({{"pattern_source", label},
+                    {"patterns", patterns.numPatterns()},
+                    {"detected", responses.size()},
+                    {"avg_failing_cells", avgFail},
+                    {"dr_two_step", dr}});
   };
 
   report("PODEM compact", detPatterns);
   report("PRPG pseudorandom (same N)",
          generatePatterns(nl, detPatterns.numPatterns()));
   report("PRPG pseudorandom (128)", generatePatterns(nl, 128));
+  jsonReport.write();
   return 0;
 }

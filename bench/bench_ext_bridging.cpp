@@ -17,10 +17,12 @@ int main() {
   banner("Extension: bridging faults (wired-AND/OR + dominant, feedback-free pairs)",
          "two-cone failures = paper Fig. 2; two-step's edge persists, reduced vs stuck-at");
 
+  BenchReport report("ext_bridging");
   const Netlist nl = generateNamedCircuit("s9234");
   const PatternSet pats = generatePatterns(nl, 128);
   const FaultSimulator sim(nl, pats);
   const ScanTopology topology = ScanTopology::singleChain(nl.dffs().size());
+  report.context("circuit", "s9234");
 
   // Detected bridge responses (same 500-target protocol as the tables).
   std::vector<FaultResponse> responses;
@@ -52,6 +54,7 @@ int main() {
     }
     row("%-16s %16.3f %16.3f %7sx", "stuck-at", dr[0], dr[1],
         improvement(dr[0], dr[1]).c_str());
+    report.row({{"fault_model", "stuck-at"}, {"dr_random", dr[0]}, {"dr_two_step", dr[1]}});
   }
   {
     double dr[2];
@@ -62,6 +65,8 @@ int main() {
     }
     row("%-16s %16.3f %16.3f %7sx", "bridging", dr[0], dr[1],
         improvement(dr[0], dr[1]).c_str());
+    report.row({{"fault_model", "bridging"}, {"dr_random", dr[0]}, {"dr_two_step", dr[1]}});
   }
+  report.write();
   return 0;
 }

@@ -17,6 +17,7 @@ int main() {
   banner("Extension: scan fault-coverage vs patterns applied",
          "coverage saturates early; long sessions buy diagnosis data, not detection");
 
+  BenchReport report("ext_coverage");
   const std::vector<std::size_t> checkpoints = {1, 2, 4, 8, 16, 32, 64, 128, 256};
   std::string header = "circuit      faults ";
   for (std::size_t cp : checkpoints) header += "  @" + std::to_string(cp);
@@ -37,8 +38,14 @@ int main() {
       line += buf;
     }
     row("%s", line.c_str());
+    Fields fields{{"circuit", name}, {"faults", faults.size()}};
+    for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+      fields.emplace_back("detected_at_" + std::to_string(checkpoints[i]), curve[i]);
+    }
+    report.row(std::move(fields));
   }
   row("");
   row("(entries: faults first detected before the checkpoint, of the 500 sampled)");
+  report.write();
   return 0;
 }

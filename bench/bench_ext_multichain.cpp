@@ -17,7 +17,9 @@ int main() {
   banner("Paper §4: multiple scan chains per circuit (s38417, 8 partitions x 16 groups)",
          "position-shared selection: DR grows with W; two-step keeps its edge");
 
+  BenchReport report("ext_multichain");
   const Netlist nl = generateNamedCircuit("s38417");
+  report.context("circuit", "s38417");
   row("%-8s %10s %16s %16s %8s", "chains", "axis len", "DR(random-sel)", "DR(two-step)",
       "gain");
   for (std::size_t chains : {1u, 2u, 4u, 8u, 16u}) {
@@ -30,6 +32,11 @@ int main() {
     }
     row("%-8zu %10zu %16.3f %16.3f %7sx", chains, work.topology.maxChainLength(), dr[0],
         dr[1], improvement(dr[0], dr[1]).c_str());
+    report.row({{"chains", static_cast<std::size_t>(chains)},
+                {"axis_length", work.topology.maxChainLength()},
+                {"dr_random", dr[0]},
+                {"dr_two_step", dr[1]}});
   }
+  report.write();
   return 0;
 }

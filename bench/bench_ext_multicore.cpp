@@ -17,9 +17,12 @@ int main() {
   banner("Extension: two faulty cores on SOC-1 (single meta chain, 32 groups)",
          "two clusters; two-step still wins, by a smaller factor than single-core");
 
+  BenchReport report("ext_multicore");
   const Soc soc = buildSoc1();
   WorkloadConfig workload = presets::socWorkload();
   workload.numFaults = 250;  // per core; pairs are formed index-wise
+  report.context("soc", "SOC-1");
+  report.context("faults_per_core", workload.numFaults);
 
   row("%-22s %12s %12s %8s", "failing cores", "rand", "two-step", "gain");
   const std::vector<std::pair<std::size_t, std::size_t>> pairs = {
@@ -35,6 +38,7 @@ int main() {
     const std::string label = soc.core(a).name + "+" + soc.core(b).name;
     row("%-22s %12.2f %12.2f %7sx", label.c_str(), dr[0], dr[1],
         improvement(dr[0], dr[1]).c_str());
+    report.row({{"failing_cores", label}, {"dr_random", dr[0]}, {"dr_two_step", dr[1]}});
   }
 
   // Single-core reference rows for the same budget.
@@ -50,6 +54,9 @@ int main() {
     }
     row("%-22s %12.2f %12.2f %7sx", soc.core(k).name.c_str(), dr[0], dr[1],
         improvement(dr[0], dr[1]).c_str());
+    report.row(
+        {{"failing_cores", soc.core(k).name}, {"dr_random", dr[0]}, {"dr_two_step", dr[1]}});
   }
+  report.write();
   return 0;
 }

@@ -18,9 +18,13 @@ int main() {
   banner("Extension: fresh PRPG seed per partition vs one shared pattern set",
          "reseeding is UNSOUND for failing-cell identification — the paper's protocol wins");
 
+  BenchReport report("ext_multiseed");
   const Netlist nl = generateNamedCircuit("s9234");
   const std::size_t numPatterns = 128, numPartitions = 8, groups = 16;
   const ScanTopology topology = ScanTopology::singleChain(nl.dffs().size());
+  report.context("circuit", "s9234");
+  report.context("patterns", numPatterns);
+  report.context("partitions", numPartitions);
 
   // One fault sample, simulated under each seed's pattern set.
   const FaultList universe = FaultList::enumerateCollapsed(nl);
@@ -86,10 +90,16 @@ int main() {
     row("%-24s %16.3f %16.3f %6zu / %zu",
         reseed ? "fresh seed / partition" : "shared pattern set", dr[0], dr[1], violations,
         counted);
+    report.row({{"configuration", reseed ? "reseed_per_partition" : "shared_pattern_set"},
+                {"dr_random", dr[0]},
+                {"dr_two_step", dr[1]},
+                {"violations", violations},
+                {"counted", counted}});
   }
   row("");
   row("'actual' = union of failing cells across all seeds; a violation is a fault");
   row("whose candidates lost a genuinely failing cell. Shared patterns: zero by");
   row("construction. Reseeded: unsound — the reason the paper reuses one set.");
+  report.write();
   return 0;
 }

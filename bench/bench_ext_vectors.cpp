@@ -17,8 +17,11 @@ int main() {
   banner("Extension: failing-vector identification (axis = pattern index)",
          "[4]-style; no pattern locality => random selection wins on the time axis");
 
+  BenchReport report("ext_vectors");
   const Netlist nl = generateNamedCircuit("s9234");
   const CircuitWorkload work = prepareWorkload(nl, presets::table2Workload());
+  report.context("circuit", "s9234");
+  report.context("faults", work.responses.size());
 
   // Average failing vectors per fault (context for DR magnitudes).
   double avgFailing = 0;
@@ -43,6 +46,11 @@ int main() {
       dr[i++] = diagnoser.evaluate(work.responses).dr;
     }
     row("%-12zu %16.3f %16.3f %16.3f", partitions, dr[0], dr[1], dr[2]);
+    report.row({{"partitions", static_cast<std::size_t>(partitions)},
+                {"dr_interval", dr[0]},
+                {"dr_random", dr[1]},
+                {"dr_two_step", dr[2]}});
   }
+  report.write();
   return 0;
 }

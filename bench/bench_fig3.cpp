@@ -19,8 +19,11 @@ int main() {
   banner("Figure 3: single-partition candidate sets, s953, 4 groups",
          "interval keeps clustered fails in one group -> far fewer suspects than random");
 
+  BenchReport report("fig3");
   const Netlist nl = generateNamedCircuit("s953");
   const CircuitWorkload work = prepareWorkload(nl, presets::table1Workload());
+  report.context("circuit", "s953");
+  report.context("groups", 4);
 
   // Keep the figure's focus: faults with a small cluster of failing cells.
   std::vector<FaultResponse> clustered;
@@ -52,6 +55,10 @@ int main() {
   row("mean suspects, one random-selection partition: %6.2f cells", sums[1]);
   row("interval/random suspect ratio: %.2f (paper's example: 12 vs 39 suspects)",
       sums[0] / sums[1]);
+  report.row({{"clustered_faults", clustered.size()},
+              {"mean_suspects_interval", sums[0]},
+              {"mean_suspects_random", sums[1]},
+              {"suspect_ratio", sums[0] / sums[1]}});
 
   // And one concrete instance, exactly like the figure.
   const FaultResponse& r = clustered.front();
@@ -67,6 +74,9 @@ int main() {
     const GroupVerdicts v = engine.run(partitions, r);
     const CandidateSet cand = analyzer.analyze(partitions, v);
     row("  %-17s -> %2zu suspect cells", schemeName(scheme).c_str(), cand.cellCount());
+    report.row({{"example_scheme", schemeName(scheme)},
+                {"example_suspects", cand.cellCount()}});
   }
+  report.write();
   return 0;
 }

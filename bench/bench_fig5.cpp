@@ -31,8 +31,12 @@ int main() {
   banner("Figure 5: partitions needed for DR <= 0.5, SOC-1 single meta chain (32 groups)",
          "two-step reaches the target with fewer partitions => shorter diagnosis time");
 
+  BenchReport report("fig5");
   const Soc soc = buildSoc1();
   const WorkloadConfig workload = presets::socWorkload();
+  report.context("soc", "SOC-1");
+  report.context("target_dr", 0.5);
+  report.context("max_partitions", kMaxPartitions);
 
   row("%-9s %18s %18s", "failing", "random-selection", "two-step");
   for (std::size_t k = 0; k < soc.coreCount(); ++k) {
@@ -49,6 +53,10 @@ int main() {
     };
     row("%-9s %18s %18s", soc.core(k).name.c_str(), fmt(needed[0]).c_str(),
         fmt(needed[1]).c_str());
+    report.row({{"failing_core", soc.core(k).name},
+                {"partitions_random", needed[0]},
+                {"partitions_two_step", needed[1]}});
   }
+  report.write();
   return 0;
 }

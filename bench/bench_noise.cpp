@@ -7,12 +7,10 @@
 // buys back. The 1- vs 8-thread rows double as a determinism check: every
 // metric must be bit-identical across thread counts.
 //
-// Writes results/BENCH_noise_resilience.json. Set SCANDIAG_NOISE_FULL=1 for
-// the dense sweep (more faults, more rates).
+// Writes results/BENCH_noise.json. Set SCANDIAG_NOISE_FULL=1 for the dense
+// sweep (more faults, more rates).
 
 #include <cstdlib>
-#include <filesystem>
-#include <fstream>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -41,6 +39,7 @@ bool sameReport(const NoisyDrReport& a, const NoisyDrReport& b) {
 int main() {
   const bool full = std::getenv("SCANDIAG_NOISE_FULL") != nullptr;
 
+  benchutil::BenchReport report("noise");
   const Netlist nl = generateNamedCircuit("s953");
   WorkloadConfig wc;
   wc.numPatterns = 128;
@@ -97,36 +96,28 @@ int main() {
   setGlobalThreadCount(1);
   std::printf("\nthread determinism (1 vs 8): %s\n", deterministic ? "OK" : "MISMATCH");
 
-  std::filesystem::create_directories("results");
-  std::ofstream out("results/BENCH_noise_resilience.json");
-  JsonWriter json(out);
-  json.beginObject()
-      .field("circuit", nl.name())
-      .field("scheme", std::string("two-step"))
-      .field("partitions", static_cast<std::uint64_t>(config.numPartitions))
-      .field("groups", static_cast<std::uint64_t>(config.groupsPerPartition))
-      .field("faults", static_cast<std::uint64_t>(work.responses.size()))
-      .field("retryBudget", static_cast<std::uint64_t>(recovery.sessionBudget))
-      .field("maxRetriesPerSession", static_cast<std::uint64_t>(recovery.maxRetriesPerSession))
-      .field("threadDeterministic", deterministic);
-  json.key("curves").beginArray();
+  report.context("circuit", nl.name());
+  report.context("scheme", "two_step");
+  report.context("partitions", config.numPartitions);
+  report.context("groups", config.groupsPerPartition);
+  report.context("faults", work.responses.size());
+  report.context("retry_budget", recovery.sessionBudget);
+  report.context("max_retries_per_session", recovery.maxRetriesPerSession);
+  report.context("thread_deterministic", deterministic);
   for (const SweepPoint& p : points) {
-    json.beginObject()
-        .field("noiseRate", p.noiseRate)
-        .field("recovery", p.recovery)
-        .field("threads", static_cast<std::uint64_t>(p.threads))
-        .field("dr", p.report.dr)
-        .field("misdiagnosisRate", p.report.misdiagnosisRate)
-        .field("emptyRate", p.report.emptyRate)
-        .field("meanConfidence", p.report.meanConfidence)
-        .field("sumCandidates", p.report.sumCandidates)
-        .field("sumActual", p.report.sumActual)
-        .field("inconsistencies", static_cast<std::uint64_t>(p.report.totalInconsistencies))
-        .field("retrySessions", static_cast<std::uint64_t>(p.report.totalRetrySessions))
-        .field("unresolved", static_cast<std::uint64_t>(p.report.unresolved))
-        .endObject();
+    report.row({{"noise_rate", p.noiseRate},
+                {"recovery", p.recovery},
+                {"threads", p.threads},
+                {"dr", p.report.dr},
+                {"misdiagnosis_rate", p.report.misdiagnosisRate},
+                {"empty_rate", p.report.emptyRate},
+                {"mean_confidence", p.report.meanConfidence},
+                {"sum_candidates", p.report.sumCandidates},
+                {"sum_actual", p.report.sumActual},
+                {"inconsistencies", p.report.totalInconsistencies},
+                {"retry_sessions", p.report.totalRetrySessions},
+                {"unresolved", p.report.unresolved}});
   }
-  json.endArray().endObject();
-  std::printf("wrote results/BENCH_noise_resilience.json (%zu curve points)\n", points.size());
+  report.write();
   return deterministic ? 0 : 1;
 }

@@ -18,8 +18,12 @@ int main() {
   banner("Table 1: DR vs number of partitions, s953 (4 groups, 200 patterns)",
          "interval best at few partitions; random best at many; two-step best overall");
 
+  BenchReport report("table1");
   const Netlist nl = generateNamedCircuit("s953");
   const CircuitWorkload work = prepareWorkload(nl, presets::table1Workload());
+  report.context("circuit", "s953");
+  report.context("cells", work.topology.numCells());
+  report.context("faults", work.responses.size());
   row("circuit s953: %zu scan cells, %zu detected faults", work.topology.numCells(),
       work.responses.size());
   row("");
@@ -34,6 +38,11 @@ int main() {
       dr[i++] = pipeline.evaluate(work.responses).dr;
     }
     row("%-12zu %-16.3f %-18.3f %-10.3f", partitions, dr[0], dr[1], dr[2]);
+    report.row({{"partitions", partitions},
+                {"dr_interval", dr[0]},
+                {"dr_random", dr[1]},
+                {"dr_two_step", dr[2]}});
   }
+  report.write();
   return 0;
 }

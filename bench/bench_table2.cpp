@@ -18,6 +18,7 @@ int main() {
   banner("Table 2: DR on the six largest ISCAS-89 (8 partitions x 16 groups, 128 patterns)",
          "two-step < random everywhere; pruning tightens both; large circuits up to 80% lower");
 
+  BenchReport report("table2");
   row("%-9s %6s %7s | %9s %9s %6s | %9s %9s %6s", "circuit", "cells", "faults",
       "rand", "two-step", "gain", "rand+pr", "two+pr", "gain");
 
@@ -36,6 +37,14 @@ int main() {
     row("%-9s %6zu %7zu | %9.3f %9.3f %5sx | %9.3f %9.3f %5sx", name.c_str(),
         work.topology.numCells(), work.responses.size(), dr[0], dr[1],
         improvement(dr[0], dr[1]).c_str(), dr[2], dr[3], improvement(dr[2], dr[3]).c_str());
+    report.row({{"circuit", name},
+                {"cells", work.topology.numCells()},
+                {"faults", work.responses.size()},
+                {"dr_random", dr[0]},
+                {"dr_two_step", dr[1]},
+                {"dr_random_pruned", dr[2]},
+                {"dr_two_step_pruned", dr[3]}});
   }
+  report.write();
   return 0;
 }

@@ -18,7 +18,11 @@ int main() {
   banner("Table 3: SOC-1 (six largest ISCAS-89, single meta chain), DR per failing core",
          "two-step >> random selection (up to 10x); holds with and without pruning");
 
+  BenchReport report("table3");
   const Soc soc = buildSoc1();
+  report.context("soc", "SOC-1");
+  report.context("cores", soc.coreCount());
+  report.context("cells", soc.totalCells());
   row("SOC-1: %zu cores, %zu cells on one meta scan chain", soc.coreCount(), soc.totalCells());
   row("");
 
@@ -40,6 +44,12 @@ int main() {
     }
     row("%-9s | %9.2f %9.2f %5sx | %9.2f %9.2f %5sx", soc.core(k).name.c_str(), dr[0], dr[1],
         improvement(dr[0], dr[1]).c_str(), dr[2], dr[3], improvement(dr[2], dr[3]).c_str());
+    report.row({{"failing_core", soc.core(k).name},
+                {"dr_random", dr[0]},
+                {"dr_two_step", dr[1]},
+                {"dr_random_pruned", dr[2]},
+                {"dr_two_step_pruned", dr[3]}});
   }
+  report.write();
   return 0;
 }

@@ -17,7 +17,12 @@ int main() {
   banner("Table 4: d695 variant (8 meta chains, 8-bit TAM), DR per failing core",
          "two-step significantly better than random selection for every failing module");
 
+  BenchReport report("table4");
   const Soc soc = buildD695();
+  report.context("soc", "d695");
+  report.context("cores", soc.coreCount());
+  report.context("cells", soc.totalCells());
+  report.context("meta_chains", soc.topology().numChains());
   row("d695: %zu cores, %zu cells, %zu meta chains (max length %zu)", soc.coreCount(),
       soc.totalCells(), soc.topology().numChains(), soc.topology().maxChainLength());
   row("");
@@ -38,6 +43,12 @@ int main() {
     }
     row("%-9s | %9.2f %9.2f %5sx | %9.2f %9.2f %5sx", soc.core(k).name.c_str(), dr[0], dr[1],
         improvement(dr[0], dr[1]).c_str(), dr[2], dr[3], improvement(dr[2], dr[3]).c_str());
+    report.row({{"failing_core", soc.core(k).name},
+                {"dr_random", dr[0]},
+                {"dr_two_step", dr[1]},
+                {"dr_random_pruned", dr[2]},
+                {"dr_two_step_pruned", dr[3]}});
   }
+  report.write();
   return 0;
 }

@@ -1,13 +1,25 @@
-// Shared helpers for the reproduction benches: fixed-width table printing and
-// the standard experiment banner. Every bench prints (a) what the paper
-// reports, (b) what this reproduction measures, so EXPERIMENTS.md rows can be
-// regenerated by piping the binary's stdout.
+// Shared helpers for the reproduction benches: fixed-width table printing,
+// the standard experiment banner, and the structured JSON reporter. Every
+// bench prints a human-readable table to stdout AND emits the same rows as
+// schema-versioned JSON to results/BENCH_<name>.json via BenchReport, so the
+// perf/DR trajectory accumulates machine-readably and CI can gate on the
+// deterministic counter section (scripts/check_bench_counters.py).
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "common/json.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 
 namespace scandiag::benchutil {
 
@@ -33,5 +45,132 @@ inline std::string improvement(double baseline, double improved) {
   std::snprintf(buf, sizeof(buf), "%.2f", baseline / improved);
   return buf;
 }
+
+/// Loosely-typed cell value for BenchReport rows/context (JSON scalar).
+class Value {
+ public:
+  Value(bool v) : kind_(Kind::Bool), bool_(v) {}
+  Value(int v) : kind_(Kind::Int), int_(v) {}
+  Value(long v) : kind_(Kind::Int), int_(v) {}
+  Value(long long v) : kind_(Kind::Int), int_(v) {}
+  Value(unsigned v) : kind_(Kind::Uint), uint_(v) {}
+  Value(unsigned long v) : kind_(Kind::Uint), uint_(v) {}
+  Value(unsigned long long v) : kind_(Kind::Uint), uint_(v) {}
+  Value(double v) : kind_(Kind::Double), double_(v) {}
+  Value(const char* v) : kind_(Kind::String), string_(v) {}
+  Value(std::string v) : kind_(Kind::String), string_(std::move(v)) {}
+
+  void writeTo(JsonWriter& writer) const {
+    switch (kind_) {
+      case Kind::Bool: writer.value(bool_); break;
+      case Kind::Int: writer.value(int_); break;
+      case Kind::Uint: writer.value(uint_); break;
+      case Kind::Double: writer.value(double_); break;
+      case Kind::String: writer.value(string_); break;
+    }
+  }
+
+ private:
+  enum class Kind { Bool, Int, Uint, Double, String };
+  Kind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+};
+
+using Fields = std::vector<std::pair<std::string, Value>>;
+
+/// Structured JSON output for one bench run. Construction resets the global
+/// metrics registry, so the emitted "counters" section is the *delta* covered
+/// by this report — benches with a nondeterministic warm-up (google-benchmark
+/// adaptive iterations) construct the report after it, keeping the counters
+/// section bit-identical run to run and thread count to thread count (the CI
+/// golden contract). Timings land in "timing"/"phases"/"workers", which CI
+/// ignores.
+///
+///   benchutil::BenchReport report("table1");
+///   report.context("circuit", "s5378");
+///   ... run experiment, print human table ...
+///   report.row({{"scheme", "interval"}, {"dr", 0.98}});
+///   report.timing("wall_millis", elapsed);
+///   report.write();   // -> results/BENCH_table1.json
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {
+    obs::MetricsRegistry::instance().reset();
+  }
+
+  /// Run-level metadata (circuit, scheme, pattern counts, ...).
+  void context(const std::string& key, Value value) {
+    context_.emplace_back(key, std::move(value));
+  }
+
+  /// One result row, mirroring one printed table row.
+  void row(Fields fields) { rows_.push_back(std::move(fields)); }
+
+  /// Wall-clock (non-deterministic) measurement, e.g. speedup numbers.
+  void timing(const std::string& key, Value value) {
+    timing_.emplace_back(key, std::move(value));
+  }
+
+  std::string path() const { return "results/BENCH_" + name_ + ".json"; }
+
+  /// Writes results/BENCH_<name>.json (creating results/ if needed) and
+  /// prints the path so reproduce.sh logs show where artifacts went.
+  void write() const {
+    std::filesystem::create_directories("results");
+    const std::string file = path();
+    std::ofstream out(file);
+    if (!out) throw std::runtime_error("cannot open bench report file: " + file);
+    JsonWriter writer(out);
+    writer.beginObject();
+    writer.field("schema_version", obs::kMetricsSchemaVersion);
+    writer.field("bench", name_);
+    writer.key("context");
+    writer.beginObject();
+    for (const auto& [key, value] : context_) {
+      writer.key(key);
+      value.writeTo(writer);
+    }
+    writer.endObject();
+    writer.key("rows");
+    writer.beginArray();
+    for (const Fields& fields : rows_) {
+      writer.beginObject();
+      for (const auto& [key, value] : fields) {
+        writer.key(key);
+        value.writeTo(writer);
+      }
+      writer.endObject();
+    }
+    writer.endArray();
+    const obs::MetricsSnapshot snap = obs::MetricsRegistry::instance().snapshot();
+    writer.key("counters");
+    obs::writeCountersObject(writer, snap);
+    writer.key("timing");
+    writer.beginObject();
+    for (const auto& [key, value] : timing_) {
+      writer.key(key);
+      value.writeTo(writer);
+    }
+    writer.field("threads", static_cast<std::uint64_t>(globalPool().threadCount()));
+    writer.key("phases");
+    obs::writePhasesObject(writer, snap);
+    writer.key("workers");
+    obs::writeWorkersArray(writer, snap);
+    writer.endObject();
+    writer.endObject();
+    out << '\n';
+    std::printf("wrote %s\n", file.c_str());
+  }
+
+ private:
+  std::string name_;
+  Fields context_;
+  std::vector<Fields> rows_;
+  Fields timing_;
+};
 
 }  // namespace scandiag::benchutil

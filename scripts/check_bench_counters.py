@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Counter-exact bench regression gate.
+
+Bench executables emit results/BENCH_<name>.json with a "counters" section
+(see src/obs/export.hpp) whose values tally pipeline work items and are
+bit-identical across thread counts and runs. This script diffs that section —
+and nothing else; timings ("phases", "workers", "timing") are wall-clock and
+explicitly excluded — against checked-in goldens in results/golden/.
+
+Usage:
+  check_bench_counters.py [options] [NAME ...]
+      Compare results/BENCH_<NAME>.json against results/golden/BENCH_<NAME>.json.
+      Default NAMEs: every golden present in the golden directory.
+  check_bench_counters.py --update [NAME ...]
+      Regenerate goldens from the current results (minimal documents:
+      schema_version + bench + counters).
+  check_bench_counters.py --diff A.json B.json
+      Compare the counters sections of two arbitrary report files.
+
+Exit status: 0 = counters identical, 1 = drift or missing file, 2 = usage.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+GOLDEN_KEYS = ("schema_version", "bench", "counters")
+
+
+def load(path: Path) -> dict:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        raise SystemExit(f"error: {path} not found (run the bench first?)")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"error: {path} is not valid JSON: {e}")
+
+
+def counters_of(doc: dict, path: Path) -> dict:
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        raise SystemExit(f"error: {path} has no counters object")
+    return counters
+
+
+def diff_counters(name: str, expected: dict, actual: dict) -> bool:
+    """Prints per-counter drift; returns True when the sections are identical."""
+    ok = True
+    for key in sorted(set(expected) | set(actual)):
+        want, got = expected.get(key), actual.get(key)
+        if want == got:
+            continue
+        ok = False
+        if want is None:
+            print(f"  {name}: new counter {key} = {got} (not in golden)")
+        elif got is None:
+            print(f"  {name}: counter {key} missing (golden has {want})")
+        else:
+            print(f"  {name}: {key} drifted: golden {want} -> actual {got} "
+                  f"({got - want:+d})")
+    return ok
+
+
+def compare(name: str, result_path: Path, golden_path: Path) -> bool:
+    result, golden = load(result_path), load(golden_path)
+    ok = True
+    if result.get("schema_version") != golden.get("schema_version"):
+        print(f"  {name}: schema_version {golden.get('schema_version')} -> "
+              f"{result.get('schema_version')}")
+        ok = False
+    ok &= diff_counters(name, counters_of(golden, golden_path),
+                        counters_of(result, result_path))
+    return ok
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("names", nargs="*", help="bench names (e.g. table1 perf noise)")
+    parser.add_argument("--results", type=Path, default=Path("results"))
+    parser.add_argument("--golden", type=Path, default=Path("results/golden"))
+    parser.add_argument("--update", action="store_true",
+                        help="write goldens from the current results")
+    parser.add_argument("--diff", nargs=2, type=Path, metavar=("A", "B"),
+                        help="compare the counters of two report files")
+    args = parser.parse_args()
+
+    if args.diff:
+        a, b = args.diff
+        if diff_counters(f"{a} vs {b}", counters_of(load(a), a), counters_of(load(b), b)):
+            print("counters identical")
+            return 0
+        return 1
+
+    names = args.names
+    if not names:
+        names = sorted(p.stem[len("BENCH_"):]
+                       for p in args.golden.glob("BENCH_*.json"))
+        if not names:
+            print(f"error: no goldens under {args.golden} and no names given",
+                  file=sys.stderr)
+            return 2
+
+    if args.update:
+        args.golden.mkdir(parents=True, exist_ok=True)
+        for name in names:
+            doc = load(args.results / f"BENCH_{name}.json")
+            golden = {k: doc[k] for k in GOLDEN_KEYS if k in doc}
+            counters_of(golden, args.results / f"BENCH_{name}.json")
+            out = args.golden / f"BENCH_{name}.json"
+            with open(out, "w") as f:
+                json.dump(golden, f, indent=2)
+                f.write("\n")
+            print(f"wrote {out}")
+        return 0
+
+    failed = []
+    for name in names:
+        if compare(name, args.results / f"BENCH_{name}.json",
+                   args.golden / f"BENCH_{name}.json"):
+            print(f"ok: {name} counters match golden")
+        else:
+            failed.append(name)
+    if failed:
+        print(f"FAIL: counter drift in: {', '.join(failed)}\n"
+              "If the change is intentional (new instrumentation site, workload "
+              "change), regenerate with scripts/check_bench_counters.py --update "
+              "and commit the goldens.", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

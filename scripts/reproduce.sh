@@ -1,16 +1,25 @@
 #!/usr/bin/env bash
 # Full reproduction run: build, test, regenerate every table/figure/ablation.
-# Outputs land in results/ (and test_output.txt / bench_output.txt at the
-# repository root, the canonical artifacts EXPERIMENTS.md is checked against).
+#
+# Each bench prints its human-readable table to stdout (aggregated into
+# bench_output.txt) and writes a structured, schema-versioned JSON report to
+# results/BENCH_<name>.json: context + rows + deterministic pipeline counters
+# + wall-clock phase/worker timings (see src/obs/export.hpp for the schema
+# and docs/EXPERIMENTS.md for how to read them). The "counters" sections are
+# bit-identical across thread counts and runs; the final steps prove that by
+# re-running bench_table1 single-threaded and diffing counters, then gating
+# the table1/perf/noise reports against the checked-in goldens in
+# results/golden/ via scripts/check_bench_counters.py.
 #
 # THREADS=N sets the worker-thread count for the parallel per-fault loops
 # (exported as SCANDIAG_THREADS; default: all hardware threads). Results are
-# bit-identical for every value — the final step proves it by diffing a
-# 1-thread against an N-thread bench_table1 run.
+# bit-identical for every value.
 #
 # NOISE=1 runs the dense noise-resilience sweep (exported as
 # SCANDIAG_NOISE_FULL; bench_noise then uses 500 faults and 7 noise rates
-# instead of the 200-fault / 5-rate smoke sweep).
+# instead of the 200-fault / 5-rate smoke sweep). Note: the dense sweep does
+# different work, so its counters intentionally differ from the goldens and
+# the noise gate is skipped.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,19 +37,33 @@ cmake --build build
 ctest --test-dir build -j"$(nproc)" 2>&1 | tee test_output.txt
 
 mkdir -p results
+# Benches used to write per-bench results/<name>.txt goldens; those are
+# superseded by the JSON reports — clear any stale ones out.
+rm -f results/bench_*.txt results/BENCH_noise_resilience.json \
+      results/BENCH_perf_parallel.json
+
 : > bench_output.txt
 for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
     name="$(basename "$b")"
     echo "### ${name}" | tee -a bench_output.txt
-    "$b" | tee "results/${name}.txt" | tee -a bench_output.txt
+    "$b" | tee -a bench_output.txt
     echo | tee -a bench_output.txt
   fi
 done
 
-echo "### thread-count determinism check (bench_table1, 1 vs ${SCANDIAG_THREADS:-auto} threads)"
-SCANDIAG_THREADS=1 build/bench/bench_table1 > results/bench_table1.1thread.txt
-diff results/bench_table1.1thread.txt results/bench_table1.txt
-echo "ok: tables identical at every thread count"
+echo "### thread-count determinism check (bench_table1 counters, 1 vs ${SCANDIAG_THREADS:-auto} threads)"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "${tmpdir}"' EXIT
+(cd "${tmpdir}" && SCANDIAG_THREADS=1 "${OLDPWD}/build/bench/bench_table1" > /dev/null)
+python3 scripts/check_bench_counters.py \
+  --diff results/BENCH_table1.json "${tmpdir}/results/BENCH_table1.json"
 
-echo "done: test_output.txt, bench_output.txt, results/*.txt"
+echo "### counter regression gate (results/golden/)"
+if [ "${NOISE:-0}" = "1" ]; then
+  python3 scripts/check_bench_counters.py table1 perf
+else
+  python3 scripts/check_bench_counters.py
+fi
+
+echo "done: test_output.txt, bench_output.txt, results/BENCH_*.json"

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace scandiag {
 
@@ -40,8 +41,10 @@ ThreadPool::ThreadPool(std::size_t numThreads) {
                    "thread count " + std::to_string(lanes) +
                        " is implausibly large (negative value passed to --threads?)");
   workers_.reserve(lanes - 1);
+  // Lane 0 is the calling thread; pool workers take lanes 1..N (the lane
+  // index keys per-worker utilization in the metrics registry).
   for (std::size_t i = 0; i + 1 < lanes; ++i) {
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, i] { workerLoop(i + 1); });
   }
 }
 
@@ -56,8 +59,16 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::post(std::function<void()> task) {
   if (workers_.empty() || tlsInsideParallelRegion) {
-    RegionGuard guard;
-    task();
+    // Nested inline execution is already inside some lane's WorkerScope;
+    // only top-level serial execution charges lane 0.
+    if (tlsInsideParallelRegion) {
+      RegionGuard guard;
+      task();
+    } else {
+      RegionGuard guard;
+      obs::WorkerScope busy(0);
+      task();
+    }
     return;
   }
   {
@@ -68,7 +79,7 @@ void ThreadPool::post(std::function<void()> task) {
   available_.notify_one();
 }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(std::size_t lane) {
   for (;;) {
     std::function<void()> task;
     {
@@ -79,6 +90,7 @@ void ThreadPool::workerLoop() {
       queue_.erase(queue_.begin());
     }
     RegionGuard guard;
+    obs::WorkerScope busy(lane);
     task();
   }
 }
@@ -88,8 +100,14 @@ void ThreadPool::parallelForRange(
   if (n == 0) return;
   const std::size_t chunks = std::min(threadCount(), n);
   if (chunks == 1 || tlsInsideParallelRegion) {
-    RegionGuard guard;
-    body(0, n);
+    if (tlsInsideParallelRegion) {  // nested: the outer lane is already timed
+      RegionGuard guard;
+      body(0, n);
+    } else {
+      RegionGuard guard;
+      obs::WorkerScope busy(0);
+      body(0, n);
+    }
     return;
   }
 
@@ -122,6 +140,7 @@ void ThreadPool::parallelForRange(
 
   {
     RegionGuard guard;
+    obs::WorkerScope busy(0);
     try {
       body(0, n / chunks);
     } catch (...) {

@@ -94,7 +94,7 @@ class ThreadPool {
 
  private:
   void post(std::function<void()> task);
-  void workerLoop();
+  void workerLoop(std::size_t lane);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;

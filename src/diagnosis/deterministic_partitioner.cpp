@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace scandiag {
 
@@ -22,6 +23,8 @@ DeterministicIntervalPartitioner::DeterministicIntervalPartitioner(
 }
 
 Partition DeterministicIntervalPartitioner::next() {
+  obs::PhaseScope phase(obs::Phase::PartitionGen);
+  obs::count(obs::Counter::PartitionsGenerated);
   // Group of position pos = ((pos + offset) / intervalLength) mod groups:
   // equal intervals whose boundaries rotate by rotationStep per partition.
   // The first and last groups may wrap, matching [8]'s "boundary cases".

@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "sim/fault_list.hpp"
 
 namespace scandiag {
@@ -36,6 +37,31 @@ DiagnosisPipeline::DiagnosisPipeline(const ScanTopology& topology, const Diagnos
       pruner_(topology) {}
 
 FaultDiagnosis DiagnosisPipeline::diagnose(const FaultResponse& response) const {
+  // The public single-fault entry point carries the phase timers; the batch
+  // drivers below go through diagnoseUntimed() because per-fault clock reads
+  // cost ~5-10% of a microsecond-scale diagnosis (counters are relaxed
+  // atomics and stay on every path — they are the deterministic section).
+  obs::count(obs::Counter::FaultsDiagnosed);
+  GroupVerdicts verdicts;
+  {
+    obs::PhaseScope phase(obs::Phase::SignatureCompare);
+    verdicts = engine_.run(partitions_, response);
+  }
+  FaultDiagnosis out;
+  {
+    obs::PhaseScope phase(obs::Phase::CandidateIntersection);
+    out.candidates = analyzer_.analyze(partitions_, verdicts);
+    if (config_.pruning) {
+      out.candidates = pruner_.prune(partitions_, verdicts, out.candidates);
+    }
+  }
+  out.candidateCount = out.candidates.cellCount();
+  out.actualCount = response.failingCellCount();
+  return out;
+}
+
+FaultDiagnosis DiagnosisPipeline::diagnoseUntimed(const FaultResponse& response) const {
+  obs::count(obs::Counter::FaultsDiagnosed);
   const GroupVerdicts verdicts = engine_.run(partitions_, response);
   FaultDiagnosis out;
   out.candidates = analyzer_.analyze(partitions_, verdicts);
@@ -60,7 +86,7 @@ DrReport DiagnosisPipeline::evaluate(const std::vector<FaultResponse>& responses
   globalPool().parallelFor(responses.size(), [&](std::size_t i) {
     const FaultResponse& r = responses[i];
     if (!r.detected()) return;
-    const FaultDiagnosis d = diagnose(r);
+    const FaultDiagnosis d = diagnoseUntimed(r);
     slots[i] = Slot{d.candidateCount, d.actualCount, true};
   });
   DrAccumulator acc;
@@ -80,6 +106,7 @@ std::vector<double> DiagnosisPipeline::evaluateSweep(
   globalPool().parallelFor(responses.size(), [&](std::size_t i) {
     const FaultResponse& r = responses[i];
     if (!r.detected()) return;
+    obs::count(obs::Counter::FaultsDiagnosed);
     const GroupVerdicts verdicts = engine_.run(partitions_, r);
     BitVector positions(length, true);
     std::vector<std::size_t>& counts = prefixCandidates[i];

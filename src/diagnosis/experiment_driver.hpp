@@ -66,6 +66,11 @@ class DiagnosisPipeline {
   std::vector<double> evaluateSweep(const std::vector<FaultResponse>& responses) const;
 
  private:
+  /// diagnose() without the phase timers — the batch loop body of evaluate /
+  /// evaluateSweep, where per-fault clock reads would dominate (counters,
+  /// the deterministic section, are identical to diagnose()).
+  FaultDiagnosis diagnoseUntimed(const FaultResponse& response) const;
+
   const ScanTopology* topology_;
   DiagnosisConfig config_;
   std::vector<Partition> partitions_;

@@ -1,6 +1,7 @@
 #include "diagnosis/interval_partitioner.hpp"
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace scandiag {
 
@@ -34,6 +35,8 @@ Partition IntervalPartitioner::fromLengths(const std::vector<std::size_t>& lengt
 }
 
 Partition IntervalPartitioner::next() {
+  obs::PhaseScope phase(obs::Phase::PartitionGen);
+  obs::count(obs::Counter::PartitionsGenerated);
   auto seed = findIntervalSeed(config_, rlen_, groupCount_, chainLength_, nextSeed_);
   SCANDIAG_REQUIRE(seed.has_value(),
                    "no covering interval seed for this chain/group configuration");

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace scandiag {
 
@@ -20,6 +21,8 @@ RandomSelectionPartitioner::RandomSelectionPartitioner(const RandomSelectionConf
 }
 
 Partition RandomSelectionPartitioner::next() {
+  obs::PhaseScope phase(obs::Phase::PartitionGen);
+  obs::count(obs::Counter::PartitionsGenerated);
   Partition p;
   p.groups.assign(groupCount_, BitVector(chainLength_));
   Lfsr lfsr(config_, ivr_);

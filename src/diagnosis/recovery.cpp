@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace scandiag {
 
@@ -30,9 +31,13 @@ BitVector majorityRow(const BitVector& original, const std::vector<BitVector>& r
 RecoveredDiagnosis DiagnosisRecovery::recover(const std::vector<Partition>& partitions,
                                               const GroupVerdicts& verdicts,
                                               const PartitionRerun& rerun) const {
+  obs::PhaseScope phase(obs::Phase::Recovery);
   RecoveredDiagnosis out;
   CheckedAnalysis checked = analyzer_.analyzeChecked(partitions, verdicts);
   out.inconsistencies = checked.inconsistencies;
+  if (!checked.inconsistencies.empty()) {
+    obs::count(obs::Counter::InconsistenciesDetected, checked.inconsistencies.size());
+  }
   if (checked.consistent()) {
     out.candidates = std::move(checked.candidates);
     return out;
@@ -64,6 +69,7 @@ RecoveredDiagnosis DiagnosisRecovery::recover(const std::vector<Partition>& part
                         "re-run verdict row has the wrong group count");
         budget -= perRerun;
         out.retrySessions += perRerun;
+        obs::count(obs::Counter::RetrySessionsSpent, perRerun);
         rows.push_back(std::move(row.failing));
       }
       if (rows.empty()) continue;

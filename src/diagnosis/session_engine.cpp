@@ -4,6 +4,7 @@
 
 #include "bist/primitive_polys.hpp"
 #include "common/assert.hpp"
+#include "obs/metrics.hpp"
 
 namespace scandiag {
 
@@ -86,15 +87,26 @@ void SessionEngine::prepareCells(const FaultResponse& response, bool needSignatu
   const std::size_t numFailing = response.failingCellOrdinals.size();
   cellPos.assign(numFailing, 0);
   cellSig.assign(numFailing, 0);
+  std::uint64_t hashedWords = 0;
   for (std::size_t i = 0; i < numFailing; ++i) {
     const std::size_t cell = response.failingCellOrdinals[i];
     cellPos[i] = topology_->location(cell).position;
-    if (needSignatures) cellSig[i] = cellErrorSignature(cell, response.errorStreams[i]);
+    if (needSignatures) {
+      cellSig[i] = cellErrorSignature(cell, response.errorStreams[i]);
+      hashedWords += response.errorStreams[i].wordCount();
+    }
   }
+  if (hashedWords > 0) obs::count(obs::Counter::SignatureWordsHashed, hashedWords);
 }
 
 GroupVerdicts SessionEngine::run(const std::vector<Partition>& partitions,
                                  const FaultResponse& response) const {
+  // Counters only — no PhaseScope: this is the per-fault hot path of the
+  // batch DR drivers, and two steady_clock reads per call cost several
+  // percent of a whole diagnosis. Phase timing for session work happens at
+  // the single-fault API (DiagnosisPipeline::diagnose) and in runPartition
+  // (the per-partition retry path), where a call does enough work to
+  // amortize the clock reads.
   const bool needSignatures =
       config_.mode == SignatureMode::Misr || config_.computeSignatures;
 
@@ -112,17 +124,24 @@ GroupVerdicts SessionEngine::run(const std::vector<Partition>& partitions,
     verdicts.errorSig.reserve(partitions.size());
   }
 
+  std::uint64_t sessions = 0;
   for (const Partition& partition : partitions) {
+    sessions += partition.groupCount();
     PartitionVerdictRow row =
         computeRow(partition, failingPositions, cellPos, cellSig, needSignatures);
     verdicts.failing.push_back(std::move(row.failing));
     if (needSignatures) verdicts.errorSig.push_back(std::move(row.errorSig));
   }
+  obs::count(obs::Counter::PartitionsEvaluated, partitions.size());
+  obs::count(obs::Counter::SessionsRun, sessions);
   return verdicts;
 }
 
 PartitionVerdictRow SessionEngine::runPartition(const Partition& partition,
                                                 const FaultResponse& response) const {
+  obs::PhaseScope phase(obs::Phase::SignatureCompare);
+  obs::count(obs::Counter::PartitionsEvaluated);
+  obs::count(obs::Counter::SessionsRun, partition.groupCount());
   const bool needSignatures =
       config_.mode == SignatureMode::Misr || config_.computeSignatures;
   BitVector failingPositions;

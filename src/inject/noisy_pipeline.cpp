@@ -3,6 +3,7 @@
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
 #include "diagnosis/metrics.hpp"
+#include "obs/metrics.hpp"
 
 namespace scandiag {
 
@@ -32,6 +33,7 @@ ResilientDiagnosis NoisyPipeline::diagnose(const FaultResponse& response,
     return out;
   }
 
+  obs::count(obs::Counter::FaultsDiagnosed);
   const std::vector<Partition>& partitions = base_.partitions();
   const SessionEngine& engine = base_.engine();
   const BitVector failingPositions = topology_->collapseCells(response.failingCells);
@@ -39,12 +41,19 @@ ResilientDiagnosis NoisyPipeline::diagnose(const FaultResponse& response,
   GroupVerdicts verdicts = engine.run(partitions, response);
   out.injected = corruptor_.corrupt(verdicts, partitions, failingPositions, faultKey,
                                     /*attempt=*/0);
+  if (out.injected.count() > 0) {
+    obs::count(obs::Counter::NoiseEventsInjected, out.injected.count());
+  }
 
   // A retry re-runs the partition's sessions on the same noisy tester: fresh
   // capture, fresh independent noise stream (attempt >= 1).
   const PartitionRerun rerun = [&](std::size_t p, std::size_t attempt) {
     PartitionVerdictRow row = engine.runPartition(partitions[p], response);
-    corruptor_.corruptRow(row, partitions[p], p, failingPositions, faultKey, attempt);
+    const CorruptionTrace trace =
+        corruptor_.corruptRow(row, partitions[p], p, failingPositions, faultKey, attempt);
+    if (trace.count() > 0) {
+      obs::count(obs::Counter::NoiseEventsInjected, trace.count());
+    }
     return row;
   };
 

@@ -1,0 +1,112 @@
+#include "obs/export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+#include "common/json.hpp"
+
+namespace scandiag::obs {
+
+void writeCountersObject(JsonWriter& writer, const MetricsSnapshot& snap) {
+  writer.beginObject();
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    writer.field(counterName(static_cast<Counter>(i)), snap.counters[i]);
+  }
+  writer.endObject();
+}
+
+void writePhasesObject(JsonWriter& writer, const MetricsSnapshot& snap) {
+  writer.beginObject();
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    writer.key(phaseName(static_cast<Phase>(i)));
+    writer.beginObject();
+    writer.field("nanos", snap.phases[i].nanos);
+    writer.field("calls", snap.phases[i].calls);
+    writer.endObject();
+  }
+  writer.endObject();
+}
+
+void writeWorkersArray(JsonWriter& writer, const MetricsSnapshot& snap) {
+  writer.beginArray();
+  for (const WorkerStat& w : snap.workers) {
+    writer.beginObject();
+    writer.field("worker", static_cast<std::uint64_t>(w.worker));
+    writer.field("busy_nanos", w.busyNanos);
+    writer.field("tasks", w.tasks);
+    writer.endObject();
+  }
+  writer.endArray();
+}
+
+void writeMetricsObject(JsonWriter& writer, const MetricsSnapshot& snap,
+                        const MetricsContext& context) {
+  writer.beginObject();
+  writer.field("schema_version", kMetricsSchemaVersion);
+  writer.field("circuit", context.circuit);
+  writer.field("scheme", context.scheme);
+  writer.field("threads", static_cast<std::uint64_t>(context.threads));
+  writer.key("counters");
+  writeCountersObject(writer, snap);
+  writer.key("phases");
+  writePhasesObject(writer, snap);
+  writer.key("workers");
+  writeWorkersArray(writer, snap);
+  writer.endObject();
+}
+
+void writeMetricsFile(const std::string& path, const MetricsContext& context) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open metrics output file: " + path);
+  JsonWriter writer(out);
+  writeMetricsObject(writer, MetricsRegistry::instance().snapshot(), context);
+  out << '\n';
+}
+
+namespace {
+
+std::size_t counterIndex(const std::string& name) {
+  for (std::size_t i = 0; i < kNumCounters; ++i) {
+    if (name == counterName(static_cast<Counter>(i))) return i;
+  }
+  throw std::invalid_argument("unknown metrics counter: " + name);
+}
+
+std::size_t phaseIndex(const std::string& name) {
+  for (std::size_t i = 0; i < kNumPhases; ++i) {
+    if (name == phaseName(static_cast<Phase>(i))) return i;
+  }
+  throw std::invalid_argument("unknown metrics phase: " + name);
+}
+
+}  // namespace
+
+MetricsSnapshot snapshotFromJson(const JsonValue& root) {
+  SCANDIAG_REQUIRE(root.isObject(), "metrics document must be a JSON object");
+  MetricsSnapshot snap;
+  if (root.has("counters")) {
+    for (const auto& [name, value] : root.at("counters").members()) {
+      snap.counters[counterIndex(name)] = value.asUint();
+    }
+  }
+  if (root.has("phases")) {
+    for (const auto& [name, value] : root.at("phases").members()) {
+      PhaseStat& stat = snap.phases[phaseIndex(name)];
+      stat.nanos = value.at("nanos").asUint();
+      stat.calls = value.at("calls").asUint();
+    }
+  }
+  if (root.has("workers")) {
+    for (const JsonValue& entry : root.at("workers").items()) {
+      WorkerStat w;
+      w.worker = static_cast<std::size_t>(entry.at("worker").asUint());
+      w.busyNanos = entry.at("busy_nanos").asUint();
+      w.tasks = entry.at("tasks").asUint();
+      snap.workers.push_back(w);
+    }
+  }
+  return snap;
+}
+
+}  // namespace scandiag::obs

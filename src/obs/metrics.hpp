@@ -1,0 +1,321 @@
+// Pipeline observability: a process-wide, thread-safe metrics registry.
+//
+// Two kinds of measurements, with very different contracts:
+//
+//  * **Deterministic counters** — monotonic tallies of *work items* (sessions
+//    run, partitions evaluated, faults simulated, ...). Every increment is
+//    attached to a unit of work whose existence does not depend on
+//    scheduling, so counter totals are bit-identical for every thread count
+//    (the same contract as the DR outputs; enforced by
+//    parallel_determinism_test and the CI bench-regression gate).
+//  * **Timings** — scoped phase timers (nanoseconds per pipeline phase) and
+//    per-worker thread-pool busy time. Wall-clock measurements are never
+//    deterministic; exporters keep them in a separate section that CI
+//    explicitly excludes from golden comparison.
+//
+// Cost model:
+//  * `SCANDIAG_METRICS=OFF` CMake build: SCANDIAG_METRICS_ENABLED is 0 and
+//    every shim below (count(), PhaseScope, WorkerScope) compiles to nothing
+//    — zero instructions on the hot paths. The registry class itself stays
+//    available (a few hundred bytes) so exporters and tests still link.
+//  * Enabled build, runtime off (`SCANDIAG_METRICS=off` environment variable
+//    or setEnabled(false)): one relaxed atomic load + branch per site.
+//  * Enabled: one relaxed CAS per counter add, two steady_clock reads per
+//    scope. Counters sit at per-fault / per-partition granularity, never
+//    inside bit-level inner loops. PhaseScope/WorkerScope are costlier (the
+//    clock reads) and are therefore kept OFF the per-fault bodies of the
+//    batch DR loops — they wrap single-fault APIs, per-batch regions, and
+//    per-partition retry paths only. That split keeps metrics-on overhead
+//    under the 2% budget bench_perf is checked against.
+//
+// The registry is a header-inline singleton so that low-level code (e.g. the
+// thread pool in scandiag_common) can record into it without a link-time
+// dependency on the obs library; obs/export.* (JSON snapshot I/O) is the only
+// part that needs linking against scandiag_obs.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#ifndef SCANDIAG_METRICS_ENABLED
+#define SCANDIAG_METRICS_ENABLED 1
+#endif
+
+namespace scandiag::obs {
+
+/// True when the instrumentation shims compile to real code.
+inline constexpr bool kMetricsCompiled = SCANDIAG_METRICS_ENABLED != 0;
+
+// ---------------------------------------------------------------------------
+// Taxonomy. Counter values are deterministic across thread counts; phases and
+// worker stats are wall-clock.
+
+enum class Counter : unsigned {
+  SessionsRun = 0,          // BIST sessions emulated (one per group per partition)
+  PartitionsEvaluated,      // partition verdict rows computed
+  PartitionsGenerated,      // partitions produced by any partitioner
+  FaultsSimulated,          // single-fault cone simulations (FaultSimulator)
+  FaultsGraded,             // 64-way batch gradings (ParallelFaultSimulator)
+  FaultsDiagnosed,          // full diagnose() invocations (clean + noisy)
+  SignatureWordsHashed,     // 64-bit error-stream words folded into signatures
+  RetrySessionsSpent,       // extra sessions charged to the recovery budget
+  InconsistenciesDetected,  // impossible verdict patterns flagged by recovery
+  NoiseEventsInjected,      // verdict corruptions applied by the injector
+  kCount,
+};
+
+enum class Phase : unsigned {
+  GoodMachineSim = 0,     // fault-free simulation of the pattern set
+  FaultySim,              // faulty-machine simulation (single + batch)
+  PartitionGen,           // partition/interval-seed generation
+  SignatureCompare,       // session verdicts + signature hashing
+  CandidateIntersection,  // inclusion-exclusion + pruning
+  Recovery,               // inconsistency analysis + retry + degradation
+  kCount,
+};
+
+inline constexpr std::size_t kNumCounters = static_cast<std::size_t>(Counter::kCount);
+inline constexpr std::size_t kNumPhases = static_cast<std::size_t>(Phase::kCount);
+
+/// Worker lanes beyond this many share no utilization slot (counters are
+/// unaffected; only the per-worker busy-time breakdown truncates).
+inline constexpr std::size_t kMaxTrackedWorkers = 128;
+
+constexpr const char* counterName(Counter c) {
+  switch (c) {
+    case Counter::SessionsRun: return "sessions_run";
+    case Counter::PartitionsEvaluated: return "partitions_evaluated";
+    case Counter::PartitionsGenerated: return "partitions_generated";
+    case Counter::FaultsSimulated: return "faults_simulated";
+    case Counter::FaultsGraded: return "faults_graded";
+    case Counter::FaultsDiagnosed: return "faults_diagnosed";
+    case Counter::SignatureWordsHashed: return "signature_words_hashed";
+    case Counter::RetrySessionsSpent: return "retry_sessions_spent";
+    case Counter::InconsistenciesDetected: return "inconsistencies_detected";
+    case Counter::NoiseEventsInjected: return "noise_events_injected";
+    case Counter::kCount: break;
+  }
+  return "unknown_counter";
+}
+
+constexpr const char* phaseName(Phase p) {
+  switch (p) {
+    case Phase::GoodMachineSim: return "good_machine_sim";
+    case Phase::FaultySim: return "faulty_sim";
+    case Phase::PartitionGen: return "partition_gen";
+    case Phase::SignatureCompare: return "signature_compare";
+    case Phase::CandidateIntersection: return "candidate_intersection";
+    case Phase::Recovery: return "recovery";
+    case Phase::kCount: break;
+  }
+  return "unknown_phase";
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot: a plain-value copy of the registry, safe to compare/serialize.
+
+struct PhaseStat {
+  std::uint64_t nanos = 0;
+  std::uint64_t calls = 0;
+  bool operator==(const PhaseStat&) const = default;
+};
+
+struct WorkerStat {
+  std::size_t worker = 0;  // lane index: 0 = calling thread, 1..N = pool workers
+  std::uint64_t busyNanos = 0;
+  std::uint64_t tasks = 0;
+  bool operator==(const WorkerStat&) const = default;
+};
+
+struct MetricsSnapshot {
+  std::array<std::uint64_t, kNumCounters> counters{};
+  std::array<PhaseStat, kNumPhases> phases{};
+  /// Only lanes that recorded any activity, ascending by lane index.
+  std::vector<WorkerStat> workers;
+  bool operator==(const MetricsSnapshot&) const = default;
+
+  std::uint64_t counter(Counter c) const {
+    return counters[static_cast<std::size_t>(c)];
+  }
+  const PhaseStat& phase(Phase p) const { return phases[static_cast<std::size_t>(p)]; }
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+class MetricsRegistry {
+ public:
+  /// Process-wide instance. First use decides the initial runtime state from
+  /// the SCANDIAG_METRICS environment variable (off|0|false disable).
+  static MetricsRegistry& instance() {
+    static MetricsRegistry registry;
+    return registry;
+  }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void setEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+  /// Saturating add: the counter sticks at UINT64_MAX instead of wrapping, so
+  /// a long-running service degrades to "at least this many" rather than
+  /// resetting to a small lie. Exact (never loses increments) below the cap.
+  void add(Counter c, std::uint64_t n = 1) {
+    saturatingAdd(counters_[static_cast<std::size_t>(c)], n);
+  }
+
+  void addPhase(Phase p, std::uint64_t nanos) {
+    const std::size_t i = static_cast<std::size_t>(p);
+    saturatingAdd(phaseNanos_[i], nanos);
+    saturatingAdd(phaseCalls_[i], 1);
+  }
+
+  void recordWorker(std::size_t lane, std::uint64_t busyNanos) {
+    if (lane >= kMaxTrackedWorkers) return;
+    saturatingAdd(workerBusy_[lane], busyNanos);
+    saturatingAdd(workerTasks_[lane], 1);
+  }
+
+  /// Zeroes every counter/timer. Not linearizable against concurrent adds —
+  /// call it only while no instrumented work is in flight (bench setup, test
+  /// fixtures), same rule as setGlobalThreadCount().
+  void reset() {
+    for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+    for (auto& p : phaseNanos_) p.store(0, std::memory_order_relaxed);
+    for (auto& p : phaseCalls_) p.store(0, std::memory_order_relaxed);
+    for (auto& w : workerBusy_) w.store(0, std::memory_order_relaxed);
+    for (auto& w : workerTasks_) w.store(0, std::memory_order_relaxed);
+  }
+
+  /// Plain-value copy. Exact when no instrumented work is in flight.
+  MetricsSnapshot snapshot() const {
+    MetricsSnapshot snap;
+    for (std::size_t i = 0; i < kNumCounters; ++i)
+      snap.counters[i] = counters_[i].load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kNumPhases; ++i) {
+      snap.phases[i].nanos = phaseNanos_[i].load(std::memory_order_relaxed);
+      snap.phases[i].calls = phaseCalls_[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t lane = 0; lane < kMaxTrackedWorkers; ++lane) {
+      const std::uint64_t tasks = workerTasks_[lane].load(std::memory_order_relaxed);
+      if (tasks == 0) continue;
+      snap.workers.push_back(
+          WorkerStat{lane, workerBusy_[lane].load(std::memory_order_relaxed), tasks});
+    }
+    return snap;
+  }
+
+ private:
+  MetricsRegistry() { enabled_.store(initialEnabled(), std::memory_order_relaxed); }
+
+  static bool initialEnabled() {
+    const char* env = std::getenv("SCANDIAG_METRICS");
+    if (env == nullptr) return true;
+    return !(std::strcmp(env, "off") == 0 || std::strcmp(env, "OFF") == 0 ||
+             std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0);
+  }
+
+  static void saturatingAdd(std::atomic<std::uint64_t>& cell, std::uint64_t n) {
+    std::uint64_t cur = cell.load(std::memory_order_relaxed);
+    for (;;) {
+      std::uint64_t next = cur + n;
+      if (next < cur) next = UINT64_MAX;  // overflow: clamp, don't wrap
+      if (cell.compare_exchange_weak(cur, next, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  std::atomic<bool> enabled_{true};
+  std::array<std::atomic<std::uint64_t>, kNumCounters> counters_{};
+  std::array<std::atomic<std::uint64_t>, kNumPhases> phaseNanos_{};
+  std::array<std::atomic<std::uint64_t>, kNumPhases> phaseCalls_{};
+  std::array<std::atomic<std::uint64_t>, kMaxTrackedWorkers> workerBusy_{};
+  std::array<std::atomic<std::uint64_t>, kMaxTrackedWorkers> workerTasks_{};
+};
+
+// ---------------------------------------------------------------------------
+// Instrumentation shims. These — not the registry methods — are what the hot
+// paths call, so a SCANDIAG_METRICS=OFF build erases the instrumentation
+// entirely while the registry/exporter API keeps compiling.
+
+#if SCANDIAG_METRICS_ENABLED
+
+inline void count(Counter c, std::uint64_t n = 1) {
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  if (registry.enabled()) registry.add(c, n);
+}
+
+/// RAII phase timer: accumulates the scope's wall time into one Phase.
+class PhaseScope {
+ public:
+  explicit PhaseScope(Phase phase)
+      : phase_(phase), active_(MetricsRegistry::instance().enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ~PhaseScope() {
+    if (!active_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    MetricsRegistry::instance().addPhase(
+        phase_,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Phase phase_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII busy-time tracker for one thread-pool lane (0 = calling thread).
+class WorkerScope {
+ public:
+  explicit WorkerScope(std::size_t lane)
+      : lane_(lane), active_(MetricsRegistry::instance().enabled()) {
+    if (active_) start_ = std::chrono::steady_clock::now();
+  }
+  ~WorkerScope() {
+    if (!active_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    MetricsRegistry::instance().recordWorker(
+        lane_,
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  }
+  WorkerScope(const WorkerScope&) = delete;
+  WorkerScope& operator=(const WorkerScope&) = delete;
+
+ private:
+  std::size_t lane_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#else  // SCANDIAG_METRICS_ENABLED == 0: instrumentation compiles to nothing.
+
+inline void count(Counter, std::uint64_t = 1) {}
+
+class PhaseScope {
+ public:
+  explicit PhaseScope(Phase) {}
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+};
+
+class WorkerScope {
+ public:
+  explicit WorkerScope(std::size_t) {}
+  WorkerScope(const WorkerScope&) = delete;
+  WorkerScope& operator=(const WorkerScope&) = delete;
+};
+
+#endif  // SCANDIAG_METRICS_ENABLED
+
+}  // namespace scandiag::obs

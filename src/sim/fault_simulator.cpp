@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "netlist/cone_analysis.hpp"
+#include "obs/metrics.hpp"
 
 namespace scandiag {
 
@@ -32,6 +33,7 @@ SimWord PatternSet::word(GateId id, std::size_t w) const {
 
 FaultSimulator::FaultSimulator(const Netlist& netlist, const PatternSet& patterns)
     : netlist_(&netlist), patterns_(&patterns), sim_(netlist) {
+  obs::PhaseScope phase(obs::Phase::GoodMachineSim);
   const std::size_t words = patterns.wordCount();
   const std::size_t numDffs = netlist.dffs().size();
 
@@ -55,6 +57,8 @@ FaultSimulator::FaultSimulator(const Netlist& netlist, const PatternSet& pattern
 
 FaultResponse FaultSimulator::simulate(const FaultSite& fault) const {
   SCANDIAG_REQUIRE(fault.gate < netlist_->gateCount(), "fault site out of range");
+  obs::count(obs::Counter::FaultsSimulated);
+  obs::PhaseScope phase(obs::Phase::FaultySim);
   const std::size_t numDffs = netlist_->dffs().size();
   const std::size_t numPatterns = patterns_->numPatterns();
   const std::size_t words = patterns_->wordCount();

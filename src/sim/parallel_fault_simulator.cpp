@@ -4,12 +4,14 @@
 
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 
 namespace scandiag {
 
 ParallelFaultSimulator::ParallelFaultSimulator(const Netlist& netlist,
                                                const PatternSet& patterns)
     : netlist_(&netlist), patterns_(&patterns), sim_(netlist) {
+  obs::PhaseScope phase(obs::Phase::GoodMachineSim);
   const std::size_t words = patterns.wordCount();
   good_.assign(words, std::vector<SimWord>(netlist.gateCount(), 0));
   for (std::size_t w = 0; w < words; ++w) {
@@ -25,6 +27,8 @@ SimWord ParallelFaultSimulator::detectBatch(const std::vector<FaultSite>& faults
   const Netlist& nl = *netlist_;
   const std::size_t numPatterns = patterns_->numPatterns();
   const std::size_t lanes = std::min<std::size_t>(64, faults.size() - base);
+  obs::count(obs::Counter::FaultsGraded, lanes);
+  obs::PhaseScope phase(obs::Phase::FaultySim);
 
   // Per-gate lane injection masks for this batch. Output faults force the
   // lane bit after evaluation; pin faults (rare per gate) are patched by

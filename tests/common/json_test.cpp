@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <sstream>
+#include <string>
+
+#include "common/errors.hpp"
 
 namespace scandiag {
 namespace {
@@ -89,6 +93,88 @@ TEST(JsonWriter, PrettyPrintingIndents) {
   JsonWriter j(os, true);
   j.beginObject().field("a", 1).endObject();
   EXPECT_EQ(os.str(), "{\n  \"a\": 1\n}");
+}
+
+TEST(JsonParser, ParsesScalars) {
+  EXPECT_TRUE(parseJson("null").isNull());
+  EXPECT_EQ(parseJson("true").asBool(), true);
+  EXPECT_EQ(parseJson("false").asBool(), false);
+  EXPECT_EQ(parseJson("42").asUint(), 42u);
+  EXPECT_EQ(parseJson("-7").asInt(), -7);
+  EXPECT_DOUBLE_EQ(parseJson("2.5e1").asDouble(), 25.0);
+  EXPECT_EQ(parseJson("\"hi\"").asString(), "hi");
+}
+
+TEST(JsonParser, PreservesExactUint64) {
+  // Counters can exceed 2^53 (and saturate at UINT64_MAX); the parser must
+  // keep unsigned integrals exact rather than routing them through double.
+  EXPECT_EQ(parseJson("18446744073709551615").asUint(), UINT64_MAX);
+  EXPECT_EQ(parseJson("9007199254740993").asUint(), 9007199254740993ull);
+  // asDouble still works for integrals (lossy is fine there).
+  EXPECT_DOUBLE_EQ(parseJson("42").asDouble(), 42.0);
+  // But a fractional number is not an integer.
+  EXPECT_THROW(parseJson("1.5").asUint(), std::invalid_argument);
+  EXPECT_THROW(parseJson("-3").asUint(), std::invalid_argument);
+}
+
+TEST(JsonParser, ParsesContainers) {
+  const JsonValue v = parseJson(R"({"a": [1, 2, 3], "b": {"c": "d"}, "e": null})");
+  ASSERT_TRUE(v.isObject());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_TRUE(v.has("a"));
+  EXPECT_FALSE(v.has("z"));
+  ASSERT_TRUE(v.at("a").isArray());
+  EXPECT_EQ(v.at("a").size(), 3u);
+  EXPECT_EQ(v.at("a").at(1).asUint(), 2u);
+  EXPECT_EQ(v.at("b").at("c").asString(), "d");
+  EXPECT_TRUE(v.at("e").isNull());
+  EXPECT_THROW(v.at("z"), std::invalid_argument);
+  EXPECT_THROW(v.at("a").at(3), std::invalid_argument);
+}
+
+TEST(JsonParser, DecodesEscapesAndUnicode) {
+  EXPECT_EQ(parseJson(R"("a\"b\\c\nd\te")").asString(), "a\"b\\c\nd\te");
+  EXPECT_EQ(parseJson(R"("Aé")").asString(), "A\xc3\xa9");
+}
+
+TEST(JsonParser, RoundTripsThroughJsonWriter) {
+  std::ostringstream os;
+  {
+    JsonWriter j(os);
+    j.beginObject()
+        .field("name", std::string("x"))
+        .field("big", UINT64_MAX)
+        .field("ratio", 0.5)
+        .field("ok", true);
+    j.key("list").beginArray().value(1).value(2).endArray();
+    j.endObject();
+  }
+  const JsonValue v = parseJson(os.str());
+  EXPECT_EQ(v.at("name").asString(), "x");
+  EXPECT_EQ(v.at("big").asUint(), UINT64_MAX);
+  EXPECT_DOUBLE_EQ(v.at("ratio").asDouble(), 0.5);
+  EXPECT_EQ(v.at("ok").asBool(), true);
+  EXPECT_EQ(v.at("list").size(), 2u);
+}
+
+TEST(JsonParser, RejectsMalformedDocuments) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "01", "1 2", "nul",
+                          "\"unterminated", "{\"a\":1}x", "+1", "[1"}) {
+    EXPECT_THROW(parseJson(bad), ParseError) << "input: " << bad;
+  }
+}
+
+TEST(JsonParser, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += "[";
+  EXPECT_THROW(parseJson(deep), ParseError);
+}
+
+TEST(JsonParser, TypeMismatchesAreLoud) {
+  const JsonValue v = parseJson(R"({"s": "x", "n": 1})");
+  EXPECT_THROW(v.at("s").asUint(), std::invalid_argument);
+  EXPECT_THROW(v.at("n").asString(), std::invalid_argument);
+  EXPECT_THROW(v.at(0), std::invalid_argument);  // index into an object
 }
 
 }  // namespace

@@ -8,12 +8,15 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstdint>
 #include <future>
 #include <string>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "core/scandiag.hpp"
+#include "obs/metrics.hpp"
 #include "soc/soc_builder.hpp"
 
 namespace scandiag {
@@ -22,7 +25,10 @@ namespace {
 /// Restores the global pool to the environment default even if a test fails.
 class ParallelDeterminism : public ::testing::Test {
  protected:
-  void TearDown() override { setGlobalThreadCount(0); }
+  void TearDown() override {
+    setGlobalThreadCount(0);
+    obs::MetricsRegistry::instance().reset();
+  }
 
   static constexpr std::size_t kThreadCounts[] = {1, 2, 8};
 };
@@ -118,6 +124,61 @@ TEST_F(ParallelDeterminism, SocDriverIsBitIdenticalAcrossThreadCounts) {
       }
     }
   }
+}
+
+/// Runs `body` once per thread count and requires the *metrics counters* it
+/// produced (registry reset just before each run) to match the 1-thread run
+/// exactly. This is the counter-determinism contract the CI bench-regression
+/// gate relies on: counters tally work items, never scheduling decisions.
+using MetricsCounters = std::array<std::uint64_t, obs::kNumCounters>;
+
+template <typename Body>
+void expectCountersThreadInvariant(const std::size_t (&threadCounts)[3], Body&& body,
+                                   const std::string& what) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  setGlobalThreadCount(1);
+  registry.reset();
+  body();
+  const MetricsCounters serial = registry.snapshot().counters;
+  EXPECT_GT(serial[static_cast<std::size_t>(obs::Counter::FaultsDiagnosed)], 0u)
+      << what << " (instrumentation compiled out?)";
+  for (std::size_t threads : threadCounts) {
+    setGlobalThreadCount(threads);
+    registry.reset();
+    body();
+    const MetricsCounters parallel = registry.snapshot().counters;
+    for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+      EXPECT_EQ(serial[i], parallel[i])
+          << what << " counter " << obs::counterName(static_cast<obs::Counter>(i)) << " @"
+          << threads << " threads";
+    }
+  }
+}
+
+TEST_F(ParallelDeterminism, MetricsCountersAreBitIdenticalAcrossThreadCounts) {
+  if (!obs::kMetricsCompiled) GTEST_SKIP() << "instrumentation compiled out";
+  const CircuitWorkload& work = s953Workload();
+  for (SchemeKind scheme :
+       {SchemeKind::IntervalBased, SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
+    const DiagnosisPipeline pipeline(work.topology, configFor(scheme, false));
+    expectCountersThreadInvariant(
+        kThreadCounts, [&] { pipeline.evaluate(work.responses); }, schemeName(scheme));
+  }
+}
+
+TEST_F(ParallelDeterminism, NoisyMetricsCountersAreBitIdenticalAcrossThreadCounts) {
+  // Noise + recovery is the hardest case: retries, inconsistency detection,
+  // and injected-event counts must all be scheduling-independent.
+  if (!obs::kMetricsCompiled) GTEST_SKIP() << "instrumentation compiled out";
+  const CircuitWorkload& work = s953Workload();
+  NoiseConfig noise;
+  noise.flipRate = 0.02;
+  RetryPolicy retry;
+  retry.sessionBudget = 24;
+  const NoisyPipeline pipeline(work.topology, configFor(SchemeKind::TwoStep, false), noise,
+                               retry);
+  expectCountersThreadInvariant(
+      kThreadCounts, [&] { pipeline.evaluate(work.responses); }, "noisy two-step");
 }
 
 TEST_F(ParallelDeterminism, DiagnoseStaysSoundUnderConcurrency) {

@@ -24,6 +24,9 @@
 //                      are bit-identical for every value)
 //   --json            machine-readable output (diagnose, dr, plan)
 //   --target X        DR target for plan (default 0.5)
+//   --metrics F       write a pipeline metrics snapshot (counters, phase
+//                     timers, worker utilization) to F as JSON after the
+//                     command finishes (any command)
 //
 // Noise / resilience options (diagnose, dr):
 //   --noise R         raw verdict-flip rate per session (both directions)
@@ -516,6 +519,31 @@ int usage() {
   return kExitUsage;
 }
 
+int dispatch(const Args& args) {
+  const std::string& cmd = args.positional[0];
+  if (cmd == "info") return cmdInfo(args);
+  if (cmd == "emit") return cmdEmit(args);
+  if (cmd == "diagnose") return cmdDiagnose(args);
+  if (cmd == "dr") return cmdDr(args);
+  if (cmd == "soc-dr") return cmdSocDr(args);
+  if (cmd == "plan") return cmdPlan(args);
+  if (cmd == "offline") return cmdOffline(args);
+  if (cmd == "partitions") return cmdPartitions(args);
+  std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
+  return usage();
+}
+
+void writeMetricsIfRequested(const Args& args) {
+  const auto it = args.options.find("metrics");
+  if (it == args.options.end()) return;
+  obs::MetricsContext context;
+  context.circuit = args.positional.size() > 1 ? args.positional[1] : "";
+  context.scheme = args.get("scheme", "two-step");
+  context.threads = globalPool().threadCount();
+  obs::writeMetricsFile(it->second, context);
+  std::fprintf(stderr, "wrote metrics to %s\n", it->second.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -523,17 +551,9 @@ int main(int argc, char** argv) {
     const Args args = Args::parse(argc, argv);
     if (args.positional.empty()) return usage();
     if (args.options.count("threads")) setGlobalThreadCount(args.getN("threads", 0));
-    const std::string& cmd = args.positional[0];
-    if (cmd == "info") return cmdInfo(args);
-    if (cmd == "emit") return cmdEmit(args);
-    if (cmd == "diagnose") return cmdDiagnose(args);
-    if (cmd == "dr") return cmdDr(args);
-    if (cmd == "soc-dr") return cmdSocDr(args);
-    if (cmd == "plan") return cmdPlan(args);
-    if (cmd == "offline") return cmdOffline(args);
-    if (cmd == "partitions") return cmdPartitions(args);
-    std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
-    return usage();
+    const int rc = dispatch(args);
+    writeMetricsIfRequested(args);
+    return rc;
   } catch (const FileNotFoundError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitFileNotFound;
