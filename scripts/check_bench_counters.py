@@ -57,9 +57,11 @@ def diff_counters(name: str, expected: dict, actual: dict) -> bool:
             print(f"  {name}: new counter {key} = {got} (not in golden)")
         elif got is None:
             print(f"  {name}: counter {key} missing (golden has {want})")
-        else:
+        elif isinstance(want, int) and isinstance(got, int):
             print(f"  {name}: {key} drifted: golden {want} -> actual {got} "
                   f"({got - want:+d})")
+        else:
+            print(f"  {name}: {key} drifted: golden {want!r} -> actual {got!r}")
     return ok
 
 

@@ -430,7 +430,7 @@ class JsonParser {
     }
   }
 
-  void appendUnicodeEscape(std::string& out) {
+  unsigned parseHex4() {
     unsigned code = 0;
     for (int i = 0; i < 4; ++i) {
       const char c = take();
@@ -445,15 +445,33 @@ class JsonParser {
         fail("invalid \\u escape");
       }
     }
-    // UTF-8 encode the code point (surrogate pairs are not combined; the
-    // writer only emits \u00xx for control characters, which is all we need).
+    return code;
+  }
+
+  void appendUnicodeEscape(std::string& out) {
+    unsigned code = parseHex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {
+      // High surrogate: a \uDCxx low surrogate must immediately follow, and
+      // the pair decodes to one supplementary-plane code point.
+      if (take() != '\\' || take() != 'u') fail("unpaired surrogate in \\u escape");
+      const unsigned low = parseHex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate in \\u escape");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired surrogate in \\u escape");
+    }
     if (code < 0x80) {
       out.push_back(static_cast<char>(code));
     } else if (code < 0x800) {
       out.push_back(static_cast<char>(0xC0 | (code >> 6)));
       out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-    } else {
+    } else if (code < 0x10000) {
       out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
       out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
       out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
     }

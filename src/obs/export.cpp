@@ -1,5 +1,6 @@
 #include "obs/export.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
 
@@ -57,6 +58,8 @@ void writeMetricsObject(JsonWriter& writer, const MetricsSnapshot& snap,
 }
 
 void writeMetricsFile(const std::string& path, const MetricsContext& context) {
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) std::filesystem::create_directories(target.parent_path());
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open metrics output file: " + path);
   JsonWriter writer(out);

@@ -135,6 +135,17 @@ TEST(JsonParser, ParsesContainers) {
 TEST(JsonParser, DecodesEscapesAndUnicode) {
   EXPECT_EQ(parseJson(R"("a\"b\\c\nd\te")").asString(), "a\"b\\c\nd\te");
   EXPECT_EQ(parseJson(R"("Aé")").asString(), "A\xc3\xa9");
+  EXPECT_EQ(parseJson(R"("é")").asString(), "\xc3\xa9");
+  EXPECT_EQ(parseJson(R"("€")").asString(), "\xe2\x82\xac");
+}
+
+TEST(JsonParser, CombinesSurrogatePairsAndRejectsLoneSurrogates) {
+  // U+1F600 as an escaped surrogate pair decodes to the 4-byte UTF-8 sequence.
+  EXPECT_EQ(parseJson(R"("\uD83D\uDE00")").asString(), "\xf0\x9f\x98\x80");
+  for (const char* bad : {R"("\ud800")", R"("\udc00")", R"("\ud800x")",
+                          R"("\ud800A")", R"("\ud800\ud800")"}) {
+    EXPECT_THROW(parseJson(bad), ParseError) << "input: " << bad;
+  }
 }
 
 TEST(JsonParser, RoundTripsThroughJsonWriter) {

@@ -552,7 +552,9 @@ int main(int argc, char** argv) {
     if (args.positional.empty()) return usage();
     if (args.options.count("threads")) setGlobalThreadCount(args.getN("threads", 0));
     const int rc = dispatch(args);
-    writeMetricsIfRequested(args);
+    // A failed or unknown command did no meaningful work; don't let its
+    // metrics snapshot clobber a previous valid one at the same path.
+    if (rc == kExitOk) writeMetricsIfRequested(args);
     return rc;
   } catch (const FileNotFoundError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
