@@ -16,6 +16,10 @@ Usage:
       schema_version + bench + counters).
   check_bench_counters.py --diff A.json B.json
       Compare the counters sections of two arbitrary report files.
+  check_bench_counters.py --require-nonzero COUNTER [NAME ...]
+      Additionally fail if COUNTER is missing or zero in any compared result
+      (e.g. cone_cache_hits: a zero means the fault-simulator cone cache never
+      served a hit, i.e. the hot path silently fell off). Repeatable.
 
 Exit status: 0 = counters identical, 1 = drift or missing file, 2 = usage.
 """
@@ -86,6 +90,10 @@ def main() -> int:
                         help="write goldens from the current results")
     parser.add_argument("--diff", nargs=2, type=Path, metavar=("A", "B"),
                         help="compare the counters of two report files")
+    parser.add_argument("--require-nonzero", action="append", default=[],
+                        metavar="COUNTER",
+                        help="fail unless COUNTER is present and > 0 in every "
+                             "compared result (repeatable)")
     args = parser.parse_args()
 
     if args.diff:
@@ -119,8 +127,16 @@ def main() -> int:
 
     failed = []
     for name in names:
-        if compare(name, args.results / f"BENCH_{name}.json",
-                   args.golden / f"BENCH_{name}.json"):
+        result_path = args.results / f"BENCH_{name}.json"
+        ok = compare(name, result_path, args.golden / f"BENCH_{name}.json")
+        counters = counters_of(load(result_path), result_path)
+        for counter in args.require_nonzero:
+            value = counters.get(counter)
+            if not isinstance(value, int) or value <= 0:
+                print(f"  {name}: required counter {counter} is "
+                      f"{'missing' if value is None else value} (must be > 0)")
+                ok = False
+        if ok:
             print(f"ok: {name} counters match golden")
         else:
             failed.append(name)

@@ -94,7 +94,9 @@ std::size_t BitVector::findFirst() const {
 }
 
 std::size_t BitVector::findNext(std::size_t after) const {
-  if (after + 1 >= size_) return npos;
+  // `after >= size_` covers npos (and any other out-of-range index) before
+  // the `after + 1` below can wrap around to 0 and return the first set bit.
+  if (after >= size_ || after + 1 >= size_) return npos;
   std::size_t i = after + 1;
   std::size_t w = i / kWordBits;
   Word cur = words_[w] & (~Word{0} << (i % kWordBits));

@@ -31,7 +31,7 @@ std::vector<Partition> buildPartitions(const DiagnosisConfig& config, std::size_
 DiagnosisPipeline::DiagnosisPipeline(const ScanTopology& topology, const DiagnosisConfig& config)
     : topology_(&topology),
       config_(config),
-      partitions_(buildPartitions(config, topology.maxChainLength())),
+      prepared_(buildPartitions(config, topology.maxChainLength())),
       engine_(topology, sessionConfigFor(config)),
       analyzer_(topology),
       pruner_(topology) {}
@@ -45,14 +45,14 @@ FaultDiagnosis DiagnosisPipeline::diagnose(const FaultResponse& response) const 
   GroupVerdicts verdicts;
   {
     obs::PhaseScope phase(obs::Phase::SignatureCompare);
-    verdicts = engine_.run(partitions_, response);
+    verdicts = engine_.run(prepared_, response);
   }
   FaultDiagnosis out;
   {
     obs::PhaseScope phase(obs::Phase::CandidateIntersection);
-    out.candidates = analyzer_.analyze(partitions_, verdicts);
+    out.candidates = analyzer_.analyze(prepared_.partitions(), verdicts);
     if (config_.pruning) {
-      out.candidates = pruner_.prune(partitions_, verdicts, out.candidates);
+      out.candidates = pruner_.prune(prepared_, verdicts, out.candidates);
     }
   }
   out.candidateCount = out.candidates.cellCount();
@@ -62,11 +62,11 @@ FaultDiagnosis DiagnosisPipeline::diagnose(const FaultResponse& response) const 
 
 FaultDiagnosis DiagnosisPipeline::diagnoseUntimed(const FaultResponse& response) const {
   obs::count(obs::Counter::FaultsDiagnosed);
-  const GroupVerdicts verdicts = engine_.run(partitions_, response);
+  const GroupVerdicts verdicts = engine_.run(prepared_, response);
   FaultDiagnosis out;
-  out.candidates = analyzer_.analyze(partitions_, verdicts);
+  out.candidates = analyzer_.analyze(prepared_.partitions(), verdicts);
   if (config_.pruning) {
-    out.candidates = pruner_.prune(partitions_, verdicts, out.candidates);
+    out.candidates = pruner_.prune(prepared_, verdicts, out.candidates);
   }
   out.candidateCount = out.candidates.cellCount();
   out.actualCount = response.failingCellCount();
@@ -103,28 +103,29 @@ std::vector<double> DiagnosisPipeline::evaluateSweep(
   // the per-prefix accumulators in fault-index order below (same ordered-
   // reduction contract as evaluate()).
   std::vector<std::vector<std::size_t>> prefixCandidates(responses.size());
+  const std::vector<Partition>& partitions = prepared_.partitions();
   globalPool().parallelFor(responses.size(), [&](std::size_t i) {
     const FaultResponse& r = responses[i];
     if (!r.detected()) return;
     obs::count(obs::Counter::FaultsDiagnosed);
-    const GroupVerdicts verdicts = engine_.run(partitions_, r);
+    const GroupVerdicts verdicts = engine_.run(prepared_, r);
     BitVector positions(length, true);
     std::vector<std::size_t>& counts = prefixCandidates[i];
-    counts.reserve(partitions_.size());
-    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    counts.reserve(partitions.size());
+    for (std::size_t p = 0; p < partitions.size(); ++p) {
       BitVector failingUnion(length);
-      for (std::size_t g = 0; g < partitions_[p].groupCount(); ++g) {
-        if (verdicts.failing[p].test(g)) failingUnion |= partitions_[p].groups[g];
+      for (std::size_t g = 0; g < partitions[p].groupCount(); ++g) {
+        if (verdicts.failing[p].test(g)) failingUnion |= partitions[p].groups[g];
       }
       positions &= failingUnion;
       counts.push_back(topology_->expandPositions(positions).count());
     }
   });
-  std::vector<DrAccumulator> acc(partitions_.size());
+  std::vector<DrAccumulator> acc(partitions.size());
   for (std::size_t i = 0; i < responses.size(); ++i) {
     if (!responses[i].detected()) continue;
     const std::size_t actual = responses[i].failingCellCount();
-    for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    for (std::size_t p = 0; p < partitions.size(); ++p) {
       acc[p].add(prefixCandidates[i][p], actual);
     }
   }

@@ -18,6 +18,7 @@
 #include "bist/prpg.hpp"
 #include "diagnosis/candidate_analyzer.hpp"
 #include "diagnosis/metrics.hpp"
+#include "diagnosis/prepared_partitions.hpp"
 #include "diagnosis/session_engine.hpp"
 #include "diagnosis/superposition_pruner.hpp"
 #include "diagnosis/two_step_scheme.hpp"
@@ -47,7 +48,10 @@ class DiagnosisPipeline {
  public:
   DiagnosisPipeline(const ScanTopology& topology, const DiagnosisConfig& config);
 
-  const std::vector<Partition>& partitions() const { return partitions_; }
+  const std::vector<Partition>& partitions() const { return prepared_.partitions(); }
+  /// The pre-indexed schedule (group tables built once at construction);
+  /// shared read-only with the resilience layer and across pool workers.
+  const PreparedPartitionSet& prepared() const { return prepared_; }
   const DiagnosisConfig& config() const { return config_; }
   const ScanTopology& topology() const { return *topology_; }
   /// Exposed for the resilience layer (src/inject): retry re-runs go through
@@ -73,7 +77,7 @@ class DiagnosisPipeline {
 
   const ScanTopology* topology_;
   DiagnosisConfig config_;
-  std::vector<Partition> partitions_;
+  PreparedPartitionSet prepared_;
   SessionEngine engine_;
   CandidateAnalyzer analyzer_;
   SuperpositionPruner pruner_;

@@ -12,7 +12,12 @@ std::size_t recommendGroupCount(std::size_t chainLength) {
   const double ideal = std::sqrt(static_cast<double>(chainLength));
   const double exponent = std::round(std::log2(std::max(ideal, 2.0)));
   const std::size_t pow2 = std::size_t{1} << static_cast<unsigned>(exponent);
-  return std::clamp<std::size_t>(pow2, 2, std::min<std::size_t>(64, chainLength));
+  // min(max(pow2, 2), min(64, chainLength)), written without std::clamp: for
+  // chainLength 1 the upper bound (1) is below the lower bound (2), which is
+  // undefined behavior for clamp — the chain-length cap must win, yielding
+  // the single degenerate group a one-cell chain admits.
+  const std::size_t cap = std::min<std::size_t>(64, chainLength);
+  return std::min(std::max<std::size_t>(pow2, 2), cap);
 }
 
 PlanResult planDiagnosis(const ScanTopology& topology,

@@ -1,0 +1,11 @@
+#include "diagnosis/prepared_partitions.hpp"
+
+namespace scandiag {
+
+PreparedPartitionSet::PreparedPartitionSet(std::vector<Partition> partitions)
+    : partitions_(std::move(partitions)) {
+  tables_.reserve(partitions_.size());
+  for (const Partition& p : partitions_) tables_.push_back(p.groupTable());
+}
+
+}  // namespace scandiag

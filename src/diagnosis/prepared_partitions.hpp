@@ -1,0 +1,49 @@
+// Prepared (pre-indexed) partition schedule for the per-fault hot path.
+//
+// A diagnosis run applies the same partition sequence to every fault, but the
+// per-position group-index tables the session engine and the superposition
+// pruner need used to be rebuilt per (fault × partition) — pure O(chainLength)
+// allocation and fill on the path that runs 500+ times per DR experiment.
+// PreparedPartitionSet computes every partition's groupTable() exactly once,
+// at construction, and is immutable afterwards: it can be shared read-only
+// across faults and across thread-pool workers with no synchronization
+// (the same ownership rule as the topology and the good-machine data; see
+// docs/ARCHITECTURE.md "Hot-path memory discipline").
+//
+// Construction also validates the schedule — groupTable() asserts that the
+// groups of each partition are disjoint and cover every position — so a
+// pipeline holding a PreparedPartitionSet never carries a malformed schedule.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "diagnosis/partition.hpp"
+
+namespace scandiag {
+
+class PreparedPartitionSet {
+ public:
+  PreparedPartitionSet() = default;
+
+  /// Takes ownership of the schedule and builds one group table per
+  /// partition (one O(chainLength) pass each, done once for all faults).
+  explicit PreparedPartitionSet(std::vector<Partition> partitions);
+
+  std::size_t size() const { return partitions_.size(); }
+  bool empty() const { return partitions_.empty(); }
+
+  const std::vector<Partition>& partitions() const { return partitions_; }
+  const Partition& partition(std::size_t p) const { return partitions_[p]; }
+  const Partition& operator[](std::size_t p) const { return partitions_[p]; }
+
+  /// table[pos] = group index containing `pos` in partition `p`; identical to
+  /// partitions()[p].groupTable() but computed once per schedule, not per call.
+  const std::vector<std::size_t>& groupTable(std::size_t p) const { return tables_[p]; }
+
+ private:
+  std::vector<Partition> partitions_;
+  std::vector<std::vector<std::size_t>> tables_;  // [partition][position]
+};
+
+}  // namespace scandiag

@@ -58,7 +58,8 @@ PartitionVerdictRow SessionEngine::computeRow(const Partition& partition,
                                               const BitVector& failingPositions,
                                               const std::vector<std::size_t>& cellPos,
                                               const std::vector<std::uint64_t>& cellSig,
-                                              bool needSignatures) const {
+                                              bool needSignatures,
+                                              const std::vector<std::size_t>* groupTable) const {
   SCANDIAG_REQUIRE(partition.length() == topology_->maxChainLength(),
                    "partition length does not match topology");
   const std::size_t b = partition.groupCount();
@@ -66,7 +67,11 @@ PartitionVerdictRow SessionEngine::computeRow(const Partition& partition,
   row.failing = BitVector(b);
   std::vector<std::uint64_t> sig(b, 0);
   if (needSignatures) {
-    const std::vector<std::size_t> table = partition.groupTable();
+    // Prepared callers pass the table computed once per schedule; the
+    // fallback rebuilds it (an O(chainLength) pass) for this call only.
+    const std::vector<std::size_t> rebuilt =
+        groupTable == nullptr ? partition.groupTable() : std::vector<std::size_t>{};
+    const std::vector<std::size_t>& table = groupTable ? *groupTable : rebuilt;
     for (std::size_t i = 0; i < cellPos.size(); ++i) sig[table[cellPos[i]]] ^= cellSig[i];
   }
   for (std::size_t g = 0; g < b; ++g) {
@@ -99,8 +104,9 @@ void SessionEngine::prepareCells(const FaultResponse& response, bool needSignatu
   if (hashedWords > 0) obs::count(obs::Counter::SignatureWordsHashed, hashedWords);
 }
 
-GroupVerdicts SessionEngine::run(const std::vector<Partition>& partitions,
-                                 const FaultResponse& response) const {
+GroupVerdicts SessionEngine::runImpl(const std::vector<Partition>& partitions,
+                                     const PreparedPartitionSet* prepared,
+                                     const FaultResponse& response) const {
   // Counters only — no PhaseScope: this is the per-fault hot path of the
   // batch DR drivers, and two steady_clock reads per call cost several
   // percent of a whole diagnosis. Phase timing for session work happens at
@@ -125,10 +131,12 @@ GroupVerdicts SessionEngine::run(const std::vector<Partition>& partitions,
   }
 
   std::uint64_t sessions = 0;
-  for (const Partition& partition : partitions) {
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    const Partition& partition = partitions[p];
     sessions += partition.groupCount();
-    PartitionVerdictRow row =
-        computeRow(partition, failingPositions, cellPos, cellSig, needSignatures);
+    PartitionVerdictRow row = computeRow(partition, failingPositions, cellPos, cellSig,
+                                         needSignatures,
+                                         prepared ? &prepared->groupTable(p) : nullptr);
     verdicts.failing.push_back(std::move(row.failing));
     if (needSignatures) verdicts.errorSig.push_back(std::move(row.errorSig));
   }
@@ -137,8 +145,19 @@ GroupVerdicts SessionEngine::run(const std::vector<Partition>& partitions,
   return verdicts;
 }
 
-PartitionVerdictRow SessionEngine::runPartition(const Partition& partition,
-                                                const FaultResponse& response) const {
+GroupVerdicts SessionEngine::run(const PreparedPartitionSet& prepared,
+                                 const FaultResponse& response) const {
+  return runImpl(prepared.partitions(), &prepared, response);
+}
+
+GroupVerdicts SessionEngine::run(const std::vector<Partition>& partitions,
+                                 const FaultResponse& response) const {
+  return runImpl(partitions, nullptr, response);
+}
+
+PartitionVerdictRow SessionEngine::runPartitionImpl(
+    const Partition& partition, const std::vector<std::size_t>* groupTable,
+    const FaultResponse& response) const {
   obs::PhaseScope phase(obs::Phase::SignatureCompare);
   obs::count(obs::Counter::PartitionsEvaluated);
   obs::count(obs::Counter::SessionsRun, partition.groupCount());
@@ -148,7 +167,18 @@ PartitionVerdictRow SessionEngine::runPartition(const Partition& partition,
   std::vector<std::size_t> cellPos;
   std::vector<std::uint64_t> cellSig;
   prepareCells(response, needSignatures, failingPositions, cellPos, cellSig);
-  return computeRow(partition, failingPositions, cellPos, cellSig, needSignatures);
+  return computeRow(partition, failingPositions, cellPos, cellSig, needSignatures, groupTable);
+}
+
+PartitionVerdictRow SessionEngine::runPartition(const Partition& partition,
+                                                const FaultResponse& response) const {
+  return runPartitionImpl(partition, nullptr, response);
+}
+
+PartitionVerdictRow SessionEngine::runPartition(const PreparedPartitionSet& prepared,
+                                                std::size_t index,
+                                                const FaultResponse& response) const {
+  return runPartitionImpl(prepared.partition(index), &prepared.groupTable(index), response);
 }
 
 }  // namespace scandiag

@@ -28,6 +28,7 @@
 #include "bist/space_compactor.hpp"
 #include "bist/scan_topology.hpp"
 #include "diagnosis/partition.hpp"
+#include "diagnosis/prepared_partitions.hpp"
 #include "sim/fault_simulator.hpp"
 
 namespace scandiag {
@@ -76,6 +77,13 @@ class SessionEngine {
   const ScanTopology& topology() const { return *topology_; }
   const SessionConfig& config() const { return config_; }
 
+  /// Hot-path entry point: group tables come precomputed from the prepared
+  /// schedule, so a signature-mode run does no per-(fault × partition) table
+  /// rebuild. Bit-identical to the std::vector<Partition> overload.
+  GroupVerdicts run(const PreparedPartitionSet& prepared, const FaultResponse& response) const;
+
+  /// Convenience overload for callers holding a bare schedule (tests, one-off
+  /// diagnoses): rebuilds each partition's group table per call.
   GroupVerdicts run(const std::vector<Partition>& partitions,
                     const FaultResponse& response) const;
 
@@ -84,6 +92,10 @@ class SessionEngine {
   /// bit-for-bit). This is the unit the recovery layer re-executes when a
   /// session verdict is suspect.
   PartitionVerdictRow runPartition(const Partition& partition,
+                                   const FaultResponse& response) const;
+
+  /// Prepared-schedule runPartition: same row, no group-table rebuild.
+  PartitionVerdictRow runPartition(const PreparedPartitionSet& prepared, std::size_t index,
                                    const FaultResponse& response) const;
 
   /// Per-cell error signature of one failing cell (line = its chain, cycle =
@@ -95,10 +107,18 @@ class SessionEngine {
   void prepareCells(const FaultResponse& response, bool needSignatures,
                     BitVector& failingPositions, std::vector<std::size_t>& cellPos,
                     std::vector<std::uint64_t>& cellSig) const;
+  /// `groupTable` may be null: signature bucketing then rebuilds the table
+  /// from the partition (the non-prepared fallback path).
   PartitionVerdictRow computeRow(const Partition& partition, const BitVector& failingPositions,
                                  const std::vector<std::size_t>& cellPos,
-                                 const std::vector<std::uint64_t>& cellSig,
-                                 bool needSignatures) const;
+                                 const std::vector<std::uint64_t>& cellSig, bool needSignatures,
+                                 const std::vector<std::size_t>* groupTable) const;
+  GroupVerdicts runImpl(const std::vector<Partition>& partitions,
+                        const PreparedPartitionSet* prepared,
+                        const FaultResponse& response) const;
+  PartitionVerdictRow runPartitionImpl(const Partition& partition,
+                                       const std::vector<std::size_t>* groupTable,
+                                       const FaultResponse& response) const;
 
   const ScanTopology* topology_;
   SessionConfig config_;

@@ -11,6 +11,30 @@ CandidateSet SuperpositionPruner::prune(const std::vector<Partition>& partitions
                                         const GroupVerdicts& verdicts,
                                         const CandidateSet& candidates,
                                         PruneStats* stats) const {
+  // Group-membership table per partition, rebuilt for this call only.
+  std::vector<std::vector<std::size_t>> rebuilt;
+  rebuilt.reserve(partitions.size());
+  for (const Partition& p : partitions) rebuilt.push_back(p.groupTable());
+  std::vector<const std::vector<std::size_t>*> tables;
+  tables.reserve(rebuilt.size());
+  for (const auto& t : rebuilt) tables.push_back(&t);
+  return pruneImpl(partitions, tables, verdicts, candidates, stats);
+}
+
+CandidateSet SuperpositionPruner::prune(const PreparedPartitionSet& prepared,
+                                        const GroupVerdicts& verdicts,
+                                        const CandidateSet& candidates,
+                                        PruneStats* stats) const {
+  std::vector<const std::vector<std::size_t>*> tables;
+  tables.reserve(prepared.size());
+  for (std::size_t p = 0; p < prepared.size(); ++p) tables.push_back(&prepared.groupTable(p));
+  return pruneImpl(prepared.partitions(), tables, verdicts, candidates, stats);
+}
+
+CandidateSet SuperpositionPruner::pruneImpl(
+    const std::vector<Partition>& partitions,
+    const std::vector<const std::vector<std::size_t>*>& tables, const GroupVerdicts& verdicts,
+    const CandidateSet& candidates, PruneStats* stats) const {
   SCANDIAG_REQUIRE(verdicts.hasSignatures,
                    "superposition pruning needs error signatures (set computeSignatures)");
   SCANDIAG_REQUIRE(partitions.size() == verdicts.failing.size(),
@@ -21,11 +45,6 @@ CandidateSet SuperpositionPruner::prune(const std::vector<Partition>& partitions
     return candidates;
   }
 
-  // Group-membership table per partition for candidate positions.
-  std::vector<std::vector<std::size_t>> tables;
-  tables.reserve(partitions.size());
-  for (const Partition& p : partitions) tables.push_back(p.groupTable());
-
   // Atoms: candidate positions keyed by their membership vector.
   const std::vector<std::size_t> candPositions = candidates.positions.toIndices();
   std::map<std::vector<std::size_t>, std::size_t> atomIndex;
@@ -34,7 +53,7 @@ CandidateSet SuperpositionPruner::prune(const std::vector<Partition>& partitions
   std::vector<std::size_t> key(partitions.size());
   for (std::size_t i = 0; i < candPositions.size(); ++i) {
     const std::size_t pos = candPositions[i];
-    for (std::size_t p = 0; p < partitions.size(); ++p) key[p] = tables[p][pos];
+    for (std::size_t p = 0; p < partitions.size(); ++p) key[p] = (*tables[p])[pos];
     const auto [it, inserted] = atomIndex.emplace(key, atomPositions.size());
     if (inserted) atomPositions.emplace_back();
     atomPositions[it->second].push_back(pos);
@@ -54,7 +73,7 @@ CandidateSet SuperpositionPruner::prune(const std::vector<Partition>& partitions
       BitVector coeffs(numAtoms);
       for (std::size_t a = 0; a < numAtoms; ++a) {
         // Atom membership is uniform across its positions; test the first.
-        if (tables[p][atomPositions[a].front()] == g) coeffs.set(a);
+        if ((*tables[p])[atomPositions[a].front()] == g) coeffs.set(a);
       }
       BitVector rhs(degree);
       const std::uint64_t sig = verdicts.errorSig[p][g];

@@ -21,6 +21,7 @@
 #include "bist/scan_topology.hpp"
 #include "diagnosis/candidate_analyzer.hpp"
 #include "diagnosis/partition.hpp"
+#include "diagnosis/prepared_partitions.hpp"
 #include "diagnosis/session_engine.hpp"
 
 namespace scandiag {
@@ -39,10 +40,23 @@ class SuperpositionPruner {
   /// Tightens `candidates` using the verdicts' error signatures (which must
   /// be present: SessionConfig::computeSignatures or MISR mode). Returns the
   /// pruned candidate set; `stats`, if non-null, receives diagnostics.
+  /// Rebuilds each partition's group table per call — hot paths should use
+  /// the PreparedPartitionSet overload.
   CandidateSet prune(const std::vector<Partition>& partitions, const GroupVerdicts& verdicts,
                      const CandidateSet& candidates, PruneStats* stats = nullptr) const;
 
+  /// Hot-path overload: group tables come from the prepared schedule (built
+  /// once per pipeline), eliminating the per-fault table rebuild. Output is
+  /// bit-identical to the std::vector<Partition> overload.
+  CandidateSet prune(const PreparedPartitionSet& prepared, const GroupVerdicts& verdicts,
+                     const CandidateSet& candidates, PruneStats* stats = nullptr) const;
+
  private:
+  CandidateSet pruneImpl(const std::vector<Partition>& partitions,
+                         const std::vector<const std::vector<std::size_t>*>& tables,
+                         const GroupVerdicts& verdicts, const CandidateSet& candidates,
+                         PruneStats* stats) const;
+
   const ScanTopology* topology_;
 };
 

@@ -34,11 +34,12 @@ ResilientDiagnosis NoisyPipeline::diagnose(const FaultResponse& response,
   }
 
   obs::count(obs::Counter::FaultsDiagnosed);
-  const std::vector<Partition>& partitions = base_.partitions();
+  const PreparedPartitionSet& prepared = base_.prepared();
+  const std::vector<Partition>& partitions = prepared.partitions();
   const SessionEngine& engine = base_.engine();
   const BitVector failingPositions = topology_->collapseCells(response.failingCells);
 
-  GroupVerdicts verdicts = engine.run(partitions, response);
+  GroupVerdicts verdicts = engine.run(prepared, response);
   out.injected = corruptor_.corrupt(verdicts, partitions, failingPositions, faultKey,
                                     /*attempt=*/0);
   if (out.injected.count() > 0) {
@@ -48,7 +49,7 @@ ResilientDiagnosis NoisyPipeline::diagnose(const FaultResponse& response,
   // A retry re-runs the partition's sessions on the same noisy tester: fresh
   // capture, fresh independent noise stream (attempt >= 1).
   const PartitionRerun rerun = [&](std::size_t p, std::size_t attempt) {
-    PartitionVerdictRow row = engine.runPartition(partitions[p], response);
+    PartitionVerdictRow row = engine.runPartition(prepared, p, response);
     const CorruptionTrace trace =
         corruptor_.corruptRow(row, partitions[p], p, failingPositions, faultKey, attempt);
     if (trace.count() > 0) {
@@ -57,7 +58,7 @@ ResilientDiagnosis NoisyPipeline::diagnose(const FaultResponse& response,
     return row;
   };
 
-  RecoveredDiagnosis recovered = recovery_.recover(partitions, verdicts, rerun);
+  RecoveredDiagnosis recovered = recovery_.recover(prepared, verdicts, rerun);
   out.candidates = std::move(recovered.candidates);
   out.candidateCount = out.candidates.cellCount();
   out.confidence = recovered.confidence;

@@ -66,6 +66,8 @@ enum class Counter : unsigned {
   RetrySessionsSpent,       // extra sessions charged to the recovery budget
   InconsistenciesDetected,  // impossible verdict patterns flagged by recovery
   NoiseEventsInjected,      // verdict corruptions applied by the injector
+  ConeCacheHits,            // cone-path simulate() calls served by the cone cache
+  ScratchGatesTouched,      // gate slots saved+restored by the scratch faulty sim
   kCount,
 };
 
@@ -98,6 +100,8 @@ constexpr const char* counterName(Counter c) {
     case Counter::RetrySessionsSpent: return "retry_sessions_spent";
     case Counter::InconsistenciesDetected: return "inconsistencies_detected";
     case Counter::NoiseEventsInjected: return "noise_events_injected";
+    case Counter::ConeCacheHits: return "cone_cache_hits";
+    case Counter::ScratchGatesTouched: return "scratch_gates_touched";
     case Counter::kCount: break;
   }
   return "unknown_counter";

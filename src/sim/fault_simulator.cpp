@@ -1,5 +1,7 @@
 #include "sim/fault_simulator.hpp"
 
+#include <unordered_map>
+
 #include "common/assert.hpp"
 #include "netlist/cone_analysis.hpp"
 #include "obs/metrics.hpp"
@@ -42,6 +44,7 @@ FaultSimulator::FaultSimulator(const Netlist& netlist, const PatternSet& pattern
 
   goodValues_.assign(words, std::vector<SimWord>(netlist.gateCount(), 0));
   goodCaptures_.assign(numDffs, BitVector(patterns.numPatterns()));
+  coneCache_ = std::make_unique<ConeEntry[]>(netlist.gateCount());
   for (std::size_t w = 0; w < words; ++w) {
     std::vector<SimWord>& values = goodValues_[w];
     for (GateId id = 0; id < netlist.gateCount(); ++id) {
@@ -55,42 +58,144 @@ FaultSimulator::FaultSimulator(const Netlist& netlist, const PatternSet& pattern
   }
 }
 
+FaultResponse FaultSimulator::dffPinResponse(const FaultSite& fault) const {
+  // A branch fault on a DFF D pin corrupts only that cell's capture: the
+  // faulty captured value never re-enters the circuit because the next
+  // pattern reloads the whole chain from the PRPG.
+  const std::size_t numPatterns = patterns_->numPatterns();
+  const std::size_t words = patterns_->wordCount();
+  FaultResponse resp;
+  resp.fault = fault;
+  resp.failingCells = BitVector(netlist_->dffs().size());
+  const std::size_t k = dffOrdinal_[fault.gate];
+  BitVector err(numPatterns);
+  for (std::size_t w = 0; w < words; ++w) {
+    const SimWord stuck = fault.stuckAt ? ~SimWord{0} : SimWord{0};
+    err.setWord(w, goodCaptures_[k].word(w) ^ stuck);
+  }
+  if (err.any()) {
+    resp.failingCells.set(k);
+    resp.failingCellOrdinals.push_back(k);
+    resp.errorStreams.push_back(std::move(err));
+  }
+  return resp;
+}
+
+const FaultSimulator::ConeEntry& FaultSimulator::coneEntry(GateId site) const {
+  ConeEntry& entry = coneCache_[site];
+  bool builtNow = false;
+  std::call_once(entry.once, [&] {
+    builtNow = true;
+    entry.cone = computeCone(*netlist_, sim_.levelization(), site);
+    entry.sourceSite = isSourceType(netlist_->gate(site).type);
+    entry.ordinals = entry.cone.reachableDffs.toIndices();
+    // Save-slot layout: cone.gates in order, then (for a source site) one
+    // extra slot for the site itself, which evaluateFaulty forces directly.
+    std::unordered_map<GateId, std::size_t> slotOf;
+    slotOf.reserve(entry.cone.gates.size() + 1);
+    for (std::size_t j = 0; j < entry.cone.gates.size(); ++j) {
+      slotOf.emplace(entry.cone.gates[j], j);
+    }
+    if (entry.sourceSite) slotOf.emplace(site, entry.cone.gates.size());
+    entry.drivers.reserve(entry.ordinals.size());
+    entry.driverSlot.reserve(entry.ordinals.size());
+    for (const std::size_t k : entry.ordinals) {
+      const GateId driver = netlist_->gate(netlist_->dffs()[k]).fanins[0];
+      // A DFF is reachable only via its D-input driver, so the driver is a
+      // visited gate: combinational (in cone.gates) or the source site.
+      const auto it = slotOf.find(driver);
+      SCANDIAG_ASSERT(it != slotOf.end(), "reachable DFF driver outside the fault cone");
+      entry.drivers.push_back(driver);
+      entry.driverSlot.push_back(it->second);
+    }
+  });
+  // Hits = cone-path simulate calls minus distinct sites, both functions of
+  // the fault list alone — deterministic at every thread count.
+  if (!builtNow) obs::count(obs::Counter::ConeCacheHits);
+  return entry;
+}
+
 FaultResponse FaultSimulator::simulate(const FaultSite& fault) const {
   SCANDIAG_REQUIRE(fault.gate < netlist_->gateCount(), "fault site out of range");
   obs::count(obs::Counter::FaultsSimulated);
   obs::PhaseScope phase(obs::Phase::FaultySim);
-  const std::size_t numDffs = netlist_->dffs().size();
   const std::size_t numPatterns = patterns_->numPatterns();
   const std::size_t words = patterns_->wordCount();
 
+  if (!fault.isOutputFault() && netlist_->gate(fault.gate).type == GateType::Dff) {
+    return dffPinResponse(fault);
+  }
+
   FaultResponse resp;
   resp.fault = fault;
-  resp.failingCells = BitVector(numDffs);
+  resp.failingCells = BitVector(netlist_->dffs().size());
 
-  // A branch fault on a DFF D pin corrupts only that cell's capture: the
-  // faulty captured value never re-enters the circuit because the next
-  // pattern reloads the whole chain from the PRPG.
-  const bool dffPinFault =
-      !fault.isOutputFault() && netlist_->gate(fault.gate).type == GateType::Dff;
-  if (dffPinFault) {
-    const std::size_t k = dffOrdinal_[fault.gate];
-    BitVector err(numPatterns);
-    for (std::size_t w = 0; w < words; ++w) {
-      const SimWord stuck = fault.stuckAt ? ~SimWord{0} : SimWord{0};
-      err.setWord(w, goodCaptures_[k].word(w) ^ stuck);
+  const ConeEntry& entry = coneEntry(fault.gate);
+  const FaultCone& cone = entry.cone;
+  if (cone.reachableDffs.none()) return resp;  // scan-unobservable fault
+
+  const std::size_t numGates = cone.gates.size();
+  const std::size_t saveCount = numGates + (entry.sourceSite ? 1 : 0);
+  const std::size_t numCells = entry.ordinals.size();
+  obs::count(obs::Counter::ScratchGatesTouched, saveCount * words);
+
+  scratch_.saved.resize(saveCount);
+  scratch_.errWords.assign(numCells * words, SimWord{0});
+
+  // Stuck-at forcing sets pattern lanes beyond numPatterns too; mask the tail
+  // word so those lanes can never masquerade as errors.
+  const std::size_t rem = numPatterns % 64;
+  const SimWord tailMask = rem == 0 ? ~SimWord{0} : (SimWord{1} << rem) - 1;
+
+  for (std::size_t w = 0; w < words; ++w) {
+    std::vector<SimWord>& values = goodValues_[w];
+    // Save the gates evaluateFaulty may write, evaluate the faulty machine in
+    // place, read the captured error words, restore — O(cone), not O(gates).
+    for (std::size_t j = 0; j < numGates; ++j) scratch_.saved[j] = values[cone.gates[j]];
+    if (entry.sourceSite) scratch_.saved[numGates] = values[fault.gate];
+    sim_.evaluateFaulty(fault, cone, values);
+    const SimWord mask = w + 1 == words ? tailMask : ~SimWord{0};
+    for (std::size_t i = 0; i < numCells; ++i) {
+      const SimWord good = scratch_.saved[entry.driverSlot[i]];
+      scratch_.errWords[i * words + w] = (values[entry.drivers[i]] ^ good) & mask;
     }
-    if (err.any()) {
-      resp.failingCells.set(k);
-      resp.failingCellOrdinals.push_back(k);
-      resp.errorStreams.push_back(std::move(err));
-    }
-    return resp;
+    for (std::size_t j = 0; j < numGates; ++j) values[cone.gates[j]] = scratch_.saved[j];
+    if (entry.sourceSite) values[fault.gate] = scratch_.saved[numGates];
   }
+
+  for (std::size_t i = 0; i < numCells; ++i) {
+    const SimWord* ew = scratch_.errWords.data() + i * words;
+    bool any = false;
+    for (std::size_t w = 0; w < words && !any; ++w) any = ew[w] != 0;
+    if (!any) continue;
+    const std::size_t k = entry.ordinals[i];
+    BitVector err(numPatterns);
+    for (std::size_t w = 0; w < words; ++w) err.setWord(w, ew[w]);
+    resp.failingCells.set(k);
+    resp.failingCellOrdinals.push_back(k);
+    resp.errorStreams.push_back(std::move(err));
+  }
+  return resp;
+}
+
+FaultResponse FaultSimulator::simulateReference(const FaultSite& fault) const {
+  SCANDIAG_REQUIRE(fault.gate < netlist_->gateCount(), "fault site out of range");
+  const std::size_t numPatterns = patterns_->numPatterns();
+  const std::size_t words = patterns_->wordCount();
+
+  if (!fault.isOutputFault() && netlist_->gate(fault.gate).type == GateType::Dff) {
+    return dffPinResponse(fault);
+  }
+
+  FaultResponse resp;
+  resp.fault = fault;
+  resp.failingCells = BitVector(netlist_->dffs().size());
 
   const FaultCone cone = computeCone(*netlist_, sim_.levelization(), fault.gate);
   if (cone.reachableDffs.none()) return resp;  // scan-unobservable fault
 
-  // Per-cell error accumulation, word by word.
+  // Per-cell error accumulation, word by word, against a fresh full copy of
+  // the good values (the original algorithm, kept as the parity oracle).
   std::vector<std::size_t> coneOrdinals = cone.reachableDffs.toIndices();
   std::vector<BitVector> errs(coneOrdinals.size(), BitVector(numPatterns));
   std::vector<SimWord> values;

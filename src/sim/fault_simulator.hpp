@@ -15,6 +15,8 @@
 // of diagnosis configurations over one fault-simulation pass cheap.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/bitvector.hpp"
@@ -56,6 +58,14 @@ struct FaultResponse {
   std::size_t failingCellCount() const { return failingCellOrdinals.size(); }
 };
 
+/// Thread ownership: one FaultSimulator instance is owned by one thread at a
+/// time. simulate()/simulateAll()/collectDetected() reuse per-instance scratch
+/// buffers (and briefly mutate the good-value store in place, restoring it
+/// before returning), so concurrent calls on a *shared* instance are not
+/// allowed — create one simulator per worker instead (cheap relative to a
+/// batch of faults; this is what the SoC driver and ParallelFaultSimulator
+/// do). The read-only accessors (goodValue/goodCaptures/...) observe the
+/// fault-free state whenever no simulate() call is in flight.
 class FaultSimulator {
  public:
   FaultSimulator(const Netlist& netlist, const PatternSet& patterns);
@@ -73,8 +83,17 @@ class FaultSimulator {
   /// Complete good evaluation of one 64-pattern batch.
   const std::vector<SimWord>& goodBatch(std::size_t word) const { return goodValues_.at(word); }
 
+  /// Hot path: cone-cached, copy-free (save/evaluate/restore touches only the
+  /// fault cone's gates instead of copying the whole good-value vector per
+  /// 64-pattern word). Output is bit-identical to simulateReference().
   FaultResponse simulate(const FaultSite& fault) const;
   std::vector<FaultResponse> simulateAll(const std::vector<FaultSite>& faults) const;
+
+  /// Reference implementation: recomputes the cone and copies the full
+  /// good-value vector per word (the pre-cache algorithm). Kept as the parity
+  /// oracle for tests and the before/after baseline in bench_perf; records no
+  /// observability counters so golden counter sections stay cache-agnostic.
+  FaultResponse simulateReference(const FaultSite& fault) const;
 
   /// Simulates `candidates` in order, keeping only detected faults, until
   /// `target` responses are collected (or candidates run out). This is the
@@ -84,12 +103,44 @@ class FaultSimulator {
                                              std::size_t target) const;
 
  private:
+  /// Per-gate cone data, computed once per site and reused by every fault on
+  /// that gate (output SA0/SA1 and all pin faults share the output cone).
+  /// call_once keeps lazy initialization safe even under (unsupported but
+  /// conceivable) concurrent reads; after the first build the entry is
+  /// immutable.
+  struct ConeEntry {
+    std::once_flag once;
+    FaultCone cone;
+    /// Site is a source gate: evaluateFaulty may force values[site], which is
+    /// outside cone.gates, so save/restore needs one extra slot for it.
+    bool sourceSite = false;
+    std::vector<std::size_t> ordinals;    // reachable DFF ordinals, ascending
+    std::vector<GateId> drivers;          // D-input driver per reachable DFF
+    std::vector<std::size_t> driverSlot;  // save-slot index of drivers[i]
+  };
+
+  /// Reusable per-instance buffers for the save/evaluate/restore hot path;
+  /// capacity persists across simulate() calls so the steady state allocates
+  /// nothing.
+  struct SimScratch {
+    std::vector<SimWord> saved;     // [save slot] good values of touched gates
+    std::vector<SimWord> errWords;  // [cone cell i * words + w] error words
+  };
+
+  const ConeEntry& coneEntry(GateId site) const;
+  /// Shared handling of a branch fault on a DFF D pin (capture-side only).
+  FaultResponse dffPinResponse(const FaultSite& fault) const;
+
   const Netlist* netlist_;
   const PatternSet* patterns_;
   LogicSimulator sim_;
-  std::vector<std::vector<SimWord>> goodValues_;  // [word][gate]
-  std::vector<BitVector> goodCaptures_;           // [dff ordinal][pattern]
-  std::vector<std::size_t> dffOrdinal_;           // gate id -> ordinal (or npos)
+  // Mutable: simulate() evaluates faulty values in place on the good-value
+  // store and restores them before returning (see the class comment).
+  mutable std::vector<std::vector<SimWord>> goodValues_;  // [word][gate]
+  std::vector<BitVector> goodCaptures_;                   // [dff ordinal][pattern]
+  std::vector<std::size_t> dffOrdinal_;                   // gate id -> ordinal (or npos)
+  mutable std::unique_ptr<ConeEntry[]> coneCache_;        // [gate id]
+  mutable SimScratch scratch_;
 };
 
 }  // namespace scandiag

@@ -23,19 +23,22 @@ ParallelFaultSimulator::ParallelFaultSimulator(const Netlist& netlist,
 }
 
 SimWord ParallelFaultSimulator::detectBatch(const std::vector<FaultSite>& faults,
-                                            std::size_t base) const {
+                                            std::size_t base, BatchScratch& scratch) const {
   const Netlist& nl = *netlist_;
   const std::size_t numPatterns = patterns_->numPatterns();
   const std::size_t lanes = std::min<std::size_t>(64, faults.size() - base);
   obs::count(obs::Counter::FaultsGraded, lanes);
   obs::PhaseScope phase(obs::Phase::FaultySim);
 
-  // Per-gate lane injection masks for this batch. Output faults force the
+  // Per-gate lane injection masks for this batch (worker-owned scratch; the
+  // masks arrive all-zero and are re-zeroed on exit). Output faults force the
   // lane bit after evaluation; pin faults (rare per gate) are patched by
   // scalar re-evaluation of the owning gate's lane.
-  std::vector<SimWord> force0(nl.gateCount(), 0), force1(nl.gateCount(), 0);
-  std::vector<std::pair<GateId, std::size_t>> pinLanes;  // (owner gate, lane)
-  std::vector<std::uint8_t> hasPinLane(nl.gateCount(), 0);
+  std::vector<SimWord>& force0 = scratch.force0;
+  std::vector<SimWord>& force1 = scratch.force1;
+  std::vector<std::pair<GateId, std::size_t>>& pinLanes = scratch.pinLanes;
+  std::vector<std::uint8_t>& hasPinLane = scratch.hasPinLane;
+  pinLanes.clear();
   SimWord laneAlive = lanes == 64 ? ~SimWord{0} : ((SimWord{1} << lanes) - 1);
   for (std::size_t l = 0; l < lanes; ++l) {
     const FaultSite& f = faults[base + l];
@@ -48,7 +51,7 @@ SimWord ParallelFaultSimulator::detectBatch(const std::vector<FaultSite>& faults
     }
   }
 
-  std::vector<SimWord> values(nl.gateCount(), 0);
+  std::vector<SimWord>& values = scratch.values;
   SimWord detectedMask = 0;
   for (std::size_t t = 0; t < numPatterns && (detectedMask & laneAlive) != laneAlive;
        ++t) {
@@ -100,6 +103,15 @@ SimWord ParallelFaultSimulator::detectBatch(const std::vector<FaultSite>& faults
       detectedMask |= (capture ^ goodBit) & laneAlive;
     }
   }
+
+  // Re-zero exactly the per-gate masks this batch set, so the scratch can be
+  // handed to the next batch without an O(gateCount) clear.
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const GateId g = faults[base + l].gate;
+    force0[g] = 0;
+    force1[g] = 0;
+    hasPinLane[g] = 0;
+  }
   return detectedMask & laneAlive;
 }
 
@@ -112,8 +124,13 @@ std::vector<bool> ParallelFaultSimulator::detectFaults(
   // invariant.
   const std::size_t numBatches = (faults.size() + 63) / 64;
   std::vector<SimWord> masks(numBatches, 0);
-  globalPool().parallelFor(numBatches, [&](std::size_t batch) {
-    masks[batch] = detectBatch(faults, batch * 64);
+  globalPool().parallelForRange(numBatches, [&](std::size_t begin, std::size_t end) {
+    // One scratch per worker chunk: the O(gateCount) buffers are allocated
+    // once here and reused across every batch of the chunk.
+    BatchScratch scratch(netlist_->gateCount());
+    for (std::size_t batch = begin; batch < end; ++batch) {
+      masks[batch] = detectBatch(faults, batch * 64, scratch);
+    }
   });
   std::vector<bool> detected(faults.size(), false);
   for (std::size_t i = 0; i < faults.size(); ++i) {

@@ -14,6 +14,8 @@
 // tests hold the two engines equal fault-for-fault.
 #pragma once
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/fault_simulator.hpp"
@@ -34,9 +36,25 @@ class ParallelFaultSimulator {
   std::size_t countDetected(const std::vector<FaultSite>& faults) const;
 
  private:
+  /// Reusable per-worker buffers: one BatchScratch lives on each pool
+  /// worker's stack for the whole chunk of batches it owns, so the four
+  /// O(gateCount) vectors are allocated once per worker instead of once per
+  /// batch. detectBatch() leaves the injection masks all-zero on return
+  /// (clearing exactly the gates it touched), keeping reuse exact.
+  struct BatchScratch {
+    explicit BatchScratch(std::size_t gateCount)
+        : force0(gateCount, 0), force1(gateCount, 0), hasPinLane(gateCount, 0),
+          values(gateCount, 0) {}
+    std::vector<SimWord> force0, force1;  // per-gate stuck-at lane masks
+    std::vector<std::uint8_t> hasPinLane;
+    std::vector<SimWord> values;
+    std::vector<std::pair<GateId, std::size_t>> pinLanes;  // (owner gate, lane)
+  };
+
   /// One 64-lane pass over faults[base, base+64); bit l of the result is the
   /// detection verdict of faults[base + l].
-  SimWord detectBatch(const std::vector<FaultSite>& faults, std::size_t base) const;
+  SimWord detectBatch(const std::vector<FaultSite>& faults, std::size_t base,
+                      BatchScratch& scratch) const;
   const Netlist* netlist_;
   const PatternSet* patterns_;
   LogicSimulator sim_;

@@ -77,6 +77,25 @@ TEST(BitVector, FindNextFromUnsetPosition) {
   EXPECT_EQ(v.findNext(50), BitVector::npos);
 }
 
+TEST(BitVector, FindNextPastTheEndStaysNpos) {
+  // Regression: findNext(npos) used to compute npos + 1 == 0 and wrap around
+  // to the first set bit, turning `i = findNext(i)` loops infinite.
+  BitVector v(100);
+  v.set(0);
+  v.set(99);
+  EXPECT_EQ(v.findNext(BitVector::npos), BitVector::npos);
+  EXPECT_EQ(v.findNext(99), BitVector::npos);   // last valid index
+  EXPECT_EQ(v.findNext(100), BitVector::npos);  // one past the end
+  EXPECT_EQ(v.findNext(12345), BitVector::npos);
+}
+
+TEST(BitVector, FindNextOnEmptyVector) {
+  const BitVector v;
+  EXPECT_EQ(v.findFirst(), BitVector::npos);
+  EXPECT_EQ(v.findNext(0), BitVector::npos);
+  EXPECT_EQ(v.findNext(BitVector::npos), BitVector::npos);
+}
+
 TEST(BitVector, IterationMatchesToIndices) {
   BitVector v(300);
   const std::vector<std::size_t> expected = {0, 63, 64, 65, 128, 250, 299};

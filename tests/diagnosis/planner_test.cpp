@@ -15,6 +15,16 @@ TEST(Planner, RecommendGroupCountMatchesPaperChoices) {
   EXPECT_THROW(recommendGroupCount(0), std::invalid_argument);
 }
 
+TEST(Planner, RecommendGroupCountTinyChains) {
+  // Regression: chainLength 1 used to hit std::clamp(pow2, 2, 1) — lo > hi is
+  // UB. The chain-length cap must win: a one-cell chain admits exactly one
+  // (degenerate) group, and chains of 2-4 cells get the 2-group floor.
+  EXPECT_EQ(recommendGroupCount(1), 1u);
+  EXPECT_EQ(recommendGroupCount(2), 2u);
+  EXPECT_EQ(recommendGroupCount(3), 2u);
+  EXPECT_EQ(recommendGroupCount(4), 2u);
+}
+
 TEST(Planner, RecommendationIsPowerOfTwoAndBounded) {
   for (std::size_t len : {2u, 3u, 17u, 100u, 999u, 12345u}) {
     const std::size_t g = recommendGroupCount(len);

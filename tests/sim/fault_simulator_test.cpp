@@ -160,6 +160,67 @@ TEST(FaultSimulator, CollectDetectedStopsAtTarget) {
   for (const FaultResponse& r : responses) EXPECT_TRUE(r.detected());
 }
 
+void expectResponsesEqual(const Netlist& nl, const FaultResponse& a, const FaultResponse& b) {
+  ASSERT_EQ(a.fault, b.fault);
+  EXPECT_EQ(a.failingCells, b.failingCells) << describeFault(nl, a.fault);
+  ASSERT_EQ(a.failingCellOrdinals, b.failingCellOrdinals) << describeFault(nl, a.fault);
+  ASSERT_EQ(a.errorStreams.size(), b.errorStreams.size());
+  for (std::size_t i = 0; i < a.errorStreams.size(); ++i) {
+    EXPECT_EQ(a.errorStreams[i], b.errorStreams[i])
+        << describeFault(nl, a.fault) << " stream " << i;
+  }
+}
+
+class ScratchParity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ScratchParity, ConeScratchPathMatchesReferenceSimulator) {
+  // The cone-cached save/evaluate/restore hot path must be bit-identical to
+  // the full-copy reference (the pre-cache algorithm), over every collapsed
+  // fault — stem, pin, DFF D-pin, and source-output faults alike. A second
+  // pass re-simulates with the cone cache warm and the good-value store
+  // already cycled through save/restore once.
+  const Netlist nl = generateNamedCircuit(GetParam());
+  const PatternSet pats = generatePatterns(nl, 96);  // non-multiple of 64: tail mask
+  const FaultSimulator fsim(nl, pats);
+  const FaultList universe = FaultList::enumerateCollapsed(nl);
+  const auto faults = universe.sample(universe.size(), 0xBEEF);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const FaultSite& fault : faults) {
+      expectResponsesEqual(nl, fsim.simulate(fault), fsim.simulateReference(fault));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Circuits, ScratchParity, ::testing::Values("s298", "s953"));
+
+TEST(FaultSimulator, ScratchRestoresGoodValuesExactly) {
+  // After any number of simulate() calls, the good-value store must be
+  // byte-identical to its fault-free state: the read-only accessors and
+  // every later call depend on a perfect restore.
+  const Netlist nl = generateNamedCircuit("s526");
+  const PatternSet pats = generatePatterns(nl, 80);
+  const FaultSimulator fsim(nl, pats);
+  std::vector<std::vector<SimWord>> before;
+  for (std::size_t w = 0; w < pats.wordCount(); ++w) before.push_back(fsim.goodBatch(w));
+  const FaultList universe = FaultList::enumerateCollapsed(nl);
+  for (const FaultSite& fault : universe.sample(50, 0xD1CE)) fsim.simulate(fault);
+  for (std::size_t w = 0; w < pats.wordCount(); ++w) {
+    EXPECT_EQ(fsim.goodBatch(w), before[w]) << "word " << w;
+  }
+}
+
+TEST(FaultSimulator, RepeatedSimulationOfOneFaultIsStable) {
+  // Same fault through a warm cone cache: responses never drift.
+  const Netlist nl = generateNamedCircuit("s344");
+  const PatternSet pats = generatePatterns(nl, 64);
+  const FaultSimulator fsim(nl, pats);
+  const FaultList universe = FaultList::enumerateCollapsed(nl);
+  const FaultSite fault = universe.sample(1, 7).front();
+  const FaultResponse first = fsim.simulate(fault);
+  for (int i = 0; i < 3; ++i) expectResponsesEqual(nl, first, fsim.simulate(fault));
+  expectResponsesEqual(nl, first, fsim.simulateReference(fault));
+}
+
 TEST(PatternSet, StreamsOnlyForSources) {
   const Netlist nl = generateNamedCircuit("s27");
   PatternSet pats(nl, 16);
