@@ -27,10 +27,14 @@ std::size_t partitionsToReach(const std::vector<double>& drByPrefix, double targ
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   banner("Figure 5: partitions needed for DR <= 0.5, SOC-1 single meta chain (32 groups)",
          "two-step reaches the target with fewer partitions => shorter diagnosis time");
 
+  // evaluateSweep has no per-fault checkpointing (prefix DR needs all faults
+  // in one pass), but it is cancellation-aware: --deadline-ms and Ctrl-C
+  // degrade to a flushed partial report and exit code 6.
+  BenchRun run(argc, argv);
   BenchReport report("fig5");
   const Soc soc = buildSoc1();
   const WorkloadConfig workload = presets::socWorkload();
@@ -39,23 +43,28 @@ int main() {
   report.context("max_partitions", kMaxPartitions);
 
   row("%-9s %18s %18s", "failing", "random-selection", "two-step");
-  for (std::size_t k = 0; k < soc.coreCount(); ++k) {
-    const auto responses = socResponsesForFailingCore(soc, k, workload);
-    std::size_t needed[2];
-    int i = 0;
-    for (SchemeKind scheme : {SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
-      const DiagnosisPipeline pipeline(soc.topology(),
-                                       presets::fig5Config(scheme, kMaxPartitions));
-      needed[i++] = partitionsToReach(pipeline.evaluateSweep(responses), 0.5);
+  try {
+    for (std::size_t k = 0; k < soc.coreCount(); ++k) {
+      const auto responses = socResponsesForFailingCore(soc, k, workload);
+      std::size_t needed[2];
+      int i = 0;
+      for (SchemeKind scheme : {SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
+        const DiagnosisPipeline pipeline(soc.topology(),
+                                         presets::fig5Config(scheme, kMaxPartitions));
+        needed[i++] =
+            partitionsToReach(pipeline.evaluateSweep(responses, run.control()), 0.5);
+      }
+      auto fmt = [](std::size_t n) {
+        return n == 0 ? std::string(">16") : std::to_string(n);
+      };
+      row("%-9s %18s %18s", soc.core(k).name.c_str(), fmt(needed[0]).c_str(),
+          fmt(needed[1]).c_str());
+      report.row({{"failing_core", soc.core(k).name},
+                  {"partitions_random", needed[0]},
+                  {"partitions_two_step", needed[1]}});
     }
-    auto fmt = [](std::size_t n) {
-      return n == 0 ? std::string(">16") : std::to_string(n);
-    };
-    row("%-9s %18s %18s", soc.core(k).name.c_str(), fmt(needed[0]).c_str(),
-        fmt(needed[1]).c_str());
-    report.row({{"failing_core", soc.core(k).name},
-                {"partitions_random", needed[0]},
-                {"partitions_two_step", needed[1]}});
+  } catch (const OperationCancelled& err) {
+    return run.interrupted(report, err);
   }
   report.write();
   return 0;

@@ -14,10 +14,11 @@
 using namespace scandiag;
 using namespace scandiag::benchutil;
 
-int main() {
+int main(int argc, char** argv) {
   banner("Table 3: SOC-1 (six largest ISCAS-89, single meta chain), DR per failing core",
          "two-step >> random selection (up to 10x); holds with and without pruning");
 
+  BenchRun run(argc, argv);
   BenchReport report("table3");
   const Soc soc = buildSoc1();
   report.context("soc", "SOC-1");
@@ -30,25 +31,43 @@ int main() {
   row("%-9s | %9s %9s %6s | %9s %9s %6s", "failing", "rand", "two-step", "gain",
       "rand+pr", "two+pr", "gain");
 
+  std::uint64_t digest = fnv1a64(std::string("bench_table3"));
+  digest = setupDigestPiece("soc", "SOC-1", digest);
+  digest = setupDigestPiece("cores", soc.coreCount(), digest);
+  digest = setupDigestPiece("cells", soc.totalCells(), digest);
+  digest = setupDigestPiece("patterns", workload.numPatterns, digest);
+  digest = setupDigestPiece("faults", workload.numFaults, digest);
+  digest = setupDigestPiece("fault_seed", workload.faultSeed, digest);
+  digest = setupDigestPiece("schema", obs::kMetricsSchemaVersion, digest);
+  SweepCheckpoint* ckpt = run.openCheckpoint(digest, "bench_table3 SOC-1 soc workload");
+
   // Evaluate per core so each workload is fault-simulated once for all four
-  // configurations.
-  for (std::size_t k = 0; k < soc.coreCount(); ++k) {
-    const auto responses = socResponsesForFailingCore(soc, k, workload);
-    double dr[4];
-    int i = 0;
-    for (bool pruning : {false, true}) {
-      for (SchemeKind scheme : {SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
-        const DiagnosisPipeline pipeline(soc.topology(), presets::soc1Config(scheme, pruning));
-        dr[i++] = pipeline.evaluate(responses).dr;
+  // configurations. The checkpoint keys each (core, config) pair separately:
+  // the per-config sweepId is mixed with the core index, as in evaluateSocDr.
+  try {
+    for (std::size_t k = 0; k < soc.coreCount(); ++k) {
+      const auto responses = socResponsesForFailingCore(soc, k, workload);
+      double dr[4];
+      int i = 0;
+      for (bool pruning : {false, true}) {
+        for (SchemeKind scheme : {SchemeKind::RandomSelection, SchemeKind::TwoStep}) {
+          const DiagnosisConfig config = presets::soc1Config(scheme, pruning);
+          const DiagnosisPipeline pipeline(soc.topology(), config);
+          dr[i++] = evaluateWithCheckpoint(pipeline, responses, ckpt,
+                                           socSweepIdFor(config, k), run.control())
+                        .dr;
+        }
       }
+      row("%-9s | %9.2f %9.2f %5sx | %9.2f %9.2f %5sx", soc.core(k).name.c_str(), dr[0], dr[1],
+          improvement(dr[0], dr[1]).c_str(), dr[2], dr[3], improvement(dr[2], dr[3]).c_str());
+      report.row({{"failing_core", soc.core(k).name},
+                  {"dr_random", dr[0]},
+                  {"dr_two_step", dr[1]},
+                  {"dr_random_pruned", dr[2]},
+                  {"dr_two_step_pruned", dr[3]}});
     }
-    row("%-9s | %9.2f %9.2f %5sx | %9.2f %9.2f %5sx", soc.core(k).name.c_str(), dr[0], dr[1],
-        improvement(dr[0], dr[1]).c_str(), dr[2], dr[3], improvement(dr[2], dr[3]).c_str());
-    report.row({{"failing_core", soc.core(k).name},
-                {"dr_random", dr[0]},
-                {"dr_two_step", dr[1]},
-                {"dr_random_pruned", dr[2]},
-                {"dr_two_step_pruned", dr[3]}});
+  } catch (const OperationCancelled& err) {
+    return run.interrupted(report, err);
   }
   report.write();
   return 0;

@@ -9,15 +9,21 @@
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+
+#include "common/journal.hpp"
 #include "common/json.hpp"
 #include "common/thread_pool.hpp"
+#include "common/watchdog.hpp"
+#include "diagnosis/checkpoint.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 
@@ -118,12 +124,12 @@ class BenchReport {
   std::string path() const { return "results/BENCH_" + name_ + ".json"; }
 
   /// Writes results/BENCH_<name>.json (creating results/ if needed) and
-  /// prints the path so reproduce.sh logs show where artifacts went.
+  /// prints the path so reproduce.sh logs show where artifacts went. The
+  /// write is atomic (temp + rename): an interrupted bench never leaves a
+  /// torn report for CI to choke on.
   void write() const {
-    std::filesystem::create_directories("results");
     const std::string file = path();
-    std::ofstream out(file);
-    if (!out) throw std::runtime_error("cannot open bench report file: " + file);
+    std::ostringstream out;
     JsonWriter writer(out);
     writer.beginObject();
     writer.field("schema_version", obs::kMetricsSchemaVersion);
@@ -163,6 +169,7 @@ class BenchReport {
     writer.endObject();
     writer.endObject();
     out << '\n';
+    atomicWriteFile(file, out.str());
     std::printf("wrote %s\n", file.c_str());
   }
 
@@ -171,6 +178,99 @@ class BenchReport {
   Fields context_;
   std::vector<Fields> rows_;
   Fields timing_;
+};
+
+/// Exit code for "interrupted by a signal or the watchdog; the checkpoint
+/// journal and any flushed artifacts are valid". Shared with scandiag_cli.
+inline constexpr int kExitInterrupted = 6;
+
+/// Crash-safety harness for the long-running benches: parses
+/// `--checkpoint <file>`, `--resume`, and `--deadline-ms <n>`, installs the
+/// SIGINT/SIGTERM cancellation handlers, and hands the bench a RunControl to
+/// thread through its sweeps. With none of the flags given everything stays
+/// inert and the bench's counters/output are bit-identical to a harness-free
+/// run (signal handlers aside). Unknown arguments are ignored so
+/// google-benchmark flags pass through untouched.
+///
+///   int main(int argc, char** argv) {
+///     BenchRun run(argc, argv);
+///     BenchReport report("table1");
+///     ...
+///     SweepCheckpoint* ckpt = run.openCheckpoint(setupDigest, "table1 s953");
+///     try {
+///       ... evaluateWithCheckpoint(pipeline, responses, ckpt, sweepId,
+///                                  run.control()) ...
+///     } catch (const OperationCancelled& err) {
+///       return run.interrupted(report, err);
+///     }
+///     report.write();
+///     return 0;
+///   }
+class BenchRun {
+ public:
+  BenchRun(int argc, char* const* argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--checkpoint" && i + 1 < argc) {
+        checkpointPath_ = argv[++i];
+      } else if (arg == "--resume") {
+        resume_ = true;
+      } else if (arg == "--deadline-ms" && i + 1 < argc) {
+        deadlineMs_ = std::strtoll(argv[++i], nullptr, 10);
+      }
+    }
+    if (resume_ && checkpointPath_.empty()) {
+      throw std::invalid_argument("--resume requires --checkpoint <file>");
+    }
+    installCancellationSignalHandlers();
+    if (deadlineMs_ > 0) {
+      watchdog_ = std::make_unique<Watchdog>(globalCancelToken(),
+                                             std::chrono::milliseconds(deadlineMs_));
+    }
+  }
+
+  bool checkpointEnabled() const { return !checkpointPath_.empty(); }
+  bool resuming() const { return resume_; }
+
+  /// Opens (or creates) the sweep checkpoint; null when --checkpoint was not
+  /// given. `setupDigest` must cover everything a resumed run needs to match
+  /// (circuit, workload seeds/sizes — not the thread count).
+  SweepCheckpoint* openCheckpoint(std::uint64_t setupDigest, const std::string& setupInfo) {
+    if (checkpointPath_.empty()) return nullptr;
+    checkpoint_ = std::make_unique<SweepCheckpoint>(checkpointPath_, setupDigest,
+                                                    setupInfo, resume_);
+    if (resume_) {
+      std::fprintf(stderr, "resuming from %s: %zu journaled fault records%s\n",
+                   checkpointPath_.c_str(), checkpoint_->loadedRecords(),
+                   checkpoint_->hadTruncatedTail() ? " (torn tail truncated)" : "");
+    }
+    return checkpoint_.get();
+  }
+
+  /// The cancellation context to pass into every evaluate call.
+  RunControl control() { return RunControl{&globalCancelToken(), watchdog_.get()}; }
+
+  /// Standard interrupted exit: flushes the partial report (atomic write, CI
+  /// ignores its timing-section marker), explains, and returns the exit code
+  /// for main() to return. The checkpoint journal is already durable — every
+  /// append was fsync'd before the corresponding fault was published.
+  int interrupted(BenchReport& report, const OperationCancelled& err) {
+    report.timing("interrupted", true);
+    report.write();
+    std::fprintf(stderr, "interrupted: %s\n", err.what());
+    if (!checkpointPath_.empty()) {
+      std::fprintf(stderr, "checkpoint journal flushed: %s (rerun with --resume)\n",
+                   checkpointPath_.c_str());
+    }
+    return kExitInterrupted;
+  }
+
+ private:
+  std::string checkpointPath_;
+  bool resume_ = false;
+  long long deadlineMs_ = 0;
+  std::unique_ptr<Watchdog> watchdog_;
+  std::unique_ptr<SweepCheckpoint> checkpoint_;
 };
 
 }  // namespace scandiag::benchutil

@@ -20,13 +20,20 @@ Usage:
       Additionally fail if COUNTER is missing or zero in any compared result
       (e.g. cone_cache_hits: a zero means the fault-simulator cone cache never
       served a hit, i.e. the hot path silently fell off). Repeatable.
+  check_bench_counters.py --ignore COUNTER ...
+      Exclude COUNTER from the comparison (repeatable). Used by the CI
+      kill-and-resume job: journal_records_written/journal_records_replayed
+      legitimately differ between an uninterrupted run and a killed+resumed
+      one (their *sum* is invariant, which the job asserts separately).
 
 Exit status: 0 = counters identical, 1 = drift or missing file, 2 = usage.
 """
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 from pathlib import Path
 
 GOLDEN_KEYS = ("schema_version", "bench", "counters")
@@ -49,10 +56,13 @@ def counters_of(doc: dict, path: Path) -> dict:
     return counters
 
 
-def diff_counters(name: str, expected: dict, actual: dict) -> bool:
+def diff_counters(name: str, expected: dict, actual: dict,
+                  ignore: frozenset = frozenset()) -> bool:
     """Prints per-counter drift; returns True when the sections are identical."""
     ok = True
     for key in sorted(set(expected) | set(actual)):
+        if key in ignore:
+            continue
         want, got = expected.get(key), actual.get(key)
         if want == got:
             continue
@@ -69,7 +79,8 @@ def diff_counters(name: str, expected: dict, actual: dict) -> bool:
     return ok
 
 
-def compare(name: str, result_path: Path, golden_path: Path) -> bool:
+def compare(name: str, result_path: Path, golden_path: Path,
+            ignore: frozenset = frozenset()) -> bool:
     result, golden = load(result_path), load(golden_path)
     ok = True
     if result.get("schema_version") != golden.get("schema_version"):
@@ -77,8 +88,23 @@ def compare(name: str, result_path: Path, golden_path: Path) -> bool:
               f"{result.get('schema_version')}")
         ok = False
     ok &= diff_counters(name, counters_of(golden, golden_path),
-                        counters_of(result, result_path))
+                        counters_of(result, result_path), ignore)
     return ok
+
+
+def write_atomic(path: Path, doc: dict) -> None:
+    """Serialize then temp+rename so a crash never leaves a torn golden."""
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as f:
+            json.dump(doc, f, indent=2)
+            f.write("\n")
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        os.unlink(tmp)
+        raise
 
 
 def main() -> int:
@@ -94,11 +120,15 @@ def main() -> int:
                         metavar="COUNTER",
                         help="fail unless COUNTER is present and > 0 in every "
                              "compared result (repeatable)")
+    parser.add_argument("--ignore", action="append", default=[], metavar="COUNTER",
+                        help="exclude COUNTER from the comparison (repeatable)")
     args = parser.parse_args()
+    ignore = frozenset(args.ignore)
 
     if args.diff:
         a, b = args.diff
-        if diff_counters(f"{a} vs {b}", counters_of(load(a), a), counters_of(load(b), b)):
+        if diff_counters(f"{a} vs {b}", counters_of(load(a), a),
+                         counters_of(load(b), b), ignore):
             print("counters identical")
             return 0
         return 1
@@ -119,16 +149,14 @@ def main() -> int:
             golden = {k: doc[k] for k in GOLDEN_KEYS if k in doc}
             counters_of(golden, args.results / f"BENCH_{name}.json")
             out = args.golden / f"BENCH_{name}.json"
-            with open(out, "w") as f:
-                json.dump(golden, f, indent=2)
-                f.write("\n")
+            write_atomic(out, golden)
             print(f"wrote {out}")
         return 0
 
     failed = []
     for name in names:
         result_path = args.results / f"BENCH_{name}.json"
-        ok = compare(name, result_path, args.golden / f"BENCH_{name}.json")
+        ok = compare(name, result_path, args.golden / f"BENCH_{name}.json", ignore)
         counters = counters_of(load(result_path), result_path)
         for counter in args.require_nonzero:
             value = counters.get(counter)

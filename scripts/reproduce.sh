@@ -20,8 +20,27 @@
 # instead of the 200-fault / 5-rate smoke sweep). Note: the dense sweep does
 # different work, so its counters intentionally differ from the goldens and
 # the noise gate is skipped.
+#
+# RESUME=1 runs the checkpointed benches (table1, table3) through the
+# crash-safe journal path: each sweep journals every completed fault to
+# results/checkpoints/ and, when a journal from an interrupted previous run
+# exists, resumes from it instead of starting over. Results are bit-identical
+# either way; an aborted reproduce run just restarts faster.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Partially-written artifacts from an interrupted or failed run are worse
+# than none (a later run could gate against a stale/truncated JSON), so
+# clear the per-run outputs on any non-success exit. Checkpoint journals
+# under results/checkpoints/ are deliberately kept — they are the resume
+# state, valid by construction at every instant (fsync'd frame appends).
+cleanup_partial() {
+  rm -f bench_output.txt test_output.txt
+  echo "reproduce.sh: interrupted — partial bench_output/test_output removed;" \
+       "checkpoint journals kept (re-run with RESUME=1 to continue)" >&2
+}
+trap 'cleanup_partial' ERR
+trap 'cleanup_partial; exit 130' INT TERM
 
 if [ -n "${THREADS:-}" ]; then
   export SCANDIAG_THREADS="${THREADS}"
@@ -30,6 +49,19 @@ fi
 if [ "${NOISE:-0}" = "1" ]; then
   export SCANDIAG_NOISE_FULL=1
 fi
+
+# Extra flags for the benches that support checkpoint/resume.
+ckpt_args() {  # $1 = bench name
+  if [ "${RESUME:-0}" = "1" ]; then
+    mkdir -p results/checkpoints
+    local journal="results/checkpoints/$1.journal"
+    if [ -f "${journal}" ]; then
+      echo "--checkpoint ${journal} --resume"
+    else
+      echo "--checkpoint ${journal}"
+    fi
+  fi
+}
 
 cmake -B build -G Ninja
 cmake --build build
@@ -47,10 +79,22 @@ for b in build/bench/*; do
   if [ -f "$b" ] && [ -x "$b" ]; then
     name="$(basename "$b")"
     echo "### ${name}" | tee -a bench_output.txt
-    "$b" | tee -a bench_output.txt
+    case "${name}" in
+      bench_table1|bench_table3)
+        # shellcheck disable=SC2046  # word splitting of the flags is intended
+        "$b" $(ckpt_args "${name}") | tee -a bench_output.txt ;;
+      *)
+        "$b" | tee -a bench_output.txt ;;
+    esac
     echo | tee -a bench_output.txt
   fi
 done
+
+# A sweep that ran to completion leaves a fully-replayable journal; drop it
+# so the next RESUME=1 run starts a fresh one instead of replaying 100%.
+if [ "${RESUME:-0}" = "1" ]; then
+  rm -f results/checkpoints/bench_table1.journal results/checkpoints/bench_table3.journal
+fi
 
 echo "### thread-count determinism check (bench_table1 counters, 1 vs ${SCANDIAG_THREADS:-auto} threads)"
 tmpdir="$(mktemp -d)"

@@ -1,0 +1,340 @@
+#include "common/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/errors.hpp"
+
+namespace scandiag {
+namespace {
+
+// Frame layout: [u32 payloadLen][u32 crc32(payload)][payload], little-endian.
+// The header frame is an ordinary frame whose payload starts with record type
+// kHeaderType and carries magic + version + setup digest + setup info.
+constexpr std::uint16_t kHeaderType = 0;
+constexpr char kMagic[4] = {'S', 'D', 'J', 'L'};
+constexpr std::uint16_t kVersion = 1;
+constexpr std::size_t kFramePrefix = 8;  // len + crc
+constexpr std::size_t kMaxPayload = 1u << 24;  // 16 MiB sanity bound per record
+
+const std::array<std::uint32_t, 256>& crcTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c >> 1) ^ (0xEDB88320u & (~(c & 1) + 1));
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void putU16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void putU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+std::uint16_t getU16(const char* p) {
+  return static_cast<std::uint16_t>(static_cast<unsigned char>(p[0]) |
+                                    (static_cast<unsigned char>(p[1]) << 8));
+}
+
+std::uint32_t getU32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+std::uint64_t getU64(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+std::string frameFor(std::uint16_t type, const std::string& payload) {
+  std::string body;
+  body.reserve(2 + payload.size());
+  putU16(body, type);
+  body.append(payload);
+  std::string frame;
+  frame.reserve(kFramePrefix + body.size());
+  putU32(frame, static_cast<std::uint32_t>(body.size()));
+  putU32(frame, crc32(body.data(), body.size()));
+  frame.append(body);
+  return frame;
+}
+
+std::string headerPayload(std::uint64_t setupDigest, const std::string& setupInfo) {
+  std::string payload;
+  payload.append(kMagic, sizeof kMagic);
+  putU16(payload, kVersion);
+  putU64(payload, setupDigest);
+  putU32(payload, static_cast<std::uint32_t>(setupInfo.size()));
+  payload.append(setupInfo);
+  return payload;
+}
+
+[[noreturn]] void throwErrno(const std::string& what, const std::string& path) {
+  throw JournalError(what + " '" + path + "': " + std::strerror(errno));
+}
+
+void writeAll(int fd, const char* data, std::size_t size, const std::string& path) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throwErrno("journal: write failed for", path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void fsyncOrThrow(int fd, const std::string& path) {
+  if (::fsync(fd) != 0) throwErrno("journal: fsync failed for", path);
+}
+
+// fsync the directory containing `path` so a just-renamed entry is durable.
+void fsyncParentDir(const std::string& path) {
+  std::filesystem::path dir = std::filesystem::path(path).parent_path();
+  if (dir.empty()) dir = ".";
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd < 0) return;  // best effort: some filesystems refuse directory opens
+  ::fsync(dfd);
+  ::close(dfd);
+}
+
+// Parses the header payload (past the u16 type) or throws JournalFormatError.
+void parseHeader(const std::string& payload, const std::string& path,
+                 JournalContents& out) {
+  // magic(4) + version(2) + digest(8) + infoLen(4)
+  if (payload.size() < 18 || std::memcmp(payload.data(), kMagic, sizeof kMagic) != 0) {
+    throw JournalFormatError("journal: '" + path + "' has no SDJL header (not a journal?)");
+  }
+  const std::uint16_t version = getU16(payload.data() + 4);
+  if (version != kVersion) {
+    throw JournalFormatError("journal: '" + path + "' has unsupported version " +
+                             std::to_string(version));
+  }
+  out.setupDigest = getU64(payload.data() + 6);
+  const std::uint32_t infoLen = getU32(payload.data() + 14);
+  if (payload.size() != 18 + static_cast<std::size_t>(infoLen)) {
+    throw JournalFormatError("journal: '" + path + "' header info length mismatch");
+  }
+  out.setupInfo = payload.substr(18);
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) c = crcTable()[(c ^ bytes[i]) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t fnv1a64(const std::string& text, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const unsigned char ch : text) {
+    h ^= ch;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::uint64_t value, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (8 * i)) & 0xFF;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+JournalContents readJournal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw FileNotFoundError(path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string bytes = buf.str();
+
+  JournalContents out;
+  std::size_t pos = 0;
+  bool sawHeader = false;
+  while (pos < bytes.size()) {
+    // An incomplete frame prefix or body at EOF is a torn tail: report + stop.
+    if (bytes.size() - pos < kFramePrefix) {
+      out.truncatedTail = true;
+      out.truncatedAtOffset = pos;
+      break;
+    }
+    const std::uint32_t len = getU32(bytes.data() + pos);
+    const std::uint32_t storedCrc = getU32(bytes.data() + pos + 4);
+    if (len < 2 || len > kMaxPayload) {
+      // A wild length on the FIRST frame means this is not a journal at all;
+      // past the header it means the bytes rotted in place.
+      if (!sawHeader) {
+        throw JournalFormatError("journal: '" + path + "' has no SDJL header (not a journal?)");
+      }
+      throw JournalCorruptError("journal: '" + path + "' frame at offset " +
+                                std::to_string(pos) + " has implausible length " +
+                                std::to_string(len));
+    }
+    if (bytes.size() - pos - kFramePrefix < len) {
+      out.truncatedTail = true;
+      out.truncatedAtOffset = pos;
+      break;
+    }
+    const char* body = bytes.data() + pos + kFramePrefix;
+    if (crc32(body, len) != storedCrc) {
+      throw JournalCorruptError("journal: '" + path + "' CRC mismatch at offset " +
+                                std::to_string(pos));
+    }
+    const std::uint16_t type = getU16(body);
+    std::string payload(body + 2, len - 2);
+    if (!sawHeader) {
+      if (type != kHeaderType) {
+        throw JournalFormatError("journal: '" + path + "' first frame is not a header");
+      }
+      parseHeader(payload, path, out);
+      sawHeader = true;
+    } else if (type == kHeaderType) {
+      throw JournalFormatError("journal: '" + path + "' has a duplicate header frame at offset " +
+                               std::to_string(pos));
+    } else {
+      out.records.push_back(JournalRecord{type, std::move(payload)});
+    }
+    pos += kFramePrefix + len;
+  }
+  if (!sawHeader) {
+    // Empty file or header itself torn: the journal never finished creation,
+    // which atomic create should make impossible — treat as format error.
+    throw JournalFormatError("journal: '" + path + "' is missing a complete header frame");
+  }
+  return out;
+}
+
+JournalWriter::JournalWriter(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : path_(std::move(other.path_)), fd_(other.fd_), appended_(other.appended_) {
+  other.fd_ = -1;
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+JournalWriter JournalWriter::create(const std::string& path, std::uint64_t setupDigest,
+                                    const std::string& setupInfo) {
+  if (std::filesystem::exists(path)) {
+    throw JournalError("journal: '" + path + "' already exists (use --resume to continue it)");
+  }
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) throwErrno("journal: cannot create", tmp);
+  try {
+    const std::string frame = frameFor(kHeaderType, headerPayload(setupDigest, setupInfo));
+    writeAll(fd, frame.data(), frame.size(), tmp);
+    fsyncOrThrow(fd, tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throwErrno("journal: cannot rename into place", path);
+  }
+  fsyncParentDir(path);
+  return JournalWriter(path, fd);
+}
+
+JournalWriter JournalWriter::openForAppend(const std::string& path,
+                                           std::uint64_t expectedDigest,
+                                           JournalContents* contents) {
+  JournalContents read = readJournal(path);
+  if (read.setupDigest != expectedDigest) {
+    std::ostringstream msg;
+    msg << "journal: '" << path << "' was written for a different setup (journal digest 0x"
+        << std::hex << read.setupDigest << ", this run is 0x" << expectedDigest
+        << std::dec << "); refusing to resume";
+    if (!read.setupInfo.empty()) msg << " [journal setup: " << read.setupInfo << "]";
+    throw JournalDigestMismatchError(msg.str());
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd < 0) throwErrno("journal: cannot open for append", path);
+  if (read.truncatedTail) {
+    // Drop the torn frame so appends land on a frame boundary — otherwise the
+    // tear would read as mid-file corruption after the next append.
+    if (::ftruncate(fd, static_cast<off_t>(read.truncatedAtOffset)) != 0) {
+      ::close(fd);
+      throwErrno("journal: cannot truncate torn tail of", path);
+    }
+    fsyncOrThrow(fd, path);
+  }
+  if (::lseek(fd, 0, SEEK_END) < 0) {
+    ::close(fd);
+    throwErrno("journal: cannot seek to end of", path);
+  }
+  if (contents) *contents = std::move(read);
+  return JournalWriter(path, fd);
+}
+
+void JournalWriter::append(std::uint16_t type, const std::string& payload) {
+  const std::string frame = frameFor(type, payload);
+  std::lock_guard<std::mutex> lock(mutex_);
+  writeAll(fd_, frame.data(), frame.size(), path_);
+  fsyncOrThrow(fd_, path_);
+  ++appended_;
+}
+
+void atomicWriteFile(const std::string& path, const std::string& contents) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("atomicWriteFile: cannot create '" + tmp +
+                             "': " + std::strerror(errno));
+  }
+  try {
+    writeAll(fd, contents.data(), contents.size(), tmp);
+    fsyncOrThrow(fd, tmp);
+  } catch (...) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw std::runtime_error("atomicWriteFile: cannot rename '" + tmp + "' over '" +
+                             path + "': " + std::strerror(err));
+  }
+  fsyncParentDir(path);
+}
+
+}  // namespace scandiag

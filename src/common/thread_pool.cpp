@@ -91,7 +91,15 @@ void ThreadPool::workerLoop(std::size_t lane) {
     }
     RegionGuard guard;
     obs::WorkerScope busy(lane);
-    task();
+    try {
+      task();
+    } catch (...) {
+      // A task exception must never kill the worker (std::terminate) — the
+      // pool would then deadlock every later batch. Stash the first escaped
+      // exception; parallelForRange rethrows it on the submitting thread.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!escapedError_) escapedError_ = std::current_exception();
+    }
   }
 }
 
@@ -126,16 +134,32 @@ void ThreadPool::parallelForRange(
   for (std::size_t c = 1; c < chunks; ++c) {
     const std::size_t begin = c * n / chunks;
     const std::size_t end = (c + 1) * n / chunks;
-    post([state, &body, c, begin, end] {
+    auto chunkTask = [state, &body, c, begin, end] {
+      // RAII decrement: `remaining` reaches 0 no matter how the body exits,
+      // so the submitting thread can never wait forever on a thrown chunk.
+      struct Decrement {
+        Completion& completion;
+        ~Decrement() {
+          std::lock_guard<std::mutex> lock(completion.mutex);
+          if (--completion.remaining == 0) completion.done.notify_one();
+        }
+      } decrement{*state};
       try {
         body(begin, end);
       } catch (...) {
         std::lock_guard<std::mutex> lock(state->mutex);
         state->errors[c] = std::current_exception();
       }
-      std::lock_guard<std::mutex> lock(state->mutex);
-      if (--state->remaining == 0) state->done.notify_one();
-    });
+    };
+    try {
+      post(chunkTask);
+    } catch (...) {
+      // Queueing itself failed (allocation, pool shutting down). The task
+      // never reached a worker, so run the chunk inline: the batch still
+      // completes, `remaining` still hits 0, and the error (if the body
+      // throws here too) is recorded under this chunk's index as usual.
+      chunkTask();
+    }
   }
 
   {
@@ -149,11 +173,23 @@ void ThreadPool::parallelForRange(
     }
   }
 
-  std::unique_lock<std::mutex> lock(state->mutex);
-  state->done.wait(lock, [&] { return state->remaining == 0; });
-  for (const std::exception_ptr& error : state->errors) {
-    if (error) std::rethrow_exception(error);
+  {
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done.wait(lock, [&] { return state->remaining == 0; });
+    for (const std::exception_ptr& error : state->errors) {
+      if (error) std::rethrow_exception(error);
+    }
   }
+  // No chunk recorded an error, but a worker may have caught an exception
+  // that escaped some other task (see workerLoop): surface it here rather
+  // than dropping it on the floor.
+  std::exception_ptr escaped;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    escaped = escapedError_;
+    escapedError_ = nullptr;
+  }
+  if (escaped) std::rethrow_exception(escaped);
 }
 
 namespace {

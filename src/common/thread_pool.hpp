@@ -22,7 +22,11 @@
 //  4. **Exceptions propagate.** The lowest-index chunk's exception is
 //     rethrown on the calling thread (lowest-index so the error a caller
 //     sees does not depend on thread scheduling); submit() carries
-//     exceptions through its std::future.
+//     exceptions through its std::future. A throwing chunk never strands the
+//     batch: completion is decremented by RAII, a queueing failure falls back
+//     to inline execution, and an exception that escapes a raw task is caught
+//     in the worker (keeping it alive for join) and rethrown on the next
+//     submitting thread instead of std::terminate'ing the process.
 //
 // Thread count resolution: an explicit constructor argument wins; 0 defers
 // to the SCANDIAG_THREADS environment variable; unset/0/garbage falls back
@@ -101,6 +105,9 @@ class ThreadPool {
   std::condition_variable available_;
   std::vector<std::function<void()>> queue_;
   bool stopping_ = false;
+  /// First exception that escaped a task on a worker (instead of killing the
+  /// worker via std::terminate); rethrown by the next parallelForRange.
+  std::exception_ptr escapedError_;
 };
 
 /// Process-wide pool shared by the experiment drivers. Built on first use

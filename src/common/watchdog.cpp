@@ -1,0 +1,115 @@
+#include "common/watchdog.hpp"
+
+#include <csignal>
+#include <unistd.h>
+
+#include "obs/metrics.hpp"
+
+namespace scandiag {
+
+namespace {
+
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Watchdog::Clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Watchdog::Watchdog(CancellationToken& token, std::chrono::milliseconds totalBudget)
+    : token_(&token), totalDeadline_(Clock::now() + totalBudget) {
+  for (auto& b : phaseBudgetMs_) b.store(0, std::memory_order_relaxed);
+}
+
+void Watchdog::setPhaseBudget(WatchdogPhase phase, std::chrono::milliseconds budget) {
+  phaseBudgetMs_[static_cast<int>(phase)].store(budget.count(), std::memory_order_relaxed);
+}
+
+void Watchdog::beginPhase(WatchdogPhase phase) {
+  const std::int64_t budgetMs =
+      phaseBudgetMs_[static_cast<int>(phase)].load(std::memory_order_relaxed);
+  activePhase_.store(static_cast<int>(phase), std::memory_order_relaxed);
+  phaseDeadlineNs_.store(budgetMs > 0 ? nowNs() + budgetMs * 1'000'000 : 0,
+                         std::memory_order_release);
+}
+
+void Watchdog::endPhase() {
+  phaseDeadlineNs_.store(0, std::memory_order_release);
+  activePhase_.store(-1, std::memory_order_relaxed);
+}
+
+bool Watchdog::poll() {
+  if (token_->cancelled()) return true;
+  const char* reason = nullptr;
+  if (Clock::now() >= totalDeadline_) {
+    reason = "watchdog: total budget exceeded";
+  } else {
+    const std::int64_t phaseDeadline = phaseDeadlineNs_.load(std::memory_order_acquire);
+    if (phaseDeadline != 0 && nowNs() >= phaseDeadline) {
+      switch (static_cast<WatchdogPhase>(activePhase_.load(std::memory_order_relaxed))) {
+        case WatchdogPhase::PatternGen:
+          reason = "watchdog: pattern-gen phase budget exceeded";
+          break;
+        case WatchdogPhase::FaultSim:
+          reason = "watchdog: fault-sim phase budget exceeded";
+          break;
+        case WatchdogPhase::SessionEval:
+          reason = "watchdog: session-eval phase budget exceeded";
+          break;
+        default:
+          reason = "watchdog: phase budget exceeded";
+          break;
+      }
+    }
+  }
+  if (!reason) return false;
+  // Count the trip exactly once even when many workers poll past the
+  // deadline concurrently.
+  bool expected = false;
+  if (tripped_.compare_exchange_strong(expected, true, std::memory_order_relaxed)) {
+    obs::count(obs::Counter::WatchdogCancels);
+  }
+  token_->cancel(reason);
+  return true;
+}
+
+CancellationToken& globalCancelToken() {
+  static CancellationToken token;
+  return token;
+}
+
+namespace {
+
+// A plain handler function, not a lambda with captures: everything it touches
+// must be async-signal-safe (atomic stores, write(2), _exit(2)).
+std::atomic<int> gSignalCount{0};
+
+void cancellationHandler(int) {
+  const int prior = gSignalCount.fetch_add(1, std::memory_order_relaxed);
+  if (prior == 0) {
+    globalCancelToken().cancel("signal");
+    static const char msg[] =
+        "\n[scandiag] interrupt: draining and flushing checkpoint "
+        "(interrupt again to abort)\n";
+    [[maybe_unused]] ssize_t n = ::write(STDERR_FILENO, msg, sizeof msg - 1);
+  } else {
+    ::_exit(6);  // kExitInterrupted: second signal aborts a wedged drain
+  }
+}
+
+}  // namespace
+
+void installCancellationSignalHandlers() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  struct sigaction sa {};
+  sa.sa_handler = cancellationHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: let blocking syscalls return EINTR
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace scandiag

@@ -1,0 +1,211 @@
+#include "diagnosis/checkpoint.hpp"
+
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace scandiag {
+
+namespace {
+
+constexpr std::uint16_t kFaultRecordType = 1;
+
+void putU16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void putU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void putU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+class Cursor {
+ public:
+  explicit Cursor(const std::string& bytes) : bytes_(&bytes) {}
+
+  std::uint16_t u16() { return static_cast<std::uint16_t>(uint(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(uint(4)); }
+  std::uint64_t u64() { return uint(8); }
+  bool exhausted() const { return pos_ == bytes_->size(); }
+
+ private:
+  std::uint64_t uint(std::size_t width) {
+    if (bytes_->size() - pos_ < width) {
+      throw JournalCorruptError("checkpoint: fault record payload is short");
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < width; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>((*bytes_)[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += width;
+    return v;
+  }
+
+  const std::string* bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string encodeFaultRecord(const FaultRecord& record) {
+  std::string out;
+  out.reserve(40 + record.counterDeltas.size() * 10);
+  putU64(out, record.sweepId);
+  putU32(out, record.faultIndex);
+  putU64(out, record.candidateCount);
+  putU64(out, record.actualCount);
+  putU64(out, record.verdictDigest);
+  putU32(out, static_cast<std::uint32_t>(record.counterDeltas.size()));
+  for (const auto& [counter, delta] : record.counterDeltas) {
+    putU16(out, counter);
+    putU64(out, delta);
+  }
+  return out;
+}
+
+FaultRecord decodeFaultRecord(const std::string& payload) {
+  Cursor cur(payload);
+  FaultRecord record;
+  record.sweepId = cur.u64();
+  record.faultIndex = cur.u32();
+  record.candidateCount = cur.u64();
+  record.actualCount = cur.u64();
+  record.verdictDigest = cur.u64();
+  const std::uint32_t deltas = cur.u32();
+  record.counterDeltas.reserve(deltas);
+  for (std::uint32_t i = 0; i < deltas; ++i) {
+    const std::uint16_t counter = cur.u16();
+    const std::uint64_t delta = cur.u64();
+    if (counter >= obs::kNumCounters) {
+      throw JournalCorruptError("checkpoint: fault record names counter index " +
+                                std::to_string(counter) + " (registry has " +
+                                std::to_string(obs::kNumCounters) + ")");
+    }
+    record.counterDeltas.emplace_back(counter, delta);
+  }
+  if (!cur.exhausted()) {
+    throw JournalCorruptError("checkpoint: fault record has trailing bytes");
+  }
+  return record;
+}
+
+std::uint64_t setupDigestPiece(const std::string& name, std::uint64_t value,
+                               std::uint64_t digest) {
+  return fnv1a64(value, fnv1a64(name, digest));
+}
+
+std::uint64_t setupDigestPiece(const std::string& name, const std::string& value,
+                               std::uint64_t digest) {
+  return fnv1a64(value, fnv1a64(name, digest));
+}
+
+std::uint64_t sweepIdFor(const DiagnosisConfig& config) {
+  std::uint64_t d = fnv1a64(std::string("sweep"));
+  d = setupDigestPiece("scheme", static_cast<std::uint64_t>(config.scheme), d);
+  d = setupDigestPiece("partitions", config.numPartitions, d);
+  d = setupDigestPiece("groups", config.groupsPerPartition, d);
+  d = setupDigestPiece("mode", static_cast<std::uint64_t>(config.mode), d);
+  d = setupDigestPiece("pruning", config.pruning ? 1 : 0, d);
+  d = setupDigestPiece("patterns", config.numPatterns, d);
+  d = setupDigestPiece("misr_degree", config.misrDegree, d);
+  d = setupDigestPiece("misr_taps", config.misrTapMask, d);
+  d = setupDigestPiece("prune_degree", config.pruneDegree, d);
+  return d;
+}
+
+SweepCheckpoint::SweepCheckpoint(const std::string& path, std::uint64_t setupDigest,
+                                 const std::string& setupInfo, bool resume) {
+  if (!resume) {
+    writer_ = std::make_unique<JournalWriter>(
+        JournalWriter::create(path, setupDigest, setupInfo));
+    return;
+  }
+  JournalContents contents;
+  writer_ = std::make_unique<JournalWriter>(
+      JournalWriter::openForAppend(path, setupDigest, &contents));
+  hadTruncatedTail_ = contents.truncatedTail;
+  for (const JournalRecord& rec : contents.records) {
+    if (rec.type != kFaultRecordType) continue;  // unknown types: skip, don't fail
+    FaultRecord fault = decodeFaultRecord(rec.payload);
+    const auto key = std::make_pair(fault.sweepId, fault.faultIndex);
+    loaded_[key] = std::move(fault);  // duplicates: last write wins
+  }
+}
+
+const FaultRecord* SweepCheckpoint::find(std::uint64_t sweepId,
+                                         std::uint32_t faultIndex) const {
+  const auto it = loaded_.find(std::make_pair(sweepId, faultIndex));
+  return it == loaded_.end() ? nullptr : &it->second;
+}
+
+void SweepCheckpoint::record(const FaultRecord& record) {
+  writer_->append(kFaultRecordType, encodeFaultRecord(record));
+  obs::count(obs::Counter::JournalRecordsWritten);
+}
+
+DrReport evaluateWithCheckpoint(const DiagnosisPipeline& pipeline,
+                                const std::vector<FaultResponse>& responses,
+                                SweepCheckpoint* checkpoint, std::uint64_t sweepId,
+                                const RunControl& control) {
+  if (!checkpoint) return pipeline.evaluate(responses, control);
+
+  // Mirrors DiagnosisPipeline::evaluate — disjoint per-fault slots filled in
+  // parallel, then an ordered reduction — with two extra per-fault paths:
+  // replay (fault already journaled: re-apply its counter deltas, skip the
+  // diagnosis) and record (journal the completed fault before the slot is
+  // published). Both keep slot values and counter totals identical to the
+  // uninterrupted run.
+  struct Slot {
+    std::size_t candidates = 0;
+    std::size_t actual = 0;
+    bool detected = false;
+  };
+  std::vector<Slot> slots(responses.size());
+  globalPool().parallelFor(responses.size(), [&](std::size_t i) {
+    const FaultResponse& r = responses[i];
+    if (!r.detected()) return;
+    const std::uint32_t faultIndex = static_cast<std::uint32_t>(i);
+    if (const FaultRecord* prior = checkpoint->find(sweepId, faultIndex)) {
+      for (const auto& [counter, delta] : prior->counterDeltas) {
+        obs::count(static_cast<obs::Counter>(counter), delta);
+      }
+      obs::count(obs::Counter::JournalRecordsReplayed);
+      slots[i] = Slot{static_cast<std::size_t>(prior->candidateCount),
+                      static_cast<std::size_t>(prior->actualCount), true};
+      return;
+    }
+    // Cancellation lands here, never after the diagnosis below starts: each
+    // journaled record is a fault that ran to completion.
+    control.throwIfStopped();
+    FaultRecord record;
+    record.sweepId = sweepId;
+    record.faultIndex = faultIndex;
+    {
+      obs::DeltaCapture capture;
+      const FaultDiagnosis d = pipeline.diagnoseDigested(r, &record.verdictDigest);
+      record.candidateCount = d.candidateCount;
+      record.actualCount = d.actualCount;
+      const auto& deltas = capture.deltas();
+      for (std::size_t c = 0; c < obs::kNumCounters; ++c) {
+        if (deltas[c] != 0) {
+          record.counterDeltas.emplace_back(static_cast<std::uint16_t>(c), deltas[c]);
+        }
+      }
+    }
+    checkpoint->record(record);
+    slots[i] = Slot{static_cast<std::size_t>(record.candidateCount),
+                    static_cast<std::size_t>(record.actualCount), true};
+  });
+  DrAccumulator acc;
+  for (const Slot& s : slots) {
+    if (s.detected) acc.add(s.candidates, s.actual);
+  }
+  return DrReport{acc.dr(), acc.faults(), acc.sumCandidates(), acc.sumActual()};
+}
+
+}  // namespace scandiag

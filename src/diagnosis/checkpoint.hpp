@@ -1,0 +1,113 @@
+// Journaled checkpoint/resume for the long-running DR sweeps.
+//
+// A sweep is hundreds of independent single-fault diagnoses whose results
+// reduce in fault-index order. That structure makes crash-safety cheap: each
+// *completed* fault is journaled as one durable record, and a resumed run
+// replays journaled faults into the accumulator and diagnoses only the
+// missing ones. Because the reduction was already ordered (PR 1) and every
+// counter increment is per-fault-scoped, the resumed run's DR values,
+// deterministic counters, and BENCH JSON are bit-identical to an
+// uninterrupted run at any thread count.
+//
+// Record schema (journal record type 1, little-endian):
+//   u64 sweepId       — which sweep within the journal (a bench run sweeps
+//                       many (scheme, partitions) configs over one journal;
+//                       sweepId is an FNV-1a digest of that per-sweep config)
+//   u32 faultIndex    — index into the sweep's response vector
+//   u64 candidateCount, u64 actualCount — the FaultDiagnosis numbers
+//   u64 verdictDigest — FNV-1a of the per-partition group verdict words
+//                       (audit fingerprint; lets tests prove a replayed fault
+//                       matches what a fresh diagnosis would produce)
+//   u32 deltaCount, then (u16 counterIndex, u64 delta) pairs — the counter
+//                       increments this fault's diagnosis made (captured via
+//                       obs::DeltaCapture), replayed on resume so counter
+//                       totals stay bit-identical
+//
+// The journal header digest binds the file to one experiment setup (circuit,
+// workload seed/size, topology, metrics schema — NOT thread count); resuming
+// against anything else throws JournalDigestMismatchError.
+//
+// Duplicate records for the same (sweepId, faultIndex) are legal — a crash
+// can land between the append and the caller observing it, and a re-run
+// re-appends — and resolve last-write-wins on replay.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/journal.hpp"
+#include "common/watchdog.hpp"
+#include "diagnosis/experiment_driver.hpp"
+
+namespace scandiag {
+
+/// One journaled completed-fault result.
+struct FaultRecord {
+  std::uint64_t sweepId = 0;
+  std::uint32_t faultIndex = 0;
+  std::uint64_t candidateCount = 0;
+  std::uint64_t actualCount = 0;
+  std::uint64_t verdictDigest = 0;
+  /// (counter index, increment) pairs captured during this fault's diagnosis.
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> counterDeltas;
+};
+
+std::string encodeFaultRecord(const FaultRecord& record);
+/// Throws JournalCorruptError when the payload is structurally invalid.
+FaultRecord decodeFaultRecord(const std::string& payload);
+
+/// Digest of an experiment setup, mixed from the pieces that must match for
+/// a resume to be valid. Chain calls: digest = setupDigestPiece(name, value,
+/// digest). Thread count is deliberately never mixed in — resume across
+/// thread counts is supported and bit-identical.
+std::uint64_t setupDigestPiece(const std::string& name, std::uint64_t value,
+                               std::uint64_t digest);
+std::uint64_t setupDigestPiece(const std::string& name, const std::string& value,
+                               std::uint64_t digest);
+
+/// Digest identifying one sweep configuration inside a journal.
+std::uint64_t sweepIdFor(const DiagnosisConfig& config);
+
+class SweepCheckpoint {
+ public:
+  /// Creates a fresh journal at `path` (refuses an existing file) or, when
+  /// `resume` is true, reopens it, verifies `setupDigest`, truncates a torn
+  /// tail, and indexes all prior records for replay.
+  SweepCheckpoint(const std::string& path, std::uint64_t setupDigest,
+                  const std::string& setupInfo, bool resume);
+
+  /// Record found in the journal at open (nullptr when this fault must run).
+  const FaultRecord* find(std::uint64_t sweepId, std::uint32_t faultIndex) const;
+
+  /// Journals one completed fault (durable on return; thread-safe) and
+  /// counts journal_records_written.
+  void record(const FaultRecord& record);
+
+  std::size_t loadedRecords() const { return loaded_.size(); }
+  bool hadTruncatedTail() const { return hadTruncatedTail_; }
+  const std::string& path() const { return writer_->path(); }
+
+ private:
+  std::unique_ptr<JournalWriter> writer_;
+  std::map<std::pair<std::uint64_t, std::uint32_t>, FaultRecord> loaded_;
+  bool hadTruncatedTail_ = false;
+};
+
+/// DiagnosisPipeline::evaluate with checkpointing: journaled faults are
+/// replayed (counters re-applied, journal_records_replayed counted), missing
+/// faults are diagnosed, journaled, and reduced — output bit-identical to an
+/// uninterrupted pipeline.evaluate(responses) at any thread count.
+/// `checkpoint` may be null (degenerates to pipeline.evaluate). `control` is
+/// polled per fault; cancellation unwinds as OperationCancelled *between*
+/// faults, so every journaled record is a completed fault.
+DrReport evaluateWithCheckpoint(const DiagnosisPipeline& pipeline,
+                                const std::vector<FaultResponse>& responses,
+                                SweepCheckpoint* checkpoint, std::uint64_t sweepId,
+                                const RunControl& control = {});
+
+}  // namespace scandiag

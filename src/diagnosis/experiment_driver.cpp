@@ -1,6 +1,7 @@
 #include "diagnosis/experiment_driver.hpp"
 
 #include "common/assert.hpp"
+#include "common/journal.hpp"
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "sim/fault_list.hpp"
@@ -73,7 +74,29 @@ FaultDiagnosis DiagnosisPipeline::diagnoseUntimed(const FaultResponse& response)
   return out;
 }
 
-DrReport DiagnosisPipeline::evaluate(const std::vector<FaultResponse>& responses) const {
+FaultDiagnosis DiagnosisPipeline::diagnoseDigested(const FaultResponse& response,
+                                                   std::uint64_t* verdictDigest) const {
+  obs::count(obs::Counter::FaultsDiagnosed);
+  const GroupVerdicts verdicts = engine_.run(prepared_, response);
+  if (verdictDigest) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const BitVector& row : verdicts.failing) {
+      for (std::size_t w = 0; w < row.wordCount(); ++w) h = fnv1a64(row.word(w), h);
+    }
+    *verdictDigest = h;
+  }
+  FaultDiagnosis out;
+  out.candidates = analyzer_.analyze(prepared_.partitions(), verdicts);
+  if (config_.pruning) {
+    out.candidates = pruner_.prune(prepared_, verdicts, out.candidates);
+  }
+  out.candidateCount = out.candidates.cellCount();
+  out.actualCount = response.failingCellCount();
+  return out;
+}
+
+DrReport DiagnosisPipeline::evaluate(const std::vector<FaultResponse>& responses,
+                                     const RunControl& control) const {
   // Faults are independent: slot i depends only on responses[i], so the
   // parallel loop writes disjoint slots and the accumulation below runs in
   // fault-index order — DR output is bit-identical for every thread count.
@@ -86,6 +109,7 @@ DrReport DiagnosisPipeline::evaluate(const std::vector<FaultResponse>& responses
   globalPool().parallelFor(responses.size(), [&](std::size_t i) {
     const FaultResponse& r = responses[i];
     if (!r.detected()) return;
+    control.throwIfStopped();
     const FaultDiagnosis d = diagnoseUntimed(r);
     slots[i] = Slot{d.candidateCount, d.actualCount, true};
   });
@@ -97,7 +121,7 @@ DrReport DiagnosisPipeline::evaluate(const std::vector<FaultResponse>& responses
 }
 
 std::vector<double> DiagnosisPipeline::evaluateSweep(
-    const std::vector<FaultResponse>& responses) const {
+    const std::vector<FaultResponse>& responses, const RunControl& control) const {
   const std::size_t length = topology_->maxChainLength();
   // Per fault, the candidate count after each partition prefix; reduced into
   // the per-prefix accumulators in fault-index order below (same ordered-
@@ -107,6 +131,7 @@ std::vector<double> DiagnosisPipeline::evaluateSweep(
   globalPool().parallelFor(responses.size(), [&](std::size_t i) {
     const FaultResponse& r = responses[i];
     if (!r.detected()) return;
+    control.throwIfStopped();
     obs::count(obs::Counter::FaultsDiagnosed);
     const GroupVerdicts verdicts = engine_.run(prepared_, r);
     BitVector positions(length, true);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bist/prpg.hpp"
+#include "common/watchdog.hpp"
 #include "diagnosis/candidate_analyzer.hpp"
 #include "diagnosis/metrics.hpp"
 #include "diagnosis/prepared_partitions.hpp"
@@ -62,12 +63,23 @@ class DiagnosisPipeline {
   /// Diagnoses one fault: sessions → inclusion-exclusion → optional pruning.
   FaultDiagnosis diagnose(const FaultResponse& response) const;
 
-  /// DR over a set of detected-fault responses.
-  DrReport evaluate(const std::vector<FaultResponse>& responses) const;
+  /// diagnose() minus the phase timers, plus an FNV-1a digest of the
+  /// per-partition group verdicts written to `verdictDigest` — the audit
+  /// fingerprint the checkpoint layer journals with each completed fault.
+  FaultDiagnosis diagnoseDigested(const FaultResponse& response,
+                                  std::uint64_t* verdictDigest) const;
+
+  /// DR over a set of detected-fault responses. `control` is polled at
+  /// fault granularity; a trip unwinds as OperationCancelled (the default
+  /// RunControl is inert — identical cost and output to before).
+  DrReport evaluate(const std::vector<FaultResponse>& responses,
+                    const RunControl& control = {}) const;
 
   /// DR after each partition-count prefix 1..numPartitions (pruning is not
   /// applied — matches the paper's Figure 5 protocol "without pruning").
-  std::vector<double> evaluateSweep(const std::vector<FaultResponse>& responses) const;
+  /// `control` is polled at fault granularity, as in evaluate().
+  std::vector<double> evaluateSweep(const std::vector<FaultResponse>& responses,
+                                    const RunControl& control = {}) const;
 
  private:
   /// diagnose() without the phase timers — the batch loop body of evaluate /

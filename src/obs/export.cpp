@@ -1,10 +1,10 @@
 #include "obs/export.hpp"
 
-#include <filesystem>
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/assert.hpp"
+#include "common/journal.hpp"
 #include "common/json.hpp"
 
 namespace scandiag::obs {
@@ -58,13 +58,13 @@ void writeMetricsObject(JsonWriter& writer, const MetricsSnapshot& snap,
 }
 
 void writeMetricsFile(const std::string& path, const MetricsContext& context) {
-  const std::filesystem::path target(path);
-  if (target.has_parent_path()) std::filesystem::create_directories(target.parent_path());
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open metrics output file: " + path);
+  // Serialize to memory, then commit atomically (temp + rename, parent dirs
+  // created): a crash mid-export can never leave a torn metrics snapshot.
+  std::ostringstream out;
   JsonWriter writer(out);
   writeMetricsObject(writer, MetricsRegistry::instance().snapshot(), context);
   out << '\n';
+  atomicWriteFile(path, out.str());
 }
 
 namespace {

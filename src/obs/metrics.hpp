@@ -68,6 +68,9 @@ enum class Counter : unsigned {
   NoiseEventsInjected,      // verdict corruptions applied by the injector
   ConeCacheHits,            // cone-path simulate() calls served by the cone cache
   ScratchGatesTouched,      // gate slots saved+restored by the scratch faulty sim
+  JournalRecordsWritten,    // checkpoint records appended by this process
+  JournalRecordsReplayed,   // checkpoint records replayed from a prior run
+  WatchdogCancels,          // watchdog deadline trips (cancellation requested)
   kCount,
 };
 
@@ -102,6 +105,9 @@ constexpr const char* counterName(Counter c) {
     case Counter::NoiseEventsInjected: return "noise_events_injected";
     case Counter::ConeCacheHits: return "cone_cache_hits";
     case Counter::ScratchGatesTouched: return "scratch_gates_touched";
+    case Counter::JournalRecordsWritten: return "journal_records_written";
+    case Counter::JournalRecordsReplayed: return "journal_records_replayed";
+    case Counter::WatchdogCancels: return "watchdog_cancels";
     case Counter::kCount: break;
   }
   return "unknown_counter";
@@ -249,10 +255,44 @@ class MetricsRegistry {
 
 #if SCANDIAG_METRICS_ENABLED
 
+namespace detail {
+/// Per-thread capture sink for DeltaCapture (below). Naked pointer, not an
+/// object, so the common no-capture path costs one thread-local load.
+inline thread_local std::array<std::uint64_t, kNumCounters>* tlsDeltaSink = nullptr;
+}  // namespace detail
+
 inline void count(Counter c, std::uint64_t n = 1) {
   MetricsRegistry& registry = MetricsRegistry::instance();
-  if (registry.enabled()) registry.add(c, n);
+  if (registry.enabled()) {
+    registry.add(c, n);
+    if (detail::tlsDeltaSink) (*detail::tlsDeltaSink)[static_cast<std::size_t>(c)] += n;
+  }
 }
+
+/// Captures the counter increments made by the current thread while in scope.
+/// The checkpoint layer wraps each single-fault diagnose in one of these and
+/// journals the nonzero deltas, so a resumed run can replay a fault's exact
+/// counter contribution and keep totals bit-identical to an uninterrupted
+/// run. Captures nest (the inner scope shadows, then merges into the outer).
+class DeltaCapture {
+ public:
+  DeltaCapture() : outer_(detail::tlsDeltaSink) { detail::tlsDeltaSink = &deltas_; }
+  ~DeltaCapture() {
+    detail::tlsDeltaSink = outer_;
+    if (outer_) {
+      for (std::size_t i = 0; i < kNumCounters; ++i) (*outer_)[i] += deltas_[i];
+    }
+  }
+  DeltaCapture(const DeltaCapture&) = delete;
+  DeltaCapture& operator=(const DeltaCapture&) = delete;
+
+  /// Increments recorded so far, indexed by Counter.
+  const std::array<std::uint64_t, kNumCounters>& deltas() const { return deltas_; }
+
+ private:
+  std::array<std::uint64_t, kNumCounters> deltas_{};
+  std::array<std::uint64_t, kNumCounters>* outer_;
+};
 
 /// RAII phase timer: accumulates the scope's wall time into one Phase.
 class PhaseScope {
@@ -305,6 +345,17 @@ class WorkerScope {
 #else  // SCANDIAG_METRICS_ENABLED == 0: instrumentation compiles to nothing.
 
 inline void count(Counter, std::uint64_t = 1) {}
+
+class DeltaCapture {
+ public:
+  DeltaCapture() = default;
+  DeltaCapture(const DeltaCapture&) = delete;
+  DeltaCapture& operator=(const DeltaCapture&) = delete;
+  const std::array<std::uint64_t, kNumCounters>& deltas() const { return deltas_; }
+
+ private:
+  std::array<std::uint64_t, kNumCounters> deltas_{};
+};
 
 class PhaseScope {
  public:

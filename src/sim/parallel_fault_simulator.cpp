@@ -116,7 +116,7 @@ SimWord ParallelFaultSimulator::detectBatch(const std::vector<FaultSite>& faults
 }
 
 std::vector<bool> ParallelFaultSimulator::detectFaults(
-    const std::vector<FaultSite>& faults) const {
+    const std::vector<FaultSite>& faults, const RunControl& control) const {
   // Batches are independent (each reads only the shared good machine), so
   // they fan out across the pool; each batch owns one word of `masks`, and
   // the bit-packed vector<bool> is filled serially afterwards. Batch results
@@ -129,6 +129,7 @@ std::vector<bool> ParallelFaultSimulator::detectFaults(
     // once here and reused across every batch of the chunk.
     BatchScratch scratch(netlist_->gateCount());
     for (std::size_t batch = begin; batch < end; ++batch) {
+      control.throwIfStopped();
       masks[batch] = detectBatch(faults, batch * 64, scratch);
     }
   });

@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/watchdog.hpp"
 #include "sim/fault_simulator.hpp"
 
 namespace scandiag {
@@ -29,8 +30,10 @@ class ParallelFaultSimulator {
   /// detected[i] == the pattern set detects faults[i] at some scan cell.
   /// Batches of 64 faults fan out across globalPool(); the result is
   /// bit-identical for every thread count (each batch only reads shared
-  /// state and owns its own output word).
-  std::vector<bool> detectFaults(const std::vector<FaultSite>& faults) const;
+  /// state and owns its own output word). `control` is polled between
+  /// batches; a trip unwinds as OperationCancelled (inert by default).
+  std::vector<bool> detectFaults(const std::vector<FaultSite>& faults,
+                                 const RunControl& control = {}) const;
 
   /// Convenience: count of detected faults (coverage numerator).
   std::size_t countDetected(const std::vector<FaultSite>& faults) const;

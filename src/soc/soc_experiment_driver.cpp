@@ -63,8 +63,14 @@ std::vector<FaultResponse> socResponsesForFailingCores(
   return combined;
 }
 
+std::uint64_t socSweepIdFor(const DiagnosisConfig& config, std::size_t coreIndex) {
+  return setupDigestPiece("core", coreIndex, sweepIdFor(config));
+}
+
 std::vector<SocDrRow> evaluateSocDr(const Soc& soc, const WorkloadConfig& workload,
-                                    const DiagnosisConfig& config) {
+                                    const DiagnosisConfig& config,
+                                    const RunControl& control,
+                                    SweepCheckpoint* checkpoint) {
   // Cores are independent experiments (each derives its own seeds from the
   // core index), so they fan out across the pool into per-core row slots;
   // the nested pipeline.evaluate() parallelism runs inline on the worker
@@ -72,8 +78,11 @@ std::vector<SocDrRow> evaluateSocDr(const Soc& soc, const WorkloadConfig& worklo
   const DiagnosisPipeline pipeline(soc.topology(), config);
   std::vector<SocDrRow> rows(soc.coreCount());
   globalPool().parallelFor(soc.coreCount(), [&](std::size_t k) {
+    control.throwIfStopped();
     const std::vector<FaultResponse> responses = socResponsesForFailingCore(soc, k, workload);
-    rows[k] = SocDrRow{soc.core(k).name, pipeline.evaluate(responses)};
+    rows[k] = SocDrRow{soc.core(k).name,
+                       evaluateWithCheckpoint(pipeline, responses, checkpoint,
+                                              socSweepIdFor(config, k), control)};
   });
   return rows;
 }

@@ -8,6 +8,7 @@
 // faulty core's run of shift positions.
 #pragma once
 
+#include "diagnosis/checkpoint.hpp"
 #include "diagnosis/experiment_driver.hpp"
 #include "soc/core_instance.hpp"
 
@@ -27,9 +28,18 @@ struct SocDrRow {
 };
 
 /// DR per failing core under one diagnosis configuration (the topology in
-/// `config` is ignored; the SOC's meta topology is used).
+/// `config` is ignored; the SOC's meta topology is used). `control` is
+/// polled at fault granularity inside every core's evaluation (inert by
+/// default); `checkpoint` — when non-null — journals and replays each core's
+/// completed faults under a per-core sweep id derived from `config` and the
+/// core index, so a killed SOC sweep resumes from the first missing fault.
 std::vector<SocDrRow> evaluateSocDr(const Soc& soc, const WorkloadConfig& workload,
-                                    const DiagnosisConfig& config);
+                                    const DiagnosisConfig& config,
+                                    const RunControl& control = {},
+                                    SweepCheckpoint* checkpoint = nullptr);
+
+/// The per-core sweep id evaluateSocDr journals core `coreIndex` under.
+std::uint64_t socSweepIdFor(const DiagnosisConfig& config, std::size_t coreIndex);
 
 /// Multiple faulty cores (paper §5: "the effect of multiple faults can be
 /// viewed similarly"): pairs the i-th detected fault of every listed core

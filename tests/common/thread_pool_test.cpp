@@ -161,6 +161,58 @@ TEST(ThreadPool, GlobalPoolThreadCountIsConfigurable) {
   EXPECT_EQ(globalPool().threadCount(), defaultThreadCount());
 }
 
+TEST(ThreadPool, ThrowingChunkDoesNotStrandBatchOrKillWorkers) {
+  ThreadPool pool(4);
+  // Only a high index throws, so the failing chunk runs on a *worker*, not
+  // the calling thread. The batch must still complete (RAII decrement), the
+  // exception must reach the caller, and every worker must stay alive.
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_THROW(pool.parallelFor(1000,
+                                  [](std::size_t i) {
+                                    if (i == 999) throw std::runtime_error("worker chunk");
+                                  }),
+                 std::runtime_error);
+    // The pool is fully usable after the failed batch — a dead or wedged
+    // worker would hang or under-cover this follow-up batch.
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallelFor(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) ASSERT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPool, EveryChunkThrowingStillRethrowsLowestIndex) {
+  ThreadPool pool(8);
+  try {
+    pool.parallelFor(800, [](std::size_t i) {
+      throw std::out_of_range("chunk of " + std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "chunk of 0");
+  }
+  auto future = pool.submit([] { return 1; });
+  EXPECT_EQ(future.get(), 1);
+}
+
+TEST(ThreadPool, SubmitExceptionLeavesWorkersServing) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 10; ++i) {
+    auto bad = pool.submit([]() -> int { throw std::runtime_error("task"); });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    auto good = pool.submit([i] { return i; });
+    EXPECT_EQ(good.get(), i);
+  }
+}
+
+TEST(ThreadPool, DestructionAfterFailedBatchJoinsCleanly) {
+  // A pool whose last act was a throwing batch must still join all workers
+  // (no std::terminate from an exception escaping a worker thread).
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallelFor(100, [](std::size_t i) { if (i % 7 == 0) throw std::runtime_error("x"); }),
+      std::runtime_error);
+}
+
 TEST(ThreadPool, ParallelForSumMatchesSerial) {
   const std::size_t n = 4096;
   std::vector<std::uint64_t> values(n);

@@ -26,7 +26,17 @@
 //   --target X        DR target for plan (default 0.5)
 //   --metrics F       write a pipeline metrics snapshot (counters, phase
 //                     timers, worker utilization) to F as JSON after the
-//                     command finishes (any command)
+//                     command finishes (any command; also flushed when the
+//                     command is interrupted and exits with code 6)
+//
+// Crash safety / long-run options (dr, soc-dr):
+//   --deadline-ms N   watchdog: cancel the run after N milliseconds of wall
+//                     clock and exit 6 with whatever was journaled/flushed
+//   --checkpoint F    journal every completed fault to F (fsync'd, CRC-framed)
+//   --resume          continue from F instead of starting over; refuses a
+//                     journal written for a different circuit/workload setup;
+//                     final DR/counters are bit-identical to an uninterrupted
+//                     run at any thread count
 //
 // Noise / resilience options (diagnose, dr):
 //   --noise R         raw verdict-flip rate per session (both directions)
@@ -45,16 +55,22 @@
 //   4  input file failed to parse
 //   5  diagnosis still inconsistent after the retry budget was exhausted
 //      (a widened candidate superset was still printed)
+//   6  interrupted (SIGINT/SIGTERM or watchdog deadline); the checkpoint
+//      journal and any --metrics snapshot were flushed and are valid
 
+#include <chrono>
 #include <cstdio>
 #include <iostream>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/watchdog.hpp"
 #include "core/scandiag.hpp"
+#include "diagnosis/checkpoint.hpp"
 
 using namespace scandiag;
 
@@ -67,6 +83,7 @@ enum ExitCode {
   kExitFileNotFound = 3,
   kExitParseError = 4,
   kExitInconsistent = 5,
+  kExitInterrupted = 6,
 };
 
 /// Diagnosis stayed inconsistent after recovery; the CLI maps this to exit 5.
@@ -85,7 +102,7 @@ struct Args {
       std::string a = argv[i];
       if (a.rfind("--", 0) == 0) {
         const std::string key = a.substr(2);
-        if (key == "prune" || key == "json") {
+        if (key == "prune" || key == "json" || key == "resume") {
           args.flags[key] = true;
         } else if (i + 1 < argc) {
           args.options[key] = argv[++i];
@@ -162,6 +179,42 @@ RetryPolicy retryFrom(const Args& args) {
   retry.sessionBudget = args.getN("retry-budget", 0);
   retry.maxRetriesPerSession = args.getN("max-retries", 2);
   return retry;
+}
+
+/// Watchdog + checkpoint state for the long-running commands (dr, soc-dr).
+/// Everything stays null/inert when the flags are absent.
+struct CliRunState {
+  std::unique_ptr<Watchdog> watchdog;
+  std::unique_ptr<SweepCheckpoint> checkpoint;
+  RunControl control() const { return RunControl{&globalCancelToken(), watchdog.get()}; }
+};
+
+/// Builds the run state from --deadline-ms / --checkpoint / --resume.
+/// `setupDigest` must cover the circuit + workload (not the thread count) so
+/// a journal can only be resumed against the setup that produced it.
+CliRunState cliRunFrom(const Args& args, std::uint64_t setupDigest,
+                       const std::string& setupInfo) {
+  CliRunState state;
+  const std::size_t deadlineMs = args.getN("deadline-ms", 0);
+  if (deadlineMs > 0) {
+    state.watchdog = std::make_unique<Watchdog>(
+        globalCancelToken(),
+        std::chrono::milliseconds(static_cast<long long>(deadlineMs)));
+  }
+  const std::string path = args.get("checkpoint", "");
+  if (path.empty()) {
+    if (args.getFlag("resume"))
+      throw std::invalid_argument("--resume requires --checkpoint <file>");
+    return state;
+  }
+  state.checkpoint = std::make_unique<SweepCheckpoint>(path, setupDigest, setupInfo,
+                                                       args.getFlag("resume"));
+  if (args.getFlag("resume")) {
+    std::fprintf(stderr, "resuming from %s: %zu journaled fault records%s\n", path.c_str(),
+                 state.checkpoint->loadedRecords(),
+                 state.checkpoint->hadTruncatedTail() ? " (torn tail truncated)" : "");
+  }
+  return state;
 }
 
 int cmdInfo(const Args& args) {
@@ -339,8 +392,19 @@ int cmdDr(const Args& args) {
   opts.diagnosis = configFrom(args);
   opts.numChains = args.getN("chains", 1);
   const Diagnoser diag(std::move(nl), opts);
+  std::uint64_t digest = fnv1a64(std::string("scandiag dr"));
+  digest = setupDigestPiece("circuit", diag.netlist().name(), digest);
+  digest = setupDigestPiece("cells", diag.netlist().dffs().size(), digest);
+  digest = setupDigestPiece("chains", opts.numChains, digest);
+  digest = setupDigestPiece("patterns", opts.diagnosis.numPatterns, digest);
+  digest = setupDigestPiece("faults", args.getN("faults", 500), digest);
+  digest = setupDigestPiece("seed", args.getN("seed", 0xFA17), digest);
+  digest = setupDigestPiece("schema", obs::kMetricsSchemaVersion, digest);
+  CliRunState run =
+      cliRunFrom(args, digest, "scandiag dr " + diag.netlist().name());
   const DrReport rep =
-      diag.evaluateResolution(args.getN("faults", 500), args.getN("seed", 0xFA17));
+      diag.evaluateResolution(args.getN("faults", 500), args.getN("seed", 0xFA17),
+                              run.control(), run.checkpoint.get());
   if (args.getFlag("json")) {
     JsonWriter json(std::cout);
     json.beginObject()
@@ -380,10 +444,20 @@ int cmdSocDr(const Args& args) {
                                             args.getFlag("prune"));
   config.numPartitions = args.getN("partitions", config.numPartitions);
   config.groupsPerPartition = args.getN("groups", config.groupsPerPartition);
+  std::uint64_t digest = fnv1a64(std::string("scandiag soc-dr"));
+  digest = setupDigestPiece("soc", which, digest);
+  digest = setupDigestPiece("cores", soc.coreCount(), digest);
+  digest = setupDigestPiece("cells", soc.totalCells(), digest);
+  digest = setupDigestPiece("patterns", workload.numPatterns, digest);
+  digest = setupDigestPiece("faults", workload.numFaults, digest);
+  digest = setupDigestPiece("fault_seed", workload.faultSeed, digest);
+  digest = setupDigestPiece("schema", obs::kMetricsSchemaVersion, digest);
+  CliRunState run = cliRunFrom(args, digest, "scandiag soc-dr " + which);
   std::printf("%s: %zu cores, %zu cells, %zu meta chains — %s%s\n", soc.name().c_str(),
               soc.coreCount(), soc.totalCells(), soc.topology().numChains(),
               schemeName(config.scheme).c_str(), config.pruning ? " + pruning" : "");
-  for (const SocDrRow& row : evaluateSocDr(soc, workload, config)) {
+  for (const SocDrRow& row :
+       evaluateSocDr(soc, workload, config, run.control(), run.checkpoint.get())) {
     std::printf("  failing %-9s DR = %8.3f (%zu faults)\n", row.failingCore.c_str(),
                 row.report.dr, row.report.faults);
   }
@@ -547,8 +621,11 @@ void writeMetricsIfRequested(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::optional<Args> parsed;
   try {
-    const Args args = Args::parse(argc, argv);
+    installCancellationSignalHandlers();
+    parsed = Args::parse(argc, argv);
+    const Args& args = *parsed;
     if (args.positional.empty()) return usage();
     if (args.options.count("threads")) setGlobalThreadCount(args.getN("threads", 0));
     const int rc = dispatch(args);
@@ -556,6 +633,18 @@ int main(int argc, char** argv) {
     // metrics snapshot clobber a previous valid one at the same path.
     if (rc == kExitOk) writeMetricsIfRequested(args);
     return rc;
+  } catch (const OperationCancelled& e) {
+    // The journal (if any) holds every completed fault; the counters reflect
+    // the work actually done, so the snapshot is still worth flushing.
+    std::fprintf(stderr, "interrupted: %s\n", e.what());
+    if (parsed) {
+      try {
+        writeMetricsIfRequested(*parsed);
+      } catch (const std::exception& flush) {
+        std::fprintf(stderr, "error: metrics flush failed: %s\n", flush.what());
+      }
+    }
+    return kExitInterrupted;
   } catch (const FileNotFoundError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitFileNotFound;
