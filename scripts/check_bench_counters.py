@@ -25,6 +25,20 @@ Usage:
       kill-and-resume job: journal_records_written/journal_records_replayed
       legitimately differ between an uninterrupted run and a killed+resumed
       one (their *sum* is invariant, which the job asserts separately).
+  check_bench_counters.py --min-ratio FIELD:MIN [NAME ...]
+      Additionally fail if the CURRENT result's "timing" section has FIELD
+      below MIN (repeatable). Timing fields are wall-clock and machine-
+      dependent, so they are never golden-compared — this gate reads the
+      fresh report only. Used by CI as --min-ratio threads_speedup_8:2.0 on
+      the perf bench.
+
+      Escape hatch (documented, deliberate): thread-scaling ratios are
+      meaningless on small or noisy runners. The gate SKIPS a --min-ratio
+      check, with a loud warning, when the report's timing section says
+      hardware_concurrency < 8 (the bench records it), or when the
+      environment sets SCANDIAG_SKIP_SCALING_GATE=1 (for runners that have
+      the cores but not the isolation). Counter comparison still runs —
+      only the wall-clock ratio gate is waived.
 
 Exit status: 0 = counters identical, 1 = drift or missing file, 2 = usage.
 """
@@ -107,6 +121,50 @@ def write_atomic(path: Path, doc: dict) -> None:
         raise
 
 
+def parse_min_ratio(spec: str) -> tuple:
+    field, sep, minimum = spec.partition(":")
+    if not sep or not field:
+        raise SystemExit(f"error: --min-ratio wants FIELD:MIN, got {spec!r}")
+    try:
+        return field, float(minimum)
+    except ValueError:
+        raise SystemExit(f"error: --min-ratio minimum {minimum!r} is not a number")
+
+
+def check_min_ratios(name: str, doc: dict, specs: list) -> bool:
+    """Gates machine-dependent timing ratios of the CURRENT report (never the
+    golden). Returns True when every spec passes or is legitimately skipped."""
+    if not specs:
+        return True
+    timing = doc.get("timing") or {}
+    if os.environ.get("SCANDIAG_SKIP_SCALING_GATE") == "1":
+        print(f"  {name}: WARNING: SCANDIAG_SKIP_SCALING_GATE=1 — skipping "
+              f"{len(specs)} --min-ratio check(s)", file=sys.stderr)
+        return True
+    hw = timing.get("hardware_concurrency")
+    if isinstance(hw, (int, float)) and hw < 8:
+        print(f"  {name}: WARNING: runner has hardware_concurrency={int(hw)} "
+              f"(< 8) — thread-scaling ratios cannot materialize here; "
+              f"skipping {len(specs)} --min-ratio check(s)", file=sys.stderr)
+        return True
+    ok = True
+    for field, minimum in specs:
+        value = timing.get(field)
+        if not isinstance(value, (int, float)):
+            print(f"  {name}: timing field {field} is "
+                  f"{'missing' if value is None else value!r} "
+                  f"(need a number >= {minimum})")
+            ok = False
+        elif value < minimum:
+            print(f"  {name}: timing ratio {field} = {value:.2f} below the "
+                  f"required minimum {minimum:.2f}")
+            ok = False
+        else:
+            print(f"  {name}: timing ratio {field} = {value:.2f} "
+                  f">= {minimum:.2f}")
+    return ok
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("names", nargs="*", help="bench names (e.g. table1 perf noise)")
@@ -122,8 +180,15 @@ def main() -> int:
                              "compared result (repeatable)")
     parser.add_argument("--ignore", action="append", default=[], metavar="COUNTER",
                         help="exclude COUNTER from the comparison (repeatable)")
+    parser.add_argument("--min-ratio", action="append", default=[],
+                        metavar="FIELD:MIN",
+                        help="fail unless the current result's timing FIELD is "
+                             ">= MIN; skipped with a warning when "
+                             "hardware_concurrency < 8 or "
+                             "SCANDIAG_SKIP_SCALING_GATE=1 (repeatable)")
     args = parser.parse_args()
     ignore = frozenset(args.ignore)
+    min_ratios = [parse_min_ratio(spec) for spec in args.min_ratio]
 
     if args.diff:
         a, b = args.diff
@@ -157,7 +222,9 @@ def main() -> int:
     for name in names:
         result_path = args.results / f"BENCH_{name}.json"
         ok = compare(name, result_path, args.golden / f"BENCH_{name}.json", ignore)
-        counters = counters_of(load(result_path), result_path)
+        result_doc = load(result_path)
+        ok &= check_min_ratios(name, result_doc, min_ratios)
+        counters = counters_of(result_doc, result_path)
         for counter in args.require_nonzero:
             value = counters.get(counter)
             if not isinstance(value, int) or value <= 0:

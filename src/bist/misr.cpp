@@ -55,6 +55,11 @@ std::uint64_t MisrLinearModel::weight(unsigned line, std::size_t cycle) const {
   return weights_[static_cast<std::size_t>(line) * totalCycles_ + cycle];
 }
 
+const std::uint64_t* MisrLinearModel::lineWeights(unsigned line) const {
+  SCANDIAG_REQUIRE(line < inputWidth_, "MISR line out of range");
+  return weights_.data() + static_cast<std::size_t>(line) * totalCycles_;
+}
+
 double misrAliasingProbability(unsigned degree) {
   SCANDIAG_REQUIRE(degree >= 1, "MISR degree must be at least 1");
   if (degree >= 64) return std::ldexp(1.0, -static_cast<int>(degree));

@@ -60,6 +60,11 @@ class MisrLinearModel {
 
   std::uint64_t weight(unsigned line, std::size_t cycle) const;
 
+  /// Contiguous weight row of one input line (totalCycles() entries, indexed
+  /// by cycle). The batched scorer's per-cell contribution tables gather from
+  /// these rows directly, skipping the per-lookup range checks of weight().
+  const std::uint64_t* lineWeights(unsigned line) const;
+
   /// Error signature of one cell: XOR of weight(line, cycleOf(pattern)) over
   /// the set bits of `errorStream`. `cycleOfPattern(t)` must give the clock at
   /// which the cell's bit of pattern t enters the MISR.

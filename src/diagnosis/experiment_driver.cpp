@@ -18,6 +18,7 @@ SessionConfig sessionConfigFor(const DiagnosisConfig& config) {
   sc.misrTapMask = config.misrTapMask;
   sc.computeSignatures = config.pruning;
   sc.pruneDegree = config.pruneDegree;
+  sc.scorer = config.batchedScoring ? SessionScorer::Batched : SessionScorer::PerSession;
   return sc;
 }
 
@@ -61,9 +62,10 @@ FaultDiagnosis DiagnosisPipeline::diagnose(const FaultResponse& response) const 
   return out;
 }
 
-FaultDiagnosis DiagnosisPipeline::diagnoseUntimed(const FaultResponse& response) const {
+FaultDiagnosis DiagnosisPipeline::diagnoseUntimed(const FaultResponse& response,
+                                                  SessionBatchScratch* scratch) const {
   obs::count(obs::Counter::FaultsDiagnosed);
-  const GroupVerdicts verdicts = engine_.run(prepared_, response);
+  const GroupVerdicts verdicts = engine_.run(prepared_, response, scratch);
   FaultDiagnosis out;
   out.candidates = analyzer_.analyze(prepared_.partitions(), verdicts);
   if (config_.pruning) {
@@ -106,12 +108,19 @@ DrReport DiagnosisPipeline::evaluate(const std::vector<FaultResponse>& responses
     bool detected = false;
   };
   std::vector<Slot> slots(responses.size());
-  globalPool().parallelFor(responses.size(), [&](std::size_t i) {
-    const FaultResponse& r = responses[i];
-    if (!r.detected()) return;
-    control.throwIfStopped();
-    const FaultDiagnosis d = diagnoseUntimed(r);
-    slots[i] = Slot{d.candidateCount, d.actualCount, true};
+  // Range (not element) dispatch: one contiguous fault chunk per worker lane,
+  // with the batch scorer's scratch living on the worker's stack for the
+  // whole chunk — no per-fault allocation, no cross-worker cache-line
+  // traffic on scratch state.
+  globalPool().parallelForRange(responses.size(), [&](std::size_t begin, std::size_t end) {
+    SessionBatchScratch scratch;
+    for (std::size_t i = begin; i < end; ++i) {
+      const FaultResponse& r = responses[i];
+      if (!r.detected()) continue;
+      control.throwIfStopped();
+      const FaultDiagnosis d = diagnoseUntimed(r, &scratch);
+      slots[i] = Slot{d.candidateCount, d.actualCount, true};
+    }
   });
   DrAccumulator acc;
   for (const Slot& s : slots) {
@@ -128,22 +137,26 @@ std::vector<double> DiagnosisPipeline::evaluateSweep(
   // reduction contract as evaluate()).
   std::vector<std::vector<std::size_t>> prefixCandidates(responses.size());
   const std::vector<Partition>& partitions = prepared_.partitions();
-  globalPool().parallelFor(responses.size(), [&](std::size_t i) {
-    const FaultResponse& r = responses[i];
-    if (!r.detected()) return;
-    control.throwIfStopped();
-    obs::count(obs::Counter::FaultsDiagnosed);
-    const GroupVerdicts verdicts = engine_.run(prepared_, r);
-    BitVector positions(length, true);
-    std::vector<std::size_t>& counts = prefixCandidates[i];
-    counts.reserve(partitions.size());
-    for (std::size_t p = 0; p < partitions.size(); ++p) {
-      BitVector failingUnion(length);
-      for (std::size_t g = 0; g < partitions[p].groupCount(); ++g) {
-        if (verdicts.failing[p].test(g)) failingUnion |= partitions[p].groups[g];
+  // Same per-worker-chunk scratch discipline as evaluate().
+  globalPool().parallelForRange(responses.size(), [&](std::size_t begin, std::size_t end) {
+    SessionBatchScratch scratch;
+    for (std::size_t i = begin; i < end; ++i) {
+      const FaultResponse& r = responses[i];
+      if (!r.detected()) continue;
+      control.throwIfStopped();
+      obs::count(obs::Counter::FaultsDiagnosed);
+      const GroupVerdicts verdicts = engine_.run(prepared_, r, &scratch);
+      BitVector positions(length, true);
+      std::vector<std::size_t>& counts = prefixCandidates[i];
+      counts.reserve(partitions.size());
+      for (std::size_t p = 0; p < partitions.size(); ++p) {
+        BitVector failingUnion(length);
+        for (std::size_t g = 0; g < partitions[p].groupCount(); ++g) {
+          if (verdicts.failing[p].test(g)) failingUnion |= partitions[p].groups[g];
+        }
+        positions &= failingUnion;
+        counts.push_back(topology_->expandPositions(positions).count());
       }
-      positions &= failingUnion;
-      counts.push_back(topology_->expandPositions(positions).count());
     }
   });
   std::vector<DrAccumulator> acc(partitions.size());

@@ -37,6 +37,9 @@ struct DiagnosisConfig {
   unsigned misrDegree = 16;
   std::uint64_t misrTapMask = 0;
   unsigned pruneDegree = 32;
+  /// False forces the per-session reference scorer everywhere (parity tests,
+  /// A/B benches); the diagnosis output is bit-identical either way.
+  bool batchedScoring = true;
 };
 
 struct FaultDiagnosis {
@@ -84,8 +87,11 @@ class DiagnosisPipeline {
  private:
   /// diagnose() without the phase timers — the batch loop body of evaluate /
   /// evaluateSweep, where per-fault clock reads would dominate (counters,
-  /// the deterministic section, are identical to diagnose()).
-  FaultDiagnosis diagnoseUntimed(const FaultResponse& response) const;
+  /// the deterministic section, are identical to diagnose()). `scratch`
+  /// (optional) is the calling worker's private batch-scorer buffers, reused
+  /// across the faults of its chunk.
+  FaultDiagnosis diagnoseUntimed(const FaultResponse& response,
+                                 SessionBatchScratch* scratch = nullptr) const;
 
   const ScanTopology* topology_;
   DiagnosisConfig config_;

@@ -1,11 +1,42 @@
 #include "diagnosis/prepared_partitions.hpp"
 
+#include <limits>
+
+#include "common/assert.hpp"
+
 namespace scandiag {
 
 PreparedPartitionSet::PreparedPartitionSet(std::vector<Partition> partitions)
     : partitions_(std::move(partitions)) {
   tables_.reserve(partitions_.size());
   for (const Partition& p : partitions_) tables_.push_back(p.groupTable());
+
+  groupOffsets_.assign(partitions_.size() + 1, 0);
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    groupOffsets_[p + 1] = groupOffsets_[p] + partitions_[p].groupCount();
+  }
+  totalGroups_ = groupOffsets_.empty() ? 0 : groupOffsets_.back();
+
+  // Batch layout: only when every partition spans the same selection axis
+  // (the invariant of any schedule a partitioner emits) and global group ids
+  // fit the u32 cells of the transposed table.
+  if (partitions_.empty()) return;
+  const std::size_t length = partitions_.front().length();
+  for (const Partition& p : partitions_) {
+    if (p.length() != length) return;
+  }
+  if (length == 0 || totalGroups_ > std::numeric_limits<std::uint32_t>::max()) return;
+
+  posGroups_.resize(length * partitions_.size());
+  for (std::size_t p = 0; p < partitions_.size(); ++p) {
+    const std::vector<std::size_t>& table = tables_[p];
+    const std::uint32_t offset = static_cast<std::uint32_t>(groupOffsets_[p]);
+    for (std::size_t pos = 0; pos < length; ++pos) {
+      posGroups_[pos * partitions_.size() + p] =
+          offset + static_cast<std::uint32_t>(table[pos]);
+    }
+  }
+  batchReady_ = true;
 }
 
 }  // namespace scandiag

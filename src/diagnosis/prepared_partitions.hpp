@@ -10,12 +10,21 @@
 // (the same ownership rule as the topology and the good-machine data; see
 // docs/ARCHITECTURE.md "Hot-path memory discipline").
 //
+// On top of the per-partition tables it builds the *batch layout* the batched
+// MISR scorer (SessionEngine::runBatched, docs/ARCHITECTURE.md §11) keys on:
+// groups of all partitions are numbered globally (groupOffset(p) + g) and a
+// transposed flat table stores, per shift position, the global group id the
+// position belongs to in every partition — contiguously, so scoring a fault
+// is one pass over its failing positions with a unit-stride inner loop over
+// the schedule instead of a per-group membership scan per session.
+//
 // Construction also validates the schedule — groupTable() asserts that the
 // groups of each partition are disjoint and cover every position — so a
 // pipeline holding a PreparedPartitionSet never carries a malformed schedule.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "diagnosis/partition.hpp"
@@ -41,9 +50,34 @@ class PreparedPartitionSet {
   /// partitions()[p].groupTable() but computed once per schedule, not per call.
   const std::vector<std::size_t>& groupTable(std::size_t p) const { return tables_[p]; }
 
+  // -- Batch layout (global group numbering + transposed position table). ---
+
+  /// True when every partition spans the same selection axis, so the flat
+  /// transposed table below exists. Schedules built by buildPartitions()
+  /// always qualify; a hand-assembled mixed-length schedule falls back to the
+  /// per-session scorer.
+  bool batchReady() const { return batchReady_; }
+
+  /// Total sessions of the schedule (sum of groupCount() over partitions).
+  std::size_t totalGroups() const { return totalGroups_; }
+
+  /// First global group id of partition `p`; global id = groupOffset(p) + g.
+  std::size_t groupOffset(std::size_t p) const { return groupOffsets_[p]; }
+
+  /// The `size()` global group ids position `pos` belongs to, one per
+  /// partition, contiguous (transposed layout: one cache-friendly read per
+  /// failing position covers the whole schedule). Valid iff batchReady().
+  const std::uint32_t* groupsAtPosition(std::size_t pos) const {
+    return posGroups_.data() + pos * partitions_.size();
+  }
+
  private:
   std::vector<Partition> partitions_;
   std::vector<std::vector<std::size_t>> tables_;  // [partition][position]
+  bool batchReady_ = false;
+  std::size_t totalGroups_ = 0;
+  std::vector<std::size_t> groupOffsets_;  // [partition + 1]
+  std::vector<std::uint32_t> posGroups_;   // [position * size() + partition]
 };
 
 }  // namespace scandiag

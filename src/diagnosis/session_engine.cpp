@@ -1,5 +1,6 @@
 #include "diagnosis/session_engine.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "bist/primitive_polys.hpp"
@@ -7,6 +8,15 @@
 #include "obs/metrics.hpp"
 
 namespace scandiag {
+namespace {
+
+/// Cap on the per-cell contribution table (numCells × numPatterns u64
+/// entries, 32 MiB at the cap). Topologies past it — none of the bundled
+/// benchmarks come close — fall back to the per-bit model path inside the
+/// batched scorer, which computes the same signatures without the table.
+constexpr std::size_t kMaxContributionEntries = std::size_t{1} << 22;
+
+}  // namespace
 
 SessionEngine::SessionEngine(const ScanTopology& topology, const SessionConfig& config)
     : topology_(&topology), config_(config) {
@@ -32,6 +42,36 @@ const MisrLinearModel& SessionEngine::model() const {
                                                totalCycles);
   });
   return *model_;
+}
+
+const std::uint64_t* SessionEngine::contributions() const {
+  std::call_once(contribOnce_, [this] {
+    const std::size_t numCells = topology_->numCells();
+    const std::size_t patterns = config_.numPatterns;
+    if (numCells == 0 || numCells > kMaxContributionEntries / patterns) return;
+    const MisrLinearModel& misr = model();
+    const std::size_t chainLen = topology_->maxChainLength();
+    contrib_.assign(numCells * patterns, 0);
+    for (std::size_t cell = 0; cell < numCells; ++cell) {
+      const ScanTopology::CellLoc loc = topology_->location(cell);
+      std::uint64_t* out = contrib_.data() + cell * patterns;
+      const auto fold = [&](unsigned line) {
+        const std::uint64_t* w = misr.lineWeights(line);
+        for (std::size_t t = 0; t < patterns; ++t) out[t] ^= w[t * chainLen + loc.position];
+      };
+      if (!config_.compactor) {
+        fold(static_cast<unsigned>(loc.chain));
+      } else {
+        std::uint64_t column = config_.compactor->columnMask(loc.chain);
+        while (column) {
+          fold(static_cast<unsigned>(std::countr_zero(column)));
+          column &= column - 1;
+        }
+      }
+    }
+    contribReady_ = true;
+  });
+  return contribReady_ ? contrib_.data() : nullptr;
 }
 
 std::uint64_t SessionEngine::cellErrorSignature(std::size_t cell,
@@ -85,19 +125,35 @@ PartitionVerdictRow SessionEngine::computeRow(const Partition& partition,
 
 void SessionEngine::prepareCells(const FaultResponse& response, bool needSignatures,
                                  BitVector& failingPositions, std::vector<std::size_t>& cellPos,
-                                 std::vector<std::uint64_t>& cellSig) const {
+                                 std::vector<std::uint64_t>& cellSig,
+                                 const std::uint64_t* contribTable) const {
   // Positions holding at least one failing cell (drives exact verdicts).
   failingPositions = topology_->collapseCells(response.failingCells);
   // Per failing cell: chain position and (optionally) error signature.
   const std::size_t numFailing = response.failingCellOrdinals.size();
   cellPos.assign(numFailing, 0);
   cellSig.assign(numFailing, 0);
+  const std::size_t patterns = config_.numPatterns;
   std::uint64_t hashedWords = 0;
   for (std::size_t i = 0; i < numFailing; ++i) {
     const std::size_t cell = response.failingCellOrdinals[i];
     cellPos[i] = topology_->location(cell).position;
     if (needSignatures) {
-      cellSig[i] = cellErrorSignature(cell, response.errorStreams[i]);
+      if (contribTable) {
+        // Precomputed gather: one XOR per error bit, weights already folded
+        // through the compactor. Bit-identical to cellErrorSignature (same
+        // XOR sum, associativity aside).
+        const std::uint64_t* w = contribTable + cell * patterns;
+        const BitVector& stream = response.errorStreams[i];
+        std::uint64_t sig = 0;
+        for (std::size_t t = stream.findFirst(); t != BitVector::npos;
+             t = stream.findNext(t)) {
+          sig ^= w[t];
+        }
+        cellSig[i] = sig;
+      } else {
+        cellSig[i] = cellErrorSignature(cell, response.errorStreams[i]);
+      }
       hashedWords += response.errorStreams[i].wordCount();
     }
   }
@@ -119,7 +175,7 @@ GroupVerdicts SessionEngine::runImpl(const std::vector<Partition>& partitions,
   BitVector failingPositions;
   std::vector<std::size_t> cellPos;
   std::vector<std::uint64_t> cellSig;
-  prepareCells(response, needSignatures, failingPositions, cellPos, cellSig);
+  prepareCells(response, needSignatures, failingPositions, cellPos, cellSig, nullptr);
 
   GroupVerdicts verdicts;
   verdicts.failing.reserve(partitions.size());
@@ -145,8 +201,144 @@ GroupVerdicts SessionEngine::runImpl(const std::vector<Partition>& partitions,
   return verdicts;
 }
 
+GroupVerdicts SessionEngine::runBatched(const PreparedPartitionSet& prepared,
+                                        const FaultResponse& response,
+                                        SessionBatchScratch* scratch) const {
+  SCANDIAG_REQUIRE(prepared.batchReady(), "batched scorer needs the batch layout");
+  SCANDIAG_REQUIRE(prepared.partition(0).length() == topology_->maxChainLength(),
+                   "partition length does not match topology");
+  // Same no-PhaseScope rule as runImpl: per-fault hot path.
+  const bool needSignatures =
+      config_.mode == SignatureMode::Misr || config_.computeSignatures;
+  const std::size_t numPartitions = prepared.size();
+  const std::size_t total = prepared.totalGroups();
+
+  SessionBatchScratch local;
+  SessionBatchScratch& s = scratch ? *scratch : local;
+  if (needSignatures) {
+    prepareCells(response, true, s.failingPositions, s.cellPos, s.cellSig, contributions());
+  } else {
+    // Exact verdicts need only the collapsed failing positions; skip the
+    // per-cell position/signature pass entirely (the reference path keeps it
+    // because computeRow's interface is shared with the signature modes).
+    // Filling the scratch vector from the dense ordinal list — rather than
+    // ScanTopology::collapseCells — means a reused scratch allocates nothing
+    // and nothing scans the full per-cell bit vector. The bit vector dedupes
+    // positions shared by cells on different chains.
+    s.failingPositions.resize(topology_->maxChainLength());
+    s.failingPositions.resetAll();
+    BitVector::Word* seen = s.failingPositions.data();
+    for (const std::size_t cell : response.failingCellOrdinals) {
+      const std::size_t pos = topology_->location(cell).position;
+      seen[pos / BitVector::kWordBits] |= BitVector::Word{1}
+                                          << (pos % BitVector::kWordBits);
+    }
+    s.cellPos.clear();
+    s.cellSig.clear();
+  }
+
+  // Flat scoreboards over the schedule's global group ids; reset in place so
+  // a reused scratch allocates nothing in steady state.
+  std::uint64_t contribCells = 0;
+  if (needSignatures) {
+    s.flatSig.assign(total, 0);
+    for (std::size_t i = 0; i < s.cellPos.size(); ++i) {
+      const std::uint32_t* row = prepared.groupsAtPosition(s.cellPos[i]);
+      const std::uint64_t sig = s.cellSig[i];
+      for (std::size_t p = 0; p < numPartitions; ++p) s.flatSig[row[p]] ^= sig;
+    }
+    contribCells += s.cellPos.size() * numPartitions;
+  }
+  if (config_.mode == SignatureMode::Exact) {
+    s.groupFail.resize(total);
+    s.groupFail.resetAll();
+    BitVector::Word* words = s.groupFail.data();
+    // Word-wise iteration over failing positions: findNext() is an
+    // out-of-line call per set bit, which dominates the whole scorer once
+    // everything else is a fused pass.
+    const BitVector::Word* fw = s.failingPositions.data();
+    const std::size_t nw = s.failingPositions.wordCount();
+    for (std::size_t wi = 0; wi < nw; ++wi) {
+      BitVector::Word bits = fw[wi];
+      while (bits) {
+        const std::size_t pos =
+            wi * BitVector::kWordBits + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::uint32_t* row = prepared.groupsAtPosition(pos);
+        for (std::size_t p = 0; p < numPartitions; ++p) {
+          const std::uint32_t id = row[p];
+          words[id / BitVector::kWordBits] |= BitVector::Word{1}
+                                              << (id % BitVector::kWordBits);
+        }
+        contribCells += numPartitions;
+      }
+    }
+  }
+
+  GroupVerdicts verdicts;
+  verdicts.failing.reserve(numPartitions);
+  if (needSignatures) {
+    verdicts.hasSignatures = true;
+    verdicts.signatureDegree =
+        config_.mode == SignatureMode::Misr ? config_.misrDegree : config_.pruneDegree;
+    verdicts.errorSig.reserve(numPartitions);
+  }
+  for (std::size_t p = 0; p < numPartitions; ++p) {
+    verdicts.failing.emplace_back(prepared.partition(p).groupCount());
+  }
+  if (config_.mode == SignatureMode::Exact) {
+    // Sparse compose: one word-wise sweep over the set bits of the flat
+    // scoreboard. Global group ids ascend with the partition index, so the
+    // partition cursor only ever moves forward.
+    std::size_t p = 0;
+    const BitVector::Word* gw = s.groupFail.data();
+    const std::size_t nw = s.groupFail.wordCount();
+    for (std::size_t wi = 0; wi < nw; ++wi) {
+      BitVector::Word bits = gw[wi];
+      while (bits) {
+        const std::size_t id =
+            wi * BitVector::kWordBits + static_cast<std::size_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        while (id >= prepared.groupOffset(p + 1)) ++p;
+        verdicts.failing[p].set(id - prepared.groupOffset(p));
+      }
+    }
+  }
+  if (needSignatures) {
+    for (std::size_t p = 0; p < numPartitions; ++p) {
+      const std::size_t b = prepared.partition(p).groupCount();
+      const std::size_t off = prepared.groupOffset(p);
+      if (config_.mode != SignatureMode::Exact) {
+        BitVector& failing = verdicts.failing[p];
+        for (std::size_t g = 0; g < b; ++g) {
+          if (s.flatSig[off + g] != 0) failing.set(g);
+        }
+      }
+      verdicts.errorSig.emplace_back(s.flatSig.begin() + static_cast<std::ptrdiff_t>(off),
+                                     s.flatSig.begin() + static_cast<std::ptrdiff_t>(off + b));
+    }
+  }
+
+  // PartitionsEvaluated / SessionsRun deltas match runImpl exactly (the
+  // counter-parity contract); the two batch counters tally batched-only work.
+  obs::count(obs::Counter::PartitionsEvaluated, numPartitions);
+  obs::count(obs::Counter::SessionsRun, total);
+  obs::count(obs::Counter::BatchedGroupScores, total);
+  if (contribCells > 0) obs::count(obs::Counter::BatchContribCells, contribCells);
+  return verdicts;
+}
+
 GroupVerdicts SessionEngine::run(const PreparedPartitionSet& prepared,
-                                 const FaultResponse& response) const {
+                                 const FaultResponse& response,
+                                 SessionBatchScratch* scratch) const {
+  if (config_.scorer == SessionScorer::Batched && prepared.batchReady()) {
+    return runBatched(prepared, response, scratch);
+  }
+  return runImpl(prepared.partitions(), &prepared, response);
+}
+
+GroupVerdicts SessionEngine::runReference(const PreparedPartitionSet& prepared,
+                                          const FaultResponse& response) const {
   return runImpl(prepared.partitions(), &prepared, response);
 }
 
@@ -166,7 +358,7 @@ PartitionVerdictRow SessionEngine::runPartitionImpl(
   BitVector failingPositions;
   std::vector<std::size_t> cellPos;
   std::vector<std::uint64_t> cellSig;
-  prepareCells(response, needSignatures, failingPositions, cellPos, cellSig);
+  prepareCells(response, needSignatures, failingPositions, cellPos, cellSig, nullptr);
   return computeRow(partition, failingPositions, cellPos, cellSig, needSignatures, groupTable);
 }
 

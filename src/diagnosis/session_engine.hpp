@@ -17,6 +17,22 @@
 // Error signatures are also the input to the superposition pruner; in exact
 // mode they can be computed on the side with a wider register so pruning
 // stays available without injecting aliasing into the verdicts.
+//
+// Two scorers produce these verdicts (SessionConfig::scorer):
+//
+//  * **Batched** (default hot path): MISR linearity means a session's error
+//    signature is the XOR of its cells' individual error signatures, and the
+//    group-membership structure is fixed per schedule — so ALL groups of ALL
+//    partitions are scored in one pass over the fault's failing cells against
+//    the PreparedPartitionSet's transposed position→global-group table, one
+//    XOR (or one bit-set) per (cell, partition). No per-group membership scan
+//    ever runs. See docs/ARCHITECTURE.md §11.
+//  * **PerSession** (reference): the literal one-session-at-a-time evaluation
+//    (per-group intersects / per-partition signature bucketing). Kept as the
+//    parity oracle — tests/diagnosis/batched_parity_test holds the two
+//    bit-identical across schemes, circuits, thread counts, pruning, and
+//    noise — and as the fallback for bare (unprepared) schedules and the
+//    per-partition retry path of the recovery layer.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +54,11 @@ enum class SignatureMode {
   Misr,   // group fails iff MISR error signature != 0
 };
 
+enum class SessionScorer {
+  Batched,     // one-pass scoring over the prepared schedule (hot path)
+  PerSession,  // per-group reference evaluation (parity oracle / fallback)
+};
+
 struct SessionConfig {
   SignatureMode mode = SignatureMode::Exact;
   std::size_t numPatterns = 128;
@@ -52,6 +73,9 @@ struct SessionConfig {
   /// Optional space compactor between the scan-out lines and the MISR (must
   /// outlive the engine). Null = one MISR input per chain.
   const SpaceCompactor* compactor = nullptr;
+  /// Which scorer run(prepared, ...) dispatches to. PerSession forces the
+  /// reference path everywhere (parity tests, A/B benches).
+  SessionScorer scorer = SessionScorer::Batched;
 };
 
 struct GroupVerdicts {
@@ -70,6 +94,19 @@ struct PartitionVerdictRow {
   std::vector<std::uint64_t> errorSig;  // empty unless signatures are computed
 };
 
+/// Reusable buffers for the batched scorer. One lives on each thread-pool
+/// worker's stack for a whole chunk of faults (DiagnosisPipeline::evaluate),
+/// so the steady state allocates nothing per fault. Never shared across
+/// threads.
+struct SessionBatchScratch {
+  BitVector failingPositions;
+  std::vector<std::size_t> cellPos;
+  std::vector<std::uint64_t> cellSig;
+  /// Flat per-global-group scoreboards (PreparedPartitionSet numbering).
+  BitVector groupFail;
+  std::vector<std::uint64_t> flatSig;
+};
+
 class SessionEngine {
  public:
   SessionEngine(const ScanTopology& topology, const SessionConfig& config);
@@ -77,20 +114,33 @@ class SessionEngine {
   const ScanTopology& topology() const { return *topology_; }
   const SessionConfig& config() const { return config_; }
 
-  /// Hot-path entry point: group tables come precomputed from the prepared
-  /// schedule, so a signature-mode run does no per-(fault × partition) table
-  /// rebuild. Bit-identical to the std::vector<Partition> overload.
-  GroupVerdicts run(const PreparedPartitionSet& prepared, const FaultResponse& response) const;
+  /// Hot-path entry point: dispatches to the batched scorer (default) or the
+  /// per-session reference per config().scorer; a prepared set without the
+  /// batch layout (batchReady() == false) also falls back to the reference.
+  /// Both scorers are bit-identical. `scratch` (optional) reuses buffers
+  /// across calls on the batched path.
+  GroupVerdicts run(const PreparedPartitionSet& prepared, const FaultResponse& response,
+                    SessionBatchScratch* scratch = nullptr) const;
+
+  /// One-pass batched scorer (requires prepared.batchReady()).
+  GroupVerdicts runBatched(const PreparedPartitionSet& prepared, const FaultResponse& response,
+                           SessionBatchScratch* scratch = nullptr) const;
+
+  /// Per-session reference scorer over a prepared schedule — the parity
+  /// oracle runBatched() is tested against, regardless of config().scorer.
+  GroupVerdicts runReference(const PreparedPartitionSet& prepared,
+                             const FaultResponse& response) const;
 
   /// Convenience overload for callers holding a bare schedule (tests, one-off
-  /// diagnoses): rebuilds each partition's group table per call.
+  /// diagnoses): rebuilds each partition's group table per call. Always the
+  /// per-session reference.
   GroupVerdicts run(const std::vector<Partition>& partitions,
                     const FaultResponse& response) const;
 
   /// Re-runs the sessions of one partition (same patterns, same capture data
   /// — on a noiseless tester this reproduces run()'s row for that partition
   /// bit-for-bit). This is the unit the recovery layer re-executes when a
-  /// session verdict is suspect.
+  /// session verdict is suspect; always the per-session reference path.
   PartitionVerdictRow runPartition(const Partition& partition,
                                    const FaultResponse& response) const;
 
@@ -104,9 +154,17 @@ class SessionEngine {
 
  private:
   const MisrLinearModel& model() const;
+  /// Per-cell signature-contribution table: contributions()[cell * patterns
+  /// + t] is the final-signature weight of an error in `cell` at pattern t
+  /// (compactor columns folded in). Built once per engine under call_once;
+  /// null when the topology is too large for the table (the batched scorer
+  /// then computes signatures through the per-bit model path — identical
+  /// values, just without the precomputed gather).
+  const std::uint64_t* contributions() const;
   void prepareCells(const FaultResponse& response, bool needSignatures,
                     BitVector& failingPositions, std::vector<std::size_t>& cellPos,
-                    std::vector<std::uint64_t>& cellSig) const;
+                    std::vector<std::uint64_t>& cellSig,
+                    const std::uint64_t* contribTable) const;
   /// `groupTable` may be null: signature bucketing then rebuilds the table
   /// from the partition (the non-prepared fallback path).
   PartitionVerdictRow computeRow(const Partition& partition, const BitVector& failingPositions,
@@ -126,6 +184,10 @@ class SessionEngine {
   // concurrent run() calls from the thread pool race-freely share one model.
   mutable std::once_flag modelOnce_;
   mutable std::unique_ptr<MisrLinearModel> model_;
+  // Lazy per-cell contribution table (batched scorer); same sharing rule.
+  mutable std::once_flag contribOnce_;
+  mutable std::vector<std::uint64_t> contrib_;
+  mutable bool contribReady_ = false;
 };
 
 }  // namespace scandiag

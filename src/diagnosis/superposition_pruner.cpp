@@ -6,35 +6,16 @@
 #include "common/gf2.hpp"
 
 namespace scandiag {
+namespace {
 
-CandidateSet SuperpositionPruner::prune(const std::vector<Partition>& partitions,
-                                        const GroupVerdicts& verdicts,
-                                        const CandidateSet& candidates,
-                                        PruneStats* stats) const {
-  // Group-membership table per partition, rebuilt for this call only.
-  std::vector<std::vector<std::size_t>> rebuilt;
-  rebuilt.reserve(partitions.size());
-  for (const Partition& p : partitions) rebuilt.push_back(p.groupTable());
-  std::vector<const std::vector<std::size_t>*> tables;
-  tables.reserve(rebuilt.size());
-  for (const auto& t : rebuilt) tables.push_back(&t);
-  return pruneImpl(partitions, tables, verdicts, candidates, stats);
-}
-
-CandidateSet SuperpositionPruner::prune(const PreparedPartitionSet& prepared,
-                                        const GroupVerdicts& verdicts,
-                                        const CandidateSet& candidates,
-                                        PruneStats* stats) const {
-  std::vector<const std::vector<std::size_t>*> tables;
-  tables.reserve(prepared.size());
-  for (std::size_t p = 0; p < prepared.size(); ++p) tables.push_back(&prepared.groupTable(p));
-  return pruneImpl(prepared.partitions(), tables, verdicts, candidates, stats);
-}
-
-CandidateSet SuperpositionPruner::pruneImpl(
-    const std::vector<Partition>& partitions,
-    const std::vector<const std::vector<std::size_t>*>& tables, const GroupVerdicts& verdicts,
-    const CandidateSet& candidates, PruneStats* stats) const {
+/// Shared pruning engine; `groupOf(p, pos)` resolves a position's group index
+/// in partition p. The three call sites differ only in where that membership
+/// lookup comes from (rebuilt table / prepared table / transposed batch
+/// layout), so the GF(2) machinery is written once against the accessor.
+template <typename GroupOf>
+CandidateSet pruneWith(const ScanTopology& topology, const std::vector<Partition>& partitions,
+                       GroupOf&& groupOf, const GroupVerdicts& verdicts,
+                       const CandidateSet& candidates, PruneStats* stats) {
   SCANDIAG_REQUIRE(verdicts.hasSignatures,
                    "superposition pruning needs error signatures (set computeSignatures)");
   SCANDIAG_REQUIRE(partitions.size() == verdicts.failing.size(),
@@ -53,7 +34,7 @@ CandidateSet SuperpositionPruner::pruneImpl(
   std::vector<std::size_t> key(partitions.size());
   for (std::size_t i = 0; i < candPositions.size(); ++i) {
     const std::size_t pos = candPositions[i];
-    for (std::size_t p = 0; p < partitions.size(); ++p) key[p] = (*tables[p])[pos];
+    for (std::size_t p = 0; p < partitions.size(); ++p) key[p] = groupOf(p, pos);
     const auto [it, inserted] = atomIndex.emplace(key, atomPositions.size());
     if (inserted) atomPositions.emplace_back();
     atomPositions[it->second].push_back(pos);
@@ -73,7 +54,7 @@ CandidateSet SuperpositionPruner::pruneImpl(
       BitVector coeffs(numAtoms);
       for (std::size_t a = 0; a < numAtoms; ++a) {
         // Atom membership is uniform across its positions; test the first.
-        if ((*tables[p])[atomPositions[a].front()] == g) coeffs.set(a);
+        if (groupOf(p, atomPositions[a].front()) == g) coeffs.set(a);
       }
       BitVector rhs(degree);
       const std::uint64_t sig = verdicts.errorSig[p][g];
@@ -100,9 +81,46 @@ CandidateSet SuperpositionPruner::pruneImpl(
       ++local.prunedPositions;
     }
   }
-  pruned.cells = topology_->expandPositions(pruned.positions);
+  pruned.cells = topology.expandPositions(pruned.positions);
   if (stats) *stats = local;
   return pruned;
+}
+
+}  // namespace
+
+CandidateSet SuperpositionPruner::prune(const std::vector<Partition>& partitions,
+                                        const GroupVerdicts& verdicts,
+                                        const CandidateSet& candidates,
+                                        PruneStats* stats) const {
+  // Group-membership table per partition, rebuilt for this call only.
+  std::vector<std::vector<std::size_t>> tables;
+  tables.reserve(partitions.size());
+  for (const Partition& p : partitions) tables.push_back(p.groupTable());
+  return pruneWith(
+      *topology_, partitions,
+      [&](std::size_t p, std::size_t pos) { return tables[p][pos]; }, verdicts, candidates,
+      stats);
+}
+
+CandidateSet SuperpositionPruner::prune(const PreparedPartitionSet& prepared,
+                                        const GroupVerdicts& verdicts,
+                                        const CandidateSet& candidates,
+                                        PruneStats* stats) const {
+  if (prepared.batchReady()) {
+    // Transposed batch layout: a position's whole membership vector is one
+    // contiguous read; global ids translate back with the partition offset.
+    return pruneWith(
+        *topology_, prepared.partitions(),
+        [&](std::size_t p, std::size_t pos) {
+          return static_cast<std::size_t>(prepared.groupsAtPosition(pos)[p]) -
+                 prepared.groupOffset(p);
+        },
+        verdicts, candidates, stats);
+  }
+  return pruneWith(
+      *topology_, prepared.partitions(),
+      [&](std::size_t p, std::size_t pos) { return prepared.groupTable(p)[pos]; }, verdicts,
+      candidates, stats);
 }
 
 }  // namespace scandiag

@@ -45,18 +45,14 @@ class SuperpositionPruner {
   CandidateSet prune(const std::vector<Partition>& partitions, const GroupVerdicts& verdicts,
                      const CandidateSet& candidates, PruneStats* stats = nullptr) const;
 
-  /// Hot-path overload: group tables come from the prepared schedule (built
-  /// once per pipeline), eliminating the per-fault table rebuild. Output is
-  /// bit-identical to the std::vector<Partition> overload.
+  /// Hot-path overload: group membership comes from the prepared schedule
+  /// (built once per pipeline) — the transposed batch layout when available,
+  /// per-partition tables otherwise — with no per-fault setup at all. Output
+  /// is bit-identical to the std::vector<Partition> overload.
   CandidateSet prune(const PreparedPartitionSet& prepared, const GroupVerdicts& verdicts,
                      const CandidateSet& candidates, PruneStats* stats = nullptr) const;
 
  private:
-  CandidateSet pruneImpl(const std::vector<Partition>& partitions,
-                         const std::vector<const std::vector<std::size_t>*>& tables,
-                         const GroupVerdicts& verdicts, const CandidateSet& candidates,
-                         PruneStats* stats) const;
-
   const ScanTopology* topology_;
 };
 

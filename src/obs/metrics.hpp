@@ -20,8 +20,11 @@
 //    available (a few hundred bytes) so exporters and tests still link.
 //  * Enabled build, runtime off (`SCANDIAG_METRICS=off` environment variable
 //    or setEnabled(false)): one relaxed atomic load + branch per site.
-//  * Enabled: one relaxed CAS per counter add, two steady_clock reads per
-//    scope. Counters sit at per-fault / per-partition granularity, never
+//  * Enabled: one relaxed CAS per counter add — into the calling thread's own
+//    cache-line-padded counter stripe (kCounterStripes round-robin lanes), so
+//    concurrent adds from pool workers neither contend nor false-share — and
+//    two steady_clock reads per scope. Counters sit at per-fault / per-partition
+//    granularity, never
 //    inside bit-level inner loops. PhaseScope/WorkerScope are costlier (the
 //    clock reads) and are therefore kept OFF the per-fault bodies of the
 //    batch DR loops — they wrap single-fault APIs, per-batch regions, and
@@ -71,6 +74,8 @@ enum class Counter : unsigned {
   JournalRecordsWritten,    // checkpoint records appended by this process
   JournalRecordsReplayed,   // checkpoint records replayed from a prior run
   WatchdogCancels,          // watchdog deadline trips (cancellation requested)
+  BatchedGroupScores,       // group verdicts produced by the batched scorer
+  BatchContribCells,        // per-cell contributions folded by the batched scorer
   kCount,
 };
 
@@ -108,6 +113,8 @@ constexpr const char* counterName(Counter c) {
     case Counter::JournalRecordsWritten: return "journal_records_written";
     case Counter::JournalRecordsReplayed: return "journal_records_replayed";
     case Counter::WatchdogCancels: return "watchdog_cancels";
+    case Counter::BatchedGroupScores: return "batched_group_scores";
+    case Counter::BatchContribCells: return "batch_contrib_cells";
     case Counter::kCount: break;
   }
   return "unknown_counter";
@@ -158,6 +165,16 @@ struct MetricsSnapshot {
 // ---------------------------------------------------------------------------
 // Registry.
 
+/// Counter stripes: each stripe is a cache-line-aligned block of counter
+/// cells, and every thread is pinned (round-robin at first use) to one
+/// stripe. Two threads therefore never contend on — or false-share — a
+/// counter cache line unless more than kCounterStripes threads are live, and
+/// totals stay exact: each increment lands in exactly one stripe, snapshot()
+/// sums the stripes, so the aggregate is the same deterministic tally the
+/// single-array design produced (the bit-identical-across-thread-counts
+/// contract is unchanged).
+inline constexpr std::size_t kCounterStripes = 16;
+
 class MetricsRegistry {
  public:
   /// Process-wide instance. First use decides the initial runtime state from
@@ -173,8 +190,9 @@ class MetricsRegistry {
   /// Saturating add: the counter sticks at UINT64_MAX instead of wrapping, so
   /// a long-running service degrades to "at least this many" rather than
   /// resetting to a small lie. Exact (never loses increments) below the cap.
+  /// Lands in the calling thread's stripe — uncontended in the steady state.
   void add(Counter c, std::uint64_t n = 1) {
-    saturatingAdd(counters_[static_cast<std::size_t>(c)], n);
+    saturatingAdd(stripes_[threadStripe()].cells[static_cast<std::size_t>(c)], n);
   }
 
   void addPhase(Phase p, std::uint64_t nanos) {
@@ -185,35 +203,45 @@ class MetricsRegistry {
 
   void recordWorker(std::size_t lane, std::uint64_t busyNanos) {
     if (lane >= kMaxTrackedWorkers) return;
-    saturatingAdd(workerBusy_[lane], busyNanos);
-    saturatingAdd(workerTasks_[lane], 1);
+    saturatingAdd(workers_[lane].busy, busyNanos);
+    saturatingAdd(workers_[lane].tasks, 1);
   }
 
   /// Zeroes every counter/timer. Not linearizable against concurrent adds —
   /// call it only while no instrumented work is in flight (bench setup, test
   /// fixtures), same rule as setGlobalThreadCount().
   void reset() {
-    for (auto& c : counters_) c.store(0, std::memory_order_relaxed);
+    for (auto& stripe : stripes_)
+      for (auto& c : stripe.cells) c.store(0, std::memory_order_relaxed);
     for (auto& p : phaseNanos_) p.store(0, std::memory_order_relaxed);
     for (auto& p : phaseCalls_) p.store(0, std::memory_order_relaxed);
-    for (auto& w : workerBusy_) w.store(0, std::memory_order_relaxed);
-    for (auto& w : workerTasks_) w.store(0, std::memory_order_relaxed);
+    for (auto& w : workers_) {
+      w.busy.store(0, std::memory_order_relaxed);
+      w.tasks.store(0, std::memory_order_relaxed);
+    }
   }
 
-  /// Plain-value copy. Exact when no instrumented work is in flight.
+  /// Plain-value copy. Exact when no instrumented work is in flight. Counter
+  /// totals are the saturating sum over the stripes.
   MetricsSnapshot snapshot() const {
     MetricsSnapshot snap;
-    for (std::size_t i = 0; i < kNumCounters; ++i)
-      snap.counters[i] = counters_[i].load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      std::uint64_t total = 0;
+      for (const CounterStripe& stripe : stripes_) {
+        const std::uint64_t part = stripe.cells[i].load(std::memory_order_relaxed);
+        total = part > UINT64_MAX - total ? UINT64_MAX : total + part;
+      }
+      snap.counters[i] = total;
+    }
     for (std::size_t i = 0; i < kNumPhases; ++i) {
       snap.phases[i].nanos = phaseNanos_[i].load(std::memory_order_relaxed);
       snap.phases[i].calls = phaseCalls_[i].load(std::memory_order_relaxed);
     }
     for (std::size_t lane = 0; lane < kMaxTrackedWorkers; ++lane) {
-      const std::uint64_t tasks = workerTasks_[lane].load(std::memory_order_relaxed);
+      const std::uint64_t tasks = workers_[lane].tasks.load(std::memory_order_relaxed);
       if (tasks == 0) continue;
       snap.workers.push_back(
-          WorkerStat{lane, workerBusy_[lane].load(std::memory_order_relaxed), tasks});
+          WorkerStat{lane, workers_[lane].busy.load(std::memory_order_relaxed), tasks});
     }
     return snap;
   }
@@ -240,12 +268,37 @@ class MetricsRegistry {
     }
   }
 
+  /// One block of counter cells, padded out to its own cache line(s) so
+  /// stripes never share a line with each other (or with enabled_, which
+  /// every count() reads).
+  struct alignas(64) CounterStripe {
+    std::array<std::atomic<std::uint64_t>, kNumCounters> cells{};
+  };
+
+  /// Per-worker utilization slot, one cache line each: pool workers record
+  /// into their own lane concurrently, so adjacent lanes must not share.
+  struct alignas(64) WorkerLane {
+    std::atomic<std::uint64_t> busy{0};
+    std::atomic<std::uint64_t> tasks{0};
+  };
+
+  /// Stripe of the calling thread, assigned round-robin on first use. The
+  /// assignment is scheduling-dependent, but only *placement* varies — every
+  /// increment still lands exactly once, so summed totals stay deterministic.
+  static std::size_t threadStripe() {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t stripe =
+        next.fetch_add(1, std::memory_order_relaxed) % kCounterStripes;
+    return stripe;
+  }
+
   std::atomic<bool> enabled_{true};
-  std::array<std::atomic<std::uint64_t>, kNumCounters> counters_{};
+  std::array<CounterStripe, kCounterStripes> stripes_{};
+  // Phase timers are low-frequency (per-batch / single-fault API scopes
+  // only), so a shared array is fine; worker lanes are padded above.
   std::array<std::atomic<std::uint64_t>, kNumPhases> phaseNanos_{};
   std::array<std::atomic<std::uint64_t>, kNumPhases> phaseCalls_{};
-  std::array<std::atomic<std::uint64_t>, kMaxTrackedWorkers> workerBusy_{};
-  std::array<std::atomic<std::uint64_t>, kMaxTrackedWorkers> workerTasks_{};
+  std::array<WorkerLane, kMaxTrackedWorkers> workers_{};
 };
 
 // ---------------------------------------------------------------------------

@@ -128,10 +128,15 @@ std::vector<bool> ParallelFaultSimulator::detectFaults(
     // One scratch per worker chunk: the O(gateCount) buffers are allocated
     // once here and reused across every batch of the chunk.
     BatchScratch scratch(netlist_->gateCount());
+    // Stage the chunk's result words locally and copy out once: workers then
+    // never store into `masks` words that share a cache line with a
+    // neighboring chunk's while that neighbor is still running.
+    std::vector<SimWord> staged(end - begin, 0);
     for (std::size_t batch = begin; batch < end; ++batch) {
       control.throwIfStopped();
-      masks[batch] = detectBatch(faults, batch * 64, scratch);
+      staged[batch - begin] = detectBatch(faults, batch * 64, scratch);
     }
+    std::copy(staged.begin(), staged.end(), masks.begin() + static_cast<std::ptrdiff_t>(begin));
   });
   std::vector<bool> detected(faults.size(), false);
   for (std::size_t i = 0; i < faults.size(); ++i) {

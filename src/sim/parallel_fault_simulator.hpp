@@ -44,7 +44,9 @@ class ParallelFaultSimulator {
   /// O(gateCount) vectors are allocated once per worker instead of once per
   /// batch. detectBatch() leaves the injection masks all-zero on return
   /// (clearing exactly the gates it touched), keeping reuse exact.
-  struct BatchScratch {
+  /// Cache-line aligned so two workers' scratch headers (the vector
+  /// control blocks they update on every batch) never share a line.
+  struct alignas(64) BatchScratch {
     explicit BatchScratch(std::size_t gateCount)
         : force0(gateCount, 0), force1(gateCount, 0), hasPinLane(gateCount, 0),
           values(gateCount, 0) {}
