@@ -1,0 +1,344 @@
+// Serve-mode benchmark: what does keeping the diagnosis state warm buy, and
+// what does the admission layer do under overload?
+//
+// Three phases:
+//  1. Warm-vs-cold (s9234, timing only): per-request latency of a running
+//     server over its socket vs. paying service construction (netlist,
+//     patterns, fault-free sim, prepared partitions) per invocation — the
+//     cost the one-shot CLI pays every time. Reported as warm_speedup.
+//  2. Overload (s9234, timing only): concurrent one-shot clients against a
+//     1-handler server with a 2-deep queue; reports the shed rate the
+//     admission layer enforced instead of queueing unboundedly.
+//  3. Golden (s953, counter-gated): a fixed request sequence — 24 diagnoses,
+//     4 rejected frames (2 corrupt CRCs + 2 unknown types), 4 deterministic
+//     sheds against a saturated 1-handler server — so serve_requests_ok,
+//     serve_requests_shed, serve_frames_rejected, and serve_deadline_degraded
+//     are exact across runs and thread counts. Warm-phase latency percentiles
+//     (p50/p99/rps) land in the timing section, which CI ignores.
+//
+// Writes results/BENCH_serve.json.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/scandiag.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+using namespace scandiag;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double millisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+std::string socketPathFor(const char* tag) {
+  return "/tmp/scandiag_bench_serve_" + std::to_string(::getpid()) + "_" + tag + ".sock";
+}
+
+/// A DiagnosisServer running on its own thread; stops + joins on destruction.
+class RunningServer {
+ public:
+  RunningServer(const serve::DiagnosisService& service, serve::ServeOptions options)
+      : server_(service, std::move(options)), thread_([this] { exitCode_ = server_.run(); }) {
+    if (!server_.waitUntilListening(10000)) {
+      throw std::runtime_error("bench_serve: server did not start listening");
+    }
+  }
+  ~RunningServer() {
+    server_.stop();
+    thread_.join();
+  }
+
+  serve::DiagnosisServer& server() { return server_; }
+  int exitCode() const { return exitCode_; }
+
+ private:
+  serve::DiagnosisServer server_;
+  std::thread thread_;
+  int exitCode_ = -1;
+};
+
+/// Raw connect for the malformed-frame sends (the typed client refuses to
+/// speak garbage, which is exactly why the bench cannot use it here).
+int rawConnect(const std::string& path) {
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0 || ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof addr) != 0) {
+    if (fd >= 0) ::close(fd);
+    throw std::runtime_error("bench_serve: raw connect to " + path + " failed");
+  }
+  return fd;
+}
+
+void rawSend(const std::string& path, const std::string& bytes) {
+  const int fd = rawConnect(path);
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + done, bytes.size() - done, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    done += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+}
+
+/// Spin until `ready` or ~5 s; the server books terminals asynchronously to
+/// the client's reply, so counter assertions need a settle.
+template <typename Pred>
+bool settle(Pred ready) {
+  for (int i = 0; i < 500; ++i) {
+    if (ready()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return ready();
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const std::size_t rank =
+      std::min(sorted.size() - 1,
+               static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[rank];
+}
+
+serve::DiagnoseRequest injectRequest(const std::string& gate, bool sa) {
+  serve::DiagnoseRequest request;
+  request.kind = serve::DiagnoseRequest::Kind::InjectFault;
+  request.gateName = gate;
+  request.stuckAt1 = sa;
+  return request;
+}
+
+}  // namespace
+
+int main() {
+  benchutil::banner(
+      "Serve mode: warm-state speedup, overload shedding, request accounting",
+      "no claim — service extension; the paper's flow is one-shot per diagnosis");
+
+  // ---- Phase 1: warm vs cold on s9234 (timing only) ----------------------
+  const Netlist s9234 = generateNamedCircuit("s9234");
+  serve::ServiceConfig bigConfig;  // two-step, 8 partitions x 16 groups, 128 patterns
+  const serve::DiagnosisService bigService(Netlist(s9234), bigConfig);
+
+  // A fault the pattern set detects, so both sides do the full diagnosis.
+  std::string gate;
+  bool sa = true;
+  for (const FaultSite& fault :
+       FaultList::enumerateCollapsed(s9234).sample(32, /*seed=*/0xBE7C)) {
+    if (!fault.isOutputFault()) continue;
+    const serve::DiagnoseReply probe = bigService.handle(
+        injectRequest(s9234.gateName(fault.gate), fault.stuckAt), 0,
+        std::chrono::milliseconds(0), nullptr);
+    if (probe.detected) {
+      gate = s9234.gateName(fault.gate);
+      sa = fault.stuckAt;
+      break;
+    }
+  }
+  if (gate.empty()) throw std::runtime_error("bench_serve: no detected s9234 fault found");
+
+  constexpr std::size_t kColdRuns = 3;
+  const Clock::time_point coldStart = Clock::now();
+  for (std::size_t i = 0; i < kColdRuns; ++i) {
+    const serve::DiagnosisService coldService(Netlist(s9234), bigConfig);
+    (void)coldService.handle(injectRequest(gate, sa), 0, std::chrono::milliseconds(0),
+                             nullptr);
+  }
+  const double coldPerRequestMs = millisSince(coldStart) / kColdRuns;
+
+  constexpr std::size_t kWarmRuns = 20;
+  double warmPerRequestMs = 0.0;
+  {
+    serve::ServeOptions options;
+    options.socketPath = socketPathFor("warm");
+    RunningServer running(bigService, options);
+    serve::ClientOptions client;
+    client.socketPath = options.socketPath;
+    const Clock::time_point warmStart = Clock::now();
+    for (std::size_t i = 0; i < kWarmRuns; ++i) {
+      (void)serve::requestDiagnosis(client, injectRequest(gate, sa));
+    }
+    warmPerRequestMs = millisSince(warmStart) / kWarmRuns;
+  }
+  const double warmSpeedup = warmPerRequestMs > 0 ? coldPerRequestMs / warmPerRequestMs : 0;
+  benchutil::row("warm vs cold (s9234, %s/SA%d): cold %.1f ms/req, warm %.2f ms/req "
+                 "-> %.1fx",
+                 gate.c_str(), sa ? 1 : 0, coldPerRequestMs, warmPerRequestMs, warmSpeedup);
+
+  // ---- Phase 2: overload shedding on s9234 (timing only) -----------------
+  double overloadShedRate = 0.0;
+  {
+    serve::ServeOptions options;
+    options.socketPath = socketPathFor("overload");
+    options.queueCapacity = 2;
+    options.handlers = 1;
+    RunningServer running(bigService, options);
+    constexpr std::size_t kClients = 12;
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (std::size_t i = 0; i < kClients; ++i) {
+      clients.emplace_back([&options, &gate, sa] {
+        serve::ClientOptions oneShot;
+        oneShot.socketPath = options.socketPath;
+        oneShot.maxAttempts = 1;  // no retry: count every shed exactly once
+        try {
+          (void)serve::requestDiagnosis(oneShot, injectRequest(gate, sa));
+        } catch (const serve::ClientError&) {
+          // shed — the point of the phase
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    const serve::StatsReply stats = running.server().stats().snapshot();
+    overloadShedRate =
+        stats.accepted > 0
+            ? static_cast<double>(stats.shed) / static_cast<double>(stats.accepted)
+            : 0.0;
+    benchutil::row("overload (queue 2, 1 handler, %zu clients): accepted %llu, "
+                   "shed %llu (rate %.2f)",
+                   kClients, static_cast<unsigned long long>(stats.accepted),
+                   static_cast<unsigned long long>(stats.shed), overloadShedRate);
+  }
+
+  // ---- Phase 3: golden counters on s953 (deterministic) ------------------
+  // BenchReport construction resets the registry: everything after this line
+  // is the counter delta CI gates on.
+  benchutil::BenchReport report("serve");
+  report.context("circuit", "s953");
+  report.context("scheme", "two-step");
+  report.context("requests", 24);
+
+  const Netlist s953 = generateNamedCircuit("s953");
+  serve::ServiceConfig config;
+  const serve::DiagnosisService service(Netlist(s953), config);
+
+  std::vector<serve::DiagnoseRequest> requests;
+  for (const FaultSite& fault :
+       FaultList::enumerateCollapsed(s953).sample(24, /*seed=*/0x5E4E)) {
+    requests.push_back(injectRequest(s953.gateName(fault.gate), fault.stuckAt));
+  }
+
+  std::vector<double> latenciesMs;
+  double requestsPerSec = 0.0;
+  std::uint64_t okReplies = 0;
+  {
+    serve::ServeOptions options;
+    options.socketPath = socketPathFor("golden");
+    RunningServer running(service, options);
+    serve::ClientOptions client;
+    client.socketPath = options.socketPath;
+
+    const Clock::time_point start = Clock::now();
+    for (const serve::DiagnoseRequest& request : requests) {
+      const Clock::time_point reqStart = Clock::now();
+      const serve::DiagnoseReply reply = serve::requestDiagnosis(client, request);
+      latenciesMs.push_back(millisSince(reqStart));
+      if (reply.status == serve::ReplyStatus::Ok) ++okReplies;
+    }
+    const double elapsedMs = millisSince(start);
+    requestsPerSec = elapsedMs > 0 ? 1000.0 * requests.size() / elapsedMs : 0.0;
+
+    // Two CRC-corrupt frames (flip a payload byte) and two valid frames with
+    // an unknown type tag: four deterministic rejections.
+    std::string corrupt = serve::encodeFrame(serve::kPingRequestFrame, "payload");
+    corrupt[serve::kFrameHeaderBytes] ^= 0x01;
+    rawSend(options.socketPath, corrupt);
+    rawSend(options.socketPath, corrupt);
+    const std::string unknownType = serve::encodeFrame(0x7777, "");
+    rawSend(options.socketPath, unknownType);
+    rawSend(options.socketPath, unknownType);
+    if (!settle([&] { return running.server().stats().snapshot().framesRejected >= 4; })) {
+      throw std::runtime_error("bench_serve: frame rejections did not settle");
+    }
+  }
+
+  std::uint64_t shedRequests = 0;
+  {
+    // Deterministic sheds: one connection pins the only handler (the ping
+    // guarantees it has been picked up), a second fills the 1-deep queue,
+    // so every request after that is shed at admission — no timing races.
+    serve::ServeOptions options;
+    options.socketPath = socketPathFor("shed");
+    options.queueCapacity = 1;
+    options.handlers = 1;
+    RunningServer running(service, options);
+
+    {
+      const int held = rawConnect(options.socketPath);
+      const std::string pingFrame = serve::encodeFrame(serve::kPingRequestFrame, "");
+      std::size_t done = 0;
+      while (done < pingFrame.size()) {
+        const ssize_t n =
+            ::send(held, pingFrame.data() + done, pingFrame.size() - done, MSG_NOSIGNAL);
+        if (n <= 0) throw std::runtime_error("bench_serve: ping send failed");
+        done += static_cast<std::size_t>(n);
+      }
+      char pong[64];
+      if (::recv(held, pong, sizeof pong, 0) <= 0) {
+        throw std::runtime_error("bench_serve: ping reply missing");
+      }
+      // Handler now owns `held` and blocks on its next frame. Fill the queue:
+      const int filler = rawConnect(options.socketPath);
+      // The filler is admitted in accept order, ahead of everything below.
+      serve::ClientOptions oneShot;
+      oneShot.socketPath = options.socketPath;
+      oneShot.maxAttempts = 1;
+      for (int i = 0; i < 4; ++i) {
+        try {
+          (void)serve::requestDiagnosis(oneShot, requests.front());
+          throw std::runtime_error("bench_serve: expected a shed, got a reply");
+        } catch (const serve::ClientError&) {
+          ++shedRequests;
+        }
+      }
+      ::close(filler);
+      ::close(held);
+    }
+    if (!settle([&] { return running.server().stats().snapshot().shed >= 4; })) {
+      throw std::runtime_error("bench_serve: shed accounting did not settle");
+    }
+  }
+
+  std::sort(latenciesMs.begin(), latenciesMs.end());
+  const double p50 = percentile(latenciesMs, 0.50);
+  const double p99 = percentile(latenciesMs, 0.99);
+  benchutil::row("golden (s953): %zu requests (%llu ok), p50 %.2f ms, p99 %.2f ms, "
+                 "%.0f req/s, %llu deterministic sheds, 4 rejected frames",
+                 requests.size(), static_cast<unsigned long long>(okReplies), p50, p99,
+                 requestsPerSec, static_cast<unsigned long long>(shedRequests));
+
+  report.row({{"phase", "warm_requests"},
+              {"requests", static_cast<unsigned long long>(requests.size())},
+              {"ok_replies", static_cast<unsigned long long>(okReplies)}});
+  report.row({{"phase", "frame_rejects"}, {"frames", 4}});
+  report.row({{"phase", "deterministic_shed"},
+              {"requests", static_cast<unsigned long long>(shedRequests)}});
+
+  report.timing("cold_ms_per_request", coldPerRequestMs);
+  report.timing("warm_ms_per_request", warmPerRequestMs);
+  report.timing("warm_speedup", warmSpeedup);
+  report.timing("overload_shed_rate", overloadShedRate);
+  report.timing("p50_ms", p50);
+  report.timing("p99_ms", p99);
+  report.timing("requests_per_sec", requestsPerSec);
+  report.timing("hardware_concurrency",
+                static_cast<unsigned long long>(std::thread::hardware_concurrency()));
+  report.write();
+  return 0;
+}

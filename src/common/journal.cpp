@@ -24,6 +24,9 @@ constexpr char kMagic[4] = {'S', 'D', 'J', 'L'};
 constexpr std::uint16_t kVersion = 1;
 constexpr std::size_t kFramePrefix = 8;  // len + crc
 constexpr std::size_t kMaxPayload = 1u << 24;  // 16 MiB sanity bound per record
+// Sane cap on the header's setup-info string: far above any real setup
+// description, far below an allocation a corrupt header could weaponize.
+constexpr std::uint32_t kMaxSetupInfo = 64u * 1024;
 
 const std::array<std::uint32_t, 256>& crcTable() {
   static const std::array<std::uint32_t, 256> table = [] {
@@ -135,6 +138,14 @@ void parseHeader(const std::string& payload, const std::string& path,
   }
   out.setupDigest = getU64(payload.data() + 6);
   const std::uint32_t infoLen = getU32(payload.data() + 14);
+  // The info length rides inside a CRC-framed payload, but a corrupt header
+  // can still be internally consistent — never size an allocation (or accept
+  // a setup string) beyond what a writer could legitimately have produced.
+  if (infoLen > kMaxSetupInfo) {
+    throw JournalCorruptError("journal: '" + path + "' header claims a " +
+                              std::to_string(infoLen) + "-byte setup info (cap " +
+                              std::to_string(kMaxSetupInfo) + ")");
+  }
   if (payload.size() != 18 + static_cast<std::size_t>(infoLen)) {
     throw JournalFormatError("journal: '" + path + "' header info length mismatch");
   }

@@ -29,6 +29,7 @@ class Cursor {
   std::uint16_t u16() { return static_cast<std::uint16_t>(uint(2)); }
   std::uint32_t u32() { return static_cast<std::uint32_t>(uint(4)); }
   std::uint64_t u64() { return uint(8); }
+  std::size_t remaining() const { return bytes_->size() - pos_; }
   bool exhausted() const { return pos_ == bytes_->size(); }
 
  private:
@@ -77,6 +78,14 @@ FaultRecord decodeFaultRecord(const std::string& payload) {
   record.actualCount = cur.u64();
   record.verdictDigest = cur.u64();
   const std::uint32_t deltas = cur.u32();
+  // Each delta entry is 10 bytes (u16 counter + u64 value); a count the
+  // remaining payload cannot hold is corruption — reject it before sizing
+  // an allocation from the untrusted field.
+  if (deltas > cur.remaining() / 10) {
+    throw JournalCorruptError("checkpoint: fault record claims " +
+                              std::to_string(deltas) + " counter deltas but only " +
+                              std::to_string(cur.remaining()) + " bytes remain");
+  }
   record.counterDeltas.reserve(deltas);
   for (std::uint32_t i = 0; i < deltas; ++i) {
     const std::uint16_t counter = cur.u16();

@@ -76,6 +76,10 @@ enum class Counter : unsigned {
   WatchdogCancels,          // watchdog deadline trips (cancellation requested)
   BatchedGroupScores,       // group verdicts produced by the batched scorer
   BatchContribCells,        // per-cell contributions folded by the batched scorer
+  ServeRequestsOk,          // serve: diagnosis requests answered Ok
+  ServeRequestsShed,        // serve: connections shed BUSY at admission
+  ServeDeadlineDegraded,    // serve: requests degraded to a partial DEADLINE reply
+  ServeFramesRejected,      // serve: malformed/corrupt protocol frames rejected
   kCount,
 };
 
@@ -115,6 +119,10 @@ constexpr const char* counterName(Counter c) {
     case Counter::WatchdogCancels: return "watchdog_cancels";
     case Counter::BatchedGroupScores: return "batched_group_scores";
     case Counter::BatchContribCells: return "batch_contrib_cells";
+    case Counter::ServeRequestsOk: return "serve_requests_ok";
+    case Counter::ServeRequestsShed: return "serve_requests_shed";
+    case Counter::ServeDeadlineDegraded: return "serve_deadline_degraded";
+    case Counter::ServeFramesRejected: return "serve_frames_rejected";
     case Counter::kCount: break;
   }
   return "unknown_counter";

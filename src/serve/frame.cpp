@@ -1,0 +1,181 @@
+#include "serve/frame.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/journal.hpp"  // crc32
+
+namespace scandiag::serve {
+
+namespace {
+
+std::uint32_t getU32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) | (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::chrono::steady_clock::time_point deadlineFrom(std::chrono::milliseconds timeout) {
+  return std::chrono::steady_clock::now() + timeout;
+}
+
+/// Milliseconds until `deadline`, clamped for poll(2); throws on expiry.
+int pollBudgetMs(std::chrono::steady_clock::time_point deadline, const char* what) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  if (left.count() <= 0) {
+    throw FrameTimeoutError(std::string("frame ") + what + " deadline exceeded");
+  }
+  constexpr std::int64_t kMaxPoll = 60'000;  // re-check the deadline at least every minute
+  return static_cast<int>(left.count() < kMaxPoll ? left.count() : kMaxPoll);
+}
+
+void waitReadable(int fd, std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    struct pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, pollBudgetMs(deadline, "read"));
+    if (rc > 0) return;  // readable, error, or hangup — read(2) reports which
+    if (rc == 0) continue;  // poll slice elapsed; pollBudgetMs re-checks the deadline
+    if (errno == EINTR) continue;
+    throw FrameIoError(std::string("poll(read): ") + strerror(errno));
+  }
+}
+
+void waitWritable(int fd, std::chrono::steady_clock::time_point deadline) {
+  for (;;) {
+    struct pollfd pfd{fd, POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, pollBudgetMs(deadline, "write"));
+    if (rc > 0) return;
+    if (rc == 0) continue;
+    if (errno == EINTR) continue;
+    throw FrameIoError(std::string("poll(write): ") + strerror(errno));
+  }
+}
+
+/// Reads exactly `size` bytes under `deadline`. Returns false on EOF before
+/// the first byte (clean close); throws FrameFormatError on EOF mid-buffer.
+bool readExact(int fd, char* out, std::size_t size,
+               std::chrono::steady_clock::time_point deadline) {
+  std::size_t got = 0;
+  while (got < size) {
+    waitReadable(fd, deadline);
+    const ssize_t n = ::read(fd, out + got, size - got);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (got == 0) return false;
+      throw FrameFormatError("peer closed mid-frame (" + std::to_string(got) + " of " +
+                             std::to_string(size) + " bytes)");
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    throw FrameIoError(std::string("read: ") + strerror(errno));
+  }
+  return true;
+}
+
+void writeAll(int fd, const char* data, std::size_t size,
+              std::chrono::steady_clock::time_point deadline) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    waitWritable(fd, deadline);
+    // MSG_NOSIGNAL: a peer that hung up mid-write is a FrameIoError (EPIPE)
+    // for this request, not a SIGPIPE for the whole process.
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) continue;
+    throw FrameIoError(std::string("write: ") + strerror(errno));
+  }
+}
+
+}  // namespace
+
+std::string encodeFrame(std::uint16_t type, std::string_view payload) {
+  const std::size_t total = 2 + payload.size();  // type tag + message
+  if (total > kMaxFramePayload) {
+    throw FrameFormatError("frame payload " + std::to_string(total) + " exceeds cap " +
+                           std::to_string(kMaxFramePayload));
+  }
+  std::string out;
+  out.reserve(kFrameHeaderBytes + total);
+  const auto putU32 = [&out](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  };
+  putU32(static_cast<std::uint32_t>(total));
+  // CRC over the full payload (type tag included), matching the journal.
+  const char typeBytes[2] = {static_cast<char>(type & 0xFF), static_cast<char>((type >> 8) & 0xFF)};
+  std::uint32_t crc = crc32(typeBytes, 2, 0);
+  crc = crc32(payload.data(), payload.size(), crc);
+  putU32(crc);
+  out.append(typeBytes, 2);
+  out.append(payload);
+  return out;
+}
+
+std::optional<Frame> decodeFrame(std::string_view bytes, std::size_t* consumed) {
+  if (bytes.size() < kFrameHeaderBytes) return std::nullopt;
+  const auto* p = reinterpret_cast<const unsigned char*>(bytes.data());
+  const std::uint32_t len = getU32(p);
+  const std::uint32_t crcStored = getU32(p + 4);
+  if (len < 2 || len > kMaxFramePayload) {
+    throw FrameFormatError("frame payload length " + std::to_string(len) +
+                           " out of range [2, " + std::to_string(kMaxFramePayload) + "]");
+  }
+  if (bytes.size() - kFrameHeaderBytes < len) return std::nullopt;
+  const char* payload = bytes.data() + kFrameHeaderBytes;
+  const std::uint32_t crcActual = crc32(payload, len, 0);
+  if (crcActual != crcStored) {
+    throw FrameCorruptError("frame CRC mismatch (stored " + std::to_string(crcStored) +
+                            ", computed " + std::to_string(crcActual) + ")");
+  }
+  Frame frame;
+  frame.type = static_cast<std::uint16_t>(static_cast<unsigned char>(payload[0]) |
+                                          (static_cast<unsigned char>(payload[1]) << 8));
+  frame.payload.assign(payload + 2, len - 2);
+  if (consumed) *consumed = kFrameHeaderBytes + len;
+  return frame;
+}
+
+Frame readFrame(int fd, std::chrono::milliseconds timeout) {
+  const auto deadline = deadlineFrom(timeout);
+  char header[kFrameHeaderBytes];
+  if (!readExact(fd, header, sizeof header, deadline)) {
+    throw PeerClosedError("peer closed connection");
+  }
+  const auto* p = reinterpret_cast<const unsigned char*>(header);
+  const std::uint32_t len = getU32(p);
+  const std::uint32_t crcStored = getU32(p + 4);
+  // Validate the length BEFORE allocating: a hostile prefix must cost nothing.
+  if (len < 2 || len > kMaxFramePayload) {
+    throw FrameFormatError("frame payload length " + std::to_string(len) +
+                           " out of range [2, " + std::to_string(kMaxFramePayload) + "]");
+  }
+  std::string payload(len, '\0');
+  if (!readExact(fd, payload.data(), len, deadline)) {
+    throw FrameFormatError("peer closed between frame header and payload");
+  }
+  const std::uint32_t crcActual = crc32(payload.data(), payload.size(), 0);
+  if (crcActual != crcStored) {
+    throw FrameCorruptError("frame CRC mismatch (stored " + std::to_string(crcStored) +
+                            ", computed " + std::to_string(crcActual) + ")");
+  }
+  Frame frame;
+  frame.type = static_cast<std::uint16_t>(static_cast<unsigned char>(payload[0]) |
+                                          (static_cast<unsigned char>(payload[1]) << 8));
+  frame.payload.assign(payload, 2, std::string::npos);
+  return frame;
+}
+
+void writeFrame(int fd, std::uint16_t type, std::string_view payload,
+                std::chrono::milliseconds timeout) {
+  const std::string encoded = encodeFrame(type, payload);
+  writeAll(fd, encoded.data(), encoded.size(), deadlineFrom(timeout));
+}
+
+}  // namespace scandiag::serve

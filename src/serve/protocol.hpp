@@ -1,0 +1,94 @@
+// Serve protocol messages: the typed requests/replies carried inside frames.
+//
+// One frame carries one message; the frame's u16 type tag selects the layout.
+// Decoders go through wire::Cursor, so every length field is validated before
+// allocation and every message must consume its payload exactly — a frame
+// that passed its CRC can still be rejected here (FrameFormatError) when its
+// *content* lies about itself.
+//
+// The reply status encodes the request lifecycle's terminal states (see
+// docs/ARCHITECTURE.md §12):
+//   Ok        full diagnosis, every partition evaluated
+//   Busy      shed at admission — no diagnosis ran; retry with backoff
+//   Deadline  per-request deadline hit — candidates are the superset from the
+//             partitions that did run, confidence scaled accordingly
+//   Error     request-level failure (unknown gate, unparsable log, config
+//             mismatch); message says why
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/frame.hpp"
+
+namespace scandiag::serve {
+
+// Frame type tags. u16, like journal record types.
+inline constexpr std::uint16_t kPingRequestFrame = 0x10;
+inline constexpr std::uint16_t kPingReplyFrame = 0x11;
+inline constexpr std::uint16_t kDiagnoseRequestFrame = 0x20;
+inline constexpr std::uint16_t kDiagnoseReplyFrame = 0x21;
+inline constexpr std::uint16_t kStatsRequestFrame = 0x30;
+inline constexpr std::uint16_t kStatsReplyFrame = 0x31;
+
+struct DiagnoseRequest {
+  enum class Kind : std::uint16_t {
+    /// Diagnose an injected stuck-at fault named by its gate (simulation-
+    /// backed; the service fault-simulates it, then diagnoses the response).
+    InjectFault = 0,
+    /// Diagnose a recorded tester session log (text in the tester_log format;
+    /// the hardware already ran the sessions).
+    TesterLog = 1,
+  };
+
+  Kind kind = Kind::InjectFault;
+  std::string gateName;  // InjectFault: gate to fault
+  bool stuckAt1 = true;  // InjectFault: SA1 vs SA0
+  std::string logText;   // TesterLog: full log text
+};
+
+enum class ReplyStatus : std::uint16_t {
+  Ok = 0,
+  Busy = 1,
+  Deadline = 2,
+  Error = 3,
+};
+
+const char* replyStatusName(ReplyStatus status);
+
+struct DiagnoseReply {
+  ReplyStatus status = ReplyStatus::Error;
+  std::uint64_t requestId = 0;  // server-assigned, echoed for client logs
+  bool detected = false;        // InjectFault: fault visible under the patterns
+  /// False when graceful degradation widened the candidates (deadline hit,
+  /// inconsistent log partitions dropped) — same meaning as the CLI's exit 5.
+  bool resolved = true;
+  double confidence = 1.0;
+  std::uint32_t partitionsUsed = 0;
+  std::uint32_t partitionsTotal = 0;
+  std::vector<std::uint32_t> candidateCells;
+  std::string message;  // Error/Busy detail, empty otherwise
+};
+
+/// Served/shed totals as the server sees them right now (the journal replay
+/// is the authoritative post-crash view; this is the live view).
+struct StatsReply {
+  std::uint64_t accepted = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t framesRejected = 0;
+};
+
+std::string encodeDiagnoseRequest(const DiagnoseRequest& request);
+DiagnoseRequest decodeDiagnoseRequest(const std::string& payload);
+
+std::string encodeDiagnoseReply(const DiagnoseReply& reply);
+DiagnoseReply decodeDiagnoseReply(const std::string& payload);
+
+std::string encodeStatsReply(const StatsReply& stats);
+StatsReply decodeStatsReply(const std::string& payload);
+
+}  // namespace scandiag::serve

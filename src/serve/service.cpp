@@ -1,0 +1,202 @@
+#include "serve/service.hpp"
+
+#include "common/errors.hpp"
+#include "bist/prpg.hpp"
+#include "diagnosis/tester_log.hpp"
+
+namespace scandiag::serve {
+
+namespace {
+
+ScanTopology topologyFor(const Netlist& netlist, std::size_t numChains) {
+  return numChains <= 1 ? ScanTopology::singleChain(netlist.dffs().size())
+                        : ScanTopology::blockChains(netlist.dffs().size(), numChains);
+}
+
+DiagnoseReply errorReply(DiagnoseReply reply, std::string message) {
+  reply.status = ReplyStatus::Error;
+  reply.resolved = false;
+  reply.confidence = 0.0;
+  reply.message = std::move(message);
+  return reply;
+}
+
+}  // namespace
+
+DiagnosisService::DiagnosisService(Netlist netlist, const ServiceConfig& config)
+    : netlist_(std::move(netlist)),
+      config_(config),
+      topology_(topologyFor(netlist_, config.numChains)),
+      patterns_(generatePatterns(netlist_, config.diagnosis.numPatterns, PrpgConfig{})),
+      pipeline_(topology_, config.diagnosis),
+      recovery_(topology_, RetryPolicy{}) {
+  const std::size_t count = config_.simulators == 0 ? 1 : config_.simulators;
+  simulators_.reserve(count);
+  freeSimulators_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    simulators_.push_back(std::make_unique<FaultSimulator>(netlist_, patterns_));
+    freeSimulators_.push_back(i);
+  }
+}
+
+DiagnosisService::SimulatorLease::SimulatorLease(const DiagnosisService& service)
+    : service_(&service) {
+  std::unique_lock<std::mutex> lock(service.simMutex_);
+  service.simAvailable_.wait(lock, [&] { return !service.freeSimulators_.empty(); });
+  index_ = service.freeSimulators_.back();
+  service.freeSimulators_.pop_back();
+}
+
+DiagnosisService::SimulatorLease::~SimulatorLease() {
+  {
+    std::lock_guard<std::mutex> lock(service_->simMutex_);
+    service_->freeSimulators_.push_back(index_);
+  }
+  service_->simAvailable_.notify_one();
+}
+
+DiagnoseReply DiagnosisService::handle(const DiagnoseRequest& request, std::uint64_t requestId,
+                                       std::chrono::milliseconds deadline,
+                                       CancellationToken* cancel) const {
+  DiagnoseReply reply;
+  reply.requestId = requestId;
+  reply.partitionsTotal = static_cast<std::uint32_t>(pipeline_.partitions().size());
+
+  // Per-request deadline: a private token so one request's trip never
+  // touches another's, wrapped in a watchdog the partition loop polls.
+  CancellationToken deadlineToken;
+  std::unique_ptr<Watchdog> watchdog;
+  if (deadline.count() > 0) watchdog = std::make_unique<Watchdog>(deadlineToken, deadline);
+  RunControl control{cancel, watchdog.get()};
+
+  switch (request.kind) {
+    case DiagnoseRequest::Kind::InjectFault:
+      return handleInject(request, std::move(reply), control, watchdog.get());
+    case DiagnoseRequest::Kind::TesterLog:
+      return handleLog(request, std::move(reply), control, watchdog.get());
+  }
+  return errorReply(std::move(reply), "unknown request kind");
+}
+
+DiagnoseReply DiagnosisService::handleInject(const DiagnoseRequest& request, DiagnoseReply reply,
+                                             const RunControl& control,
+                                             const Watchdog* deadline) const {
+  const GateId site = netlist_.findByName(request.gateName);
+  if (site == kInvalidGate) {
+    return errorReply(std::move(reply), "no gate named '" + request.gateName + "'");
+  }
+  const FaultSite fault{site, FaultSite::kOutputPin, request.stuckAt1};
+
+  FaultResponse response;
+  {
+    SimulatorLease sim(*this);
+    response = (*sim).simulate(fault);
+  }
+  if (!response.detected()) {
+    reply.status = ReplyStatus::Ok;
+    reply.detected = false;
+    return reply;
+  }
+  reply.detected = true;
+  return diagnoseResponse(response, std::move(reply), control, deadline);
+}
+
+DiagnoseReply DiagnosisService::handleLog(const DiagnoseRequest& request, DiagnoseReply reply,
+                                          const RunControl& control,
+                                          const Watchdog* deadline) const {
+  (void)control;
+  (void)deadline;  // log diagnosis runs no sessions; recovery is sub-ms
+  TesterLog log;
+  try {
+    log = parseTesterLogString(request.logText);
+  } catch (const ParseError& e) {
+    return errorReply(std::move(reply), std::string("tester log: ") + e.what());
+  }
+  // The server's partition schedule is burned in at startup (it mirrors the
+  // BIST controller); a log recorded against a different schedule would be
+  // silently mis-intersected, so dimension mismatch is a hard request error.
+  if (log.numPartitions != config_.diagnosis.numPartitions ||
+      log.groupsPerPartition != config_.diagnosis.groupsPerPartition) {
+    return errorReply(std::move(reply),
+                      "tester log schedule " + std::to_string(log.numPartitions) + "x" +
+                          std::to_string(log.groupsPerPartition) + " does not match server " +
+                          std::to_string(config_.diagnosis.numPartitions) + "x" +
+                          std::to_string(config_.diagnosis.groupsPerPartition));
+  }
+  reply.detected = true;
+  // A recorded log cannot be re-run: recovery with a null rerun callback
+  // degrades inconsistent partitions instead of retrying them (the same
+  // policy as `scandiag offline`).
+  const RecoveredDiagnosis recovered =
+      recovery_.recover(pipeline_.partitions(), log.verdicts, nullptr);
+  return finishReply(std::move(reply), recovered, pipeline_.partitions().size(),
+                     /*deadlineHit=*/false);
+}
+
+DiagnoseReply DiagnosisService::diagnoseResponse(const FaultResponse& response,
+                                                 DiagnoseReply reply, const RunControl& control,
+                                                 const Watchdog* deadline) const {
+  const std::vector<Partition>& partitions = pipeline_.partitions();
+  const PreparedPartitionSet& prepared = pipeline_.prepared();
+
+  GroupVerdicts verdicts;
+  verdicts.failing.reserve(partitions.size());
+  std::size_t used = 0;
+  bool deadlineHit = false;
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    if (control.shouldStop()) {
+      if (deadline != nullptr && deadline->tripped()) {
+        deadlineHit = true;
+        break;
+      }
+      // Not the deadline: the server is draining (or a test cancelled us).
+      // A partial answer the server chose to abandon has no client value —
+      // unwind; the server books ABORTED and closes the connection.
+      control.throwIfStopped();
+    }
+    PartitionVerdictRow row = pipeline_.engine().runPartition(prepared, p, response);
+    verdicts.failing.push_back(std::move(row.failing));
+    ++used;
+  }
+
+  if (used == 0) {
+    // Deadline expired before any partition ran: the only sound superset is
+    // every cell. Still a valid (if useless) degraded answer.
+    reply.status = ReplyStatus::Deadline;
+    reply.resolved = false;
+    reply.confidence = 0.0;
+    reply.partitionsUsed = 0;
+    reply.candidateCells.reserve(topology_.numCells());
+    for (std::size_t c = 0; c < topology_.numCells(); ++c) {
+      reply.candidateCells.push_back(static_cast<std::uint32_t>(c));
+    }
+    return reply;
+  }
+
+  const std::vector<Partition> prefix(partitions.begin(),
+                                      partitions.begin() + static_cast<std::ptrdiff_t>(used));
+  const RecoveredDiagnosis recovered = recovery_.recover(prefix, verdicts, nullptr);
+  return finishReply(std::move(reply), recovered, used, deadlineHit);
+}
+
+DiagnoseReply DiagnosisService::finishReply(DiagnoseReply reply,
+                                            const RecoveredDiagnosis& recovered,
+                                            std::size_t partitionsUsed, bool deadlineHit) const {
+  reply.status = deadlineHit ? ReplyStatus::Deadline : ReplyStatus::Ok;
+  reply.resolved = recovered.resolved && !deadlineHit;
+  reply.partitionsUsed =
+      static_cast<std::uint32_t>(partitionsUsed - recovered.droppedPartitions.size());
+  // recovered.confidence already decays for repairs/drops within the
+  // partitions that ran; scale again by the fraction of the schedule that
+  // ran at all, so a 2-of-8-partition deadline answer self-reports as weak.
+  const double fraction = reply.partitionsTotal == 0
+                              ? 1.0
+                              : static_cast<double>(partitionsUsed) / reply.partitionsTotal;
+  reply.confidence = recovered.confidence * fraction;
+  const std::vector<std::size_t> cells = recovered.candidates.cells.toIndices();
+  reply.candidateCells.reserve(cells.size());
+  for (std::size_t c : cells) reply.candidateCells.push_back(static_cast<std::uint32_t>(c));
+  return reply;
+}
+
+}  // namespace scandiag::serve

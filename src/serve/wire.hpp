@@ -1,0 +1,113 @@
+// Little-endian wire primitives shared by the serve protocol and the
+// request-accounting ledger.
+//
+// Same byte discipline as the journal codec (common/journal.cpp) — u16/u32/
+// u64 little-endian, length-prefixed strings — but with the read side built
+// around a bounds-checked cursor that throws a typed error instead of
+// trusting any length field: every payload that reaches these readers came
+// off a socket or a crash-recovered file, so a wild length must surface as
+// FrameFormatError, never as a multi-gigabyte allocation or an out-of-bounds
+// read (the same hardening the tester-log parser and the journal reader got).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/frame.hpp"
+
+namespace scandiag::serve::wire {
+
+inline void putU16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+inline void putU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+inline void putU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+inline void putDouble(std::string& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  __builtin_memcpy(&bits, &v, sizeof bits);
+  putU64(out, bits);
+}
+
+/// Length-prefixed string; the prefix is validated against `maxLen` on read.
+inline void putString(std::string& out, const std::string& s) {
+  putU32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+/// Bounds-checked reader over one decoded payload. Every accessor throws
+/// FrameFormatError when the payload is too short — a truncated or
+/// length-lying message can never read past the buffer.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint16_t u16() { return static_cast<std::uint16_t>(integer(2)); }
+  std::uint32_t u32() { return static_cast<std::uint32_t>(integer(4)); }
+  std::uint64_t u64() { return integer(8); }
+
+  double f64() {
+    const std::uint64_t bits = integer(8);
+    double v;
+    __builtin_memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  /// Reads a length-prefixed string, rejecting prefixes beyond `maxLen` or
+  /// beyond the remaining payload *before* allocating.
+  std::string str(std::size_t maxLen) {
+    const std::uint32_t len = u32();
+    if (len > maxLen) {
+      throw FrameFormatError("wire: string length " + std::to_string(len) +
+                             " exceeds cap " + std::to_string(maxLen));
+    }
+    if (len > bytes_.size() - pos_) {
+      throw FrameFormatError("wire: string length " + std::to_string(len) +
+                             " overruns payload (" +
+                             std::to_string(bytes_.size() - pos_) + " bytes left)");
+    }
+    std::string s(bytes_.substr(pos_, len));
+    pos_ += len;
+    return s;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+  /// Messages are fixed layouts: trailing bytes mean a framing bug or a
+  /// forged message, both of which must be loud.
+  void expectExhausted(const char* what) const {
+    if (!exhausted()) {
+      throw FrameFormatError(std::string("wire: ") + what + " has " +
+                             std::to_string(remaining()) + " trailing byte(s)");
+    }
+  }
+
+ private:
+  std::uint64_t integer(std::size_t width) {
+    if (width > bytes_.size() - pos_) {
+      throw FrameFormatError("wire: message truncated (need " + std::to_string(width) +
+                             " bytes, have " + std::to_string(bytes_.size() - pos_) + ")");
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < width; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes_[pos_ + i])) << (8 * i);
+    }
+    pos_ += width;
+    return v;
+  }
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace scandiag::serve::wire

@@ -229,5 +229,94 @@ TEST(ThreadPool, ParallelForSumMatchesSerial) {
   }
 }
 
+TEST(ThreadPoolSaturation, ManyProducersPostingAtCapacityAllComplete) {
+  // `scandiag serve` posts every request's compute to the pool from handler
+  // threads, so N external producers hammering submit() concurrently is the
+  // production shape. Every future must resolve — a lost wakeup or a queue
+  // race would deadlock the whole service under load.
+  ThreadPool pool(4);
+  constexpr std::size_t kProducers = 8;
+  constexpr std::size_t kTasksEach = 200;
+  std::atomic<std::uint64_t> total{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &total, p] {
+      std::vector<std::future<std::size_t>> futures;
+      futures.reserve(kTasksEach);
+      for (std::size_t t = 0; t < kTasksEach; ++t) {
+        futures.push_back(pool.submit([p, t] { return p * kTasksEach + t; }));
+      }
+      std::uint64_t mine = 0;
+      for (auto& f : futures) mine += f.get();
+      total.fetch_add(mine);
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  const std::uint64_t n = kProducers * kTasksEach;
+  EXPECT_EQ(total.load(), n * (n - 1) / 2);
+}
+
+TEST(ThreadPoolSaturation, ProducersMixingFailuresDoNotWedgeThePool) {
+  // Saturating producers where half the tasks throw: exceptions must ride
+  // each future without killing workers or stranding the other producers.
+  ThreadPool pool(2);
+  constexpr std::size_t kProducers = 6;
+  std::atomic<std::size_t> ok{0};
+  std::atomic<std::size_t> failed{0};
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&pool, &ok, &failed] {
+      for (int t = 0; t < 100; ++t) {
+        auto f = pool.submit([t]() -> int {
+          if (t % 2 == 0) throw std::runtime_error("even task");
+          return t;
+        });
+        try {
+          f.get();
+          ok.fetch_add(1);
+        } catch (const std::runtime_error&) {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(ok.load(), kProducers * 50);
+  EXPECT_EQ(failed.load(), kProducers * 50);
+  auto alive = pool.submit([] { return 7; });
+  EXPECT_EQ(alive.get(), 7);
+}
+
+TEST(ThreadPoolSaturation, ChunkExceptionPriorityHoldsUnderConcurrentSubmits) {
+  // The lowest-index-chunk rethrow contract must not depend on the pool
+  // being otherwise idle: background producers keep the queue hot while a
+  // parallelFor with several throwing chunks runs. The caller must still see
+  // chunk 0's exception, every round.
+  ThreadPool pool(4);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> noise;
+  for (int p = 0; p < 4; ++p) {
+    noise.emplace_back([&pool, &stop] {
+      while (!stop.load()) {
+        auto f = pool.submit([] { return 1; });
+        f.get();
+      }
+    });
+  }
+  for (int round = 0; round < 20; ++round) {
+    try {
+      pool.parallelFor(400, [](std::size_t i) {
+        if (i % 100 == 0) throw std::out_of_range("chunk at " + std::to_string(i));
+      });
+      FAIL() << "expected an exception";
+    } catch (const std::out_of_range& e) {
+      EXPECT_STREQ(e.what(), "chunk at 0") << "round " << round;
+    }
+  }
+  stop.store(true);
+  for (std::thread& t : noise) t.join();
+}
+
 }  // namespace
 }  // namespace scandiag

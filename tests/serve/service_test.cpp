@@ -1,0 +1,201 @@
+// DiagnosisService request semantics: warm state answers inject and
+// tester-log requests to terminal replies (Ok / Deadline / Error — never
+// Busy), bad inputs come back as Error replies instead of exceptions, and
+// the drain token unwinds as OperationCancelled because a partial answer the
+// server chose to abandon has no client value.
+
+#include "serve/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bist/prpg.hpp"
+#include "diagnosis/tester_log.hpp"
+#include "netlist/synthetic_generator.hpp"
+#include "sim/fault_list.hpp"
+
+namespace scandiag::serve {
+namespace {
+
+DiagnoseRequest injectRequest(const std::string& gate, bool sa) {
+  DiagnoseRequest request;
+  request.kind = DiagnoseRequest::Kind::InjectFault;
+  request.gateName = gate;
+  request.stuckAt1 = sa;
+  return request;
+}
+
+constexpr std::chrono::milliseconds kNoDeadline{0};
+
+/// One warm service + one reference simulator shared across tests (service
+/// construction is the expensive part; tests only read it).
+class ServiceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    netlist_ = new Netlist(generateNamedCircuit("s953"));
+    service_ = new DiagnosisService(Netlist(*netlist_), ServiceConfig{});
+    patterns_ = new PatternSet(
+        generatePatterns(*netlist_, ServiceConfig{}.diagnosis.numPatterns, PrpgConfig{}));
+    simulator_ = new FaultSimulator(*netlist_, *patterns_);
+  }
+  static void TearDownTestSuite() {
+    delete simulator_;
+    delete patterns_;
+    delete service_;
+    delete netlist_;
+    simulator_ = nullptr;
+    patterns_ = nullptr;
+    service_ = nullptr;
+    netlist_ = nullptr;
+  }
+
+  /// First sampled output fault the pattern set detects, plus its response.
+  static std::pair<FaultSite, FaultResponse> detectedFault() {
+    for (const FaultSite& fault : FaultList::enumerateCollapsed(*netlist_).sample(64, 0xD1A6)) {
+      if (!fault.isOutputFault()) continue;
+      FaultResponse response = simulator_->simulate(fault);
+      if (response.detected()) return {fault, std::move(response)};
+    }
+    throw std::runtime_error("service_test: no detected s953 fault in sample");
+  }
+
+  static Netlist* netlist_;
+  static DiagnosisService* service_;
+  static PatternSet* patterns_;
+  static FaultSimulator* simulator_;
+};
+
+Netlist* ServiceTest::netlist_ = nullptr;
+DiagnosisService* ServiceTest::service_ = nullptr;
+PatternSet* ServiceTest::patterns_ = nullptr;
+FaultSimulator* ServiceTest::simulator_ = nullptr;
+
+TEST_F(ServiceTest, InjectDetectedFaultCandidatesCoverTrueCells) {
+  const auto [fault, response] = detectedFault();
+  const DiagnoseReply reply =
+      service_->handle(injectRequest(netlist_->gateName(fault.gate), fault.stuckAt),
+                       /*requestId=*/7, kNoDeadline, nullptr);
+  EXPECT_EQ(reply.status, ReplyStatus::Ok);
+  EXPECT_EQ(reply.requestId, 7u);
+  EXPECT_TRUE(reply.detected);
+  EXPECT_EQ(reply.partitionsUsed, reply.partitionsTotal);
+  EXPECT_GT(reply.confidence, 0.0);
+  // The diagnosis contract: candidates are a superset of the cells that
+  // actually failed.
+  for (const std::size_t cell : response.failingCellOrdinals) {
+    EXPECT_NE(std::find(reply.candidateCells.begin(), reply.candidateCells.end(),
+                        static_cast<std::uint32_t>(cell)),
+              reply.candidateCells.end())
+        << "true failing cell " << cell << " missing from candidates";
+  }
+}
+
+TEST_F(ServiceTest, UnknownGateIsErrorReplyNotException) {
+  const DiagnoseReply reply =
+      service_->handle(injectRequest("no_such_gate", false), 1, kNoDeadline, nullptr);
+  EXPECT_EQ(reply.status, ReplyStatus::Error);
+  EXPECT_FALSE(reply.resolved);
+  EXPECT_NE(reply.message.find("no_such_gate"), std::string::npos);
+}
+
+TEST_F(ServiceTest, TesterLogMatchesInjectDiagnosis) {
+  // A log recorded from the same fault response must diagnose to the same
+  // candidate set the inject path produces — the server's schedule and the
+  // log's schedule are the same partitions.
+  const auto [fault, response] = detectedFault();
+  const GroupVerdicts verdicts =
+      service_->pipeline().engine().run(service_->pipeline().partitions(), response);
+
+  DiagnoseRequest logRequest;
+  logRequest.kind = DiagnoseRequest::Kind::TesterLog;
+  logRequest.logText = writeTesterLog(verdicts);
+  const DiagnoseReply fromLog = service_->handle(logRequest, 2, kNoDeadline, nullptr);
+  const DiagnoseReply fromInject =
+      service_->handle(injectRequest(netlist_->gateName(fault.gate), fault.stuckAt), 3,
+                       kNoDeadline, nullptr);
+
+  EXPECT_EQ(fromLog.status, ReplyStatus::Ok);
+  EXPECT_TRUE(fromLog.detected);
+  EXPECT_EQ(fromLog.candidateCells, fromInject.candidateCells);
+  EXPECT_EQ(fromLog.resolved, fromInject.resolved);
+}
+
+TEST_F(ServiceTest, MalformedLogIsErrorReply) {
+  DiagnoseRequest request;
+  request.kind = DiagnoseRequest::Kind::TesterLog;
+  request.logText = "this is not a tester log";
+  const DiagnoseReply reply = service_->handle(request, 4, kNoDeadline, nullptr);
+  EXPECT_EQ(reply.status, ReplyStatus::Error);
+  EXPECT_NE(reply.message.find("tester log"), std::string::npos);
+}
+
+TEST_F(ServiceTest, MismatchedLogScheduleIsErrorReply) {
+  // A structurally valid log recorded against a 2x4 schedule, sent to a
+  // server burned in at 8x16: silently mis-intersecting it would produce a
+  // wrong diagnosis, so it must be a hard request error.
+  DiagnoseRequest request;
+  request.kind = DiagnoseRequest::Kind::TesterLog;
+  request.logText = "sessions 2 4\nverdict 0 0 fail\n";
+  const DiagnoseReply reply = service_->handle(request, 5, kNoDeadline, nullptr);
+  EXPECT_EQ(reply.status, ReplyStatus::Error);
+  EXPECT_NE(reply.message.find("does not match"), std::string::npos);
+}
+
+TEST_F(ServiceTest, PreCancelledDrainTokenUnwindsAsCancellation) {
+  const auto [fault, response] = detectedFault();
+  CancellationToken drain;
+  drain.cancel("drain-test");
+  EXPECT_THROW(
+      (void)service_->handle(injectRequest(netlist_->gateName(fault.gate), fault.stuckAt), 6,
+                             kNoDeadline, &drain),
+      OperationCancelled);
+}
+
+TEST_F(ServiceTest, DeadlineReplyIsAlwaysASoundSuperset) {
+  // The watchdog trips on wall-clock, so whether a 1 ms deadline fires on a
+  // small circuit is machine-dependent. The contract is not: the reply is
+  // either a full Ok answer or a Deadline degradation whose candidates are a
+  // superset of the full run's, self-reporting reduced confidence.
+  const auto [fault, response] = detectedFault();
+  const DiagnoseRequest request =
+      injectRequest(netlist_->gateName(fault.gate), fault.stuckAt);
+  const DiagnoseReply full = service_->handle(request, 8, kNoDeadline, nullptr);
+  const DiagnoseReply reply =
+      service_->handle(request, 9, std::chrono::milliseconds(1), nullptr);
+  ASSERT_TRUE(reply.status == ReplyStatus::Ok || reply.status == ReplyStatus::Deadline);
+  if (reply.status == ReplyStatus::Deadline) {
+    EXPECT_FALSE(reply.resolved);
+    EXPECT_LT(reply.confidence, full.confidence);
+    EXPECT_LT(reply.partitionsUsed, reply.partitionsTotal);
+    for (const std::uint32_t cell : full.candidateCells) {
+      EXPECT_NE(std::find(reply.candidateCells.begin(), reply.candidateCells.end(), cell),
+                reply.candidateCells.end())
+          << "degraded answer dropped candidate cell " << cell;
+    }
+  } else {
+    EXPECT_EQ(reply.candidateCells, full.candidateCells);
+  }
+}
+
+TEST_F(ServiceTest, UndetectedFaultRepliesOkNotDetected) {
+  // Find a sampled fault the pattern set does NOT detect, if one exists in
+  // the sample; undetected is a normal Ok reply with detected=false.
+  for (const FaultSite& fault : FaultList::enumerateCollapsed(*netlist_).sample(64, 0xD1A6)) {
+    if (!fault.isOutputFault()) continue;
+    if (simulator_->simulate(fault).detected()) continue;
+    const DiagnoseReply reply = service_->handle(
+        injectRequest(netlist_->gateName(fault.gate), fault.stuckAt), 10, kNoDeadline, nullptr);
+    EXPECT_EQ(reply.status, ReplyStatus::Ok);
+    EXPECT_FALSE(reply.detected);
+    EXPECT_TRUE(reply.candidateCells.empty());
+    return;
+  }
+  GTEST_SKIP() << "every sampled s953 fault is detected by the pattern set";
+}
+
+}  // namespace
+}  // namespace scandiag::serve

@@ -9,6 +9,8 @@
 //   plan <circuit>                       calibrate (groups, partitions) for a DR target
 //   offline --log <file> --cells N       diagnose from a tester session log
 //   partitions <length>                  print a partition sequence
+//   serve <circuit> --socket <path>      diagnosis-as-a-service daemon
+//   serve-ledger --journal <file>        replay a serve request ledger
 //
 // <circuit> is either a .bench file path (contains '.' or '/') or a built-in
 // ISCAS-89 profile name (s27, s953, ..., s38584).
@@ -38,6 +40,22 @@
 //                     final DR/counters are bit-identical to an uninterrupted
 //                     run at any thread count
 //
+// Serve options (serve):
+//   --socket PATH     unix-domain socket to listen on (required)
+//   --queue N         admission queue depth; one more connection is shed BUSY
+//                     (default 16)
+//   --handlers N      handler threads for framing I/O (default 2; compute runs
+//                     on the --threads pool)
+//   --sims N          FaultSimulator lease pool size (default 1)
+//   --request-deadline-ms N   per-request watchdog; exceeding it degrades the
+//                     reply to DEADLINE with a partial superset (default 0 = off)
+//   --io-timeout-ms N whole-frame read/write deadline (slowloris bound,
+//                     default 5000)
+//   --drain-ms N      stage-one drain budget after SIGINT/SIGTERM; requests
+//                     still running past it are cancelled ABORTED (default 5000)
+//   --journal F       crash-safe request-accounting ledger (fsync'd, CRC-framed)
+//   --metrics F       metrics snapshot written atomically at drain
+//
 // Noise / resilience options (diagnose, dr):
 //   --noise R         raw verdict-flip rate per session (both directions)
 //   --intermittent R  intermittent fail->pass rate per failing session
@@ -56,7 +74,9 @@
 //   5  diagnosis still inconsistent after the retry budget was exhausted
 //      (a widened candidate superset was still printed)
 //   6  interrupted (SIGINT/SIGTERM or watchdog deadline); the checkpoint
-//      journal and any --metrics snapshot were flushed and are valid
+//      journal and any --metrics snapshot were flushed and are valid; for
+//      serve: the drain completed, the request ledger balances
+//   7  server fatal (serve could not bind/listen or open its journal)
 
 #include <chrono>
 #include <cstdio>
@@ -71,6 +91,8 @@
 #include "common/watchdog.hpp"
 #include "core/scandiag.hpp"
 #include "diagnosis/checkpoint.hpp"
+#include "serve/accounting.hpp"
+#include "serve/server.hpp"
 
 using namespace scandiag;
 
@@ -84,6 +106,7 @@ enum ExitCode {
   kExitParseError = 4,
   kExitInconsistent = 5,
   kExitInterrupted = 6,
+  kExitServerFatal = 7,
 };
 
 /// Diagnosis stayed inconsistent after recovery; the CLI maps this to exit 5.
@@ -586,10 +609,78 @@ int cmdPartitions(const Args& args) {
   return kExitOk;
 }
 
+int cmdServe(const Args& args) {
+  const std::string socketPath = args.get("socket", "");
+  if (socketPath.empty()) throw std::invalid_argument("serve needs --socket <path>");
+  Netlist nl = loadCircuit(args.positionalAt(1, "circuit"));
+
+  serve::ServiceConfig serviceConfig;
+  serviceConfig.diagnosis = configFrom(args);
+  serviceConfig.numChains = args.getN("chains", 1);
+  serviceConfig.simulators = args.getN("sims", 1);
+
+  serve::ServeOptions options;
+  options.socketPath = socketPath;
+  options.queueCapacity = args.getN("queue", 16);
+  options.handlers = args.getN("handlers", 2);
+  options.requestDeadlineMs = args.getN("request-deadline-ms", 0);
+  options.ioTimeoutMs = args.getN("io-timeout-ms", 5000);
+  options.drainBudgetMs = args.getN("drain-ms", 5000);
+  options.journalPath = args.get("journal", "");
+  options.metricsPath = args.get("metrics", "");
+  options.metricsCircuit = args.positionalAt(1, "circuit");
+  options.stopToken = &globalCancelToken();
+
+  std::fprintf(stderr,
+               "scandiag serve: warming %s (%zu cells, %zu partitions x %zu groups)...\n",
+               nl.name().c_str(), nl.dffs().size(), serviceConfig.diagnosis.numPartitions,
+               serviceConfig.diagnosis.groupsPerPartition);
+  const serve::DiagnosisService service(std::move(nl), serviceConfig);
+  serve::DiagnosisServer server(service, options);
+  std::fprintf(stderr, "scandiag serve: listening on %s (queue %zu, %zu handlers)\n",
+               socketPath.c_str(), options.queueCapacity, options.handlers);
+  return server.run();
+}
+
+int cmdServeLedger(const Args& args) {
+  const std::string path = args.get("journal", "");
+  if (path.empty()) throw std::invalid_argument("serve-ledger needs --journal <file>");
+  const serve::ServeLedger ledger = serve::replayLedger(path);
+  if (args.getFlag("json")) {
+    JsonWriter json(std::cout);
+    json.beginObject()
+        .field("journal", path)
+        .field("accepted", ledger.accepted)
+        .field("ok", ledger.ok)
+        .field("shed", ledger.shed)
+        .field("degraded", ledger.degraded)
+        .field("aborted", ledger.aborted)
+        .field("abortedInFlight", ledger.abortedInFlight)
+        .field("truncatedTail", ledger.truncatedTail)
+        .field("balanced", ledger.balanced())
+        .endObject();
+    std::printf("\n");
+  } else {
+    std::printf("ledger %s:%s\n", path.c_str(),
+                ledger.truncatedTail ? " (torn tail truncated)" : "");
+    std::printf("  accepted  %llu\n", static_cast<unsigned long long>(ledger.accepted));
+    std::printf("  ok        %llu\n", static_cast<unsigned long long>(ledger.ok));
+    std::printf("  shed      %llu\n", static_cast<unsigned long long>(ledger.shed));
+    std::printf("  degraded  %llu\n", static_cast<unsigned long long>(ledger.degraded));
+    std::printf("  aborted   %llu (%llu in flight at exit)\n",
+                static_cast<unsigned long long>(ledger.aborted),
+                static_cast<unsigned long long>(ledger.abortedInFlight));
+    std::printf("  balance   %s\n", ledger.balanced() ? "exact" : "BROKEN");
+  }
+  // Replay books crash survivors as aborted, so an unbalanced ledger can only
+  // mean the journal lied — surface it as a hard failure for the chaos CI job.
+  return ledger.balanced() ? kExitOk : kExitFailure;
+}
+
 int usage() {
   std::fprintf(stderr,
-               "usage: scandiag <info|emit|diagnose|dr|soc-dr|plan|offline|partitions> ... "
-               "(see header)\n");
+               "usage: scandiag <info|emit|diagnose|dr|soc-dr|plan|offline|partitions|"
+               "serve|serve-ledger> ... (see header)\n");
   return kExitUsage;
 }
 
@@ -603,6 +694,8 @@ int dispatch(const Args& args) {
   if (cmd == "plan") return cmdPlan(args);
   if (cmd == "offline") return cmdOffline(args);
   if (cmd == "partitions") return cmdPartitions(args);
+  if (cmd == "serve") return cmdServe(args);
+  if (cmd == "serve-ledger") return cmdServeLedger(args);
   std::fprintf(stderr, "error: unknown command '%s'\n", cmd.c_str());
   return usage();
 }
@@ -654,6 +747,9 @@ int main(int argc, char** argv) {
   } catch (const InconsistentDiagnosisError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitInconsistent;
+  } catch (const serve::ServerFatalError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitServerFatal;
   } catch (const std::invalid_argument& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return kExitUsage;

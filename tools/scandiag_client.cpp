@@ -1,0 +1,210 @@
+// scandiag_client — talks to a running `scandiag serve` daemon.
+//
+// Modes (exactly one):
+//   --fault <gate> [--sa 0|1]   diagnose an injected stuck-at fault by name
+//   --log <file>                diagnose a recorded tester session log
+//   --ping                      liveness probe (one round trip, no retry)
+//   --stats                     fetch the server's live request totals
+//
+// Common options:
+//   --socket PATH      unix-domain socket the server listens on (required)
+//   --retries N        total attempts incl. the first (default 5); connect
+//                      failures, BUSY replies, and dropped connections retry
+//                      with capped exponential backoff + jitter
+//   --timeout-ms N     whole-frame I/O deadline per read/write (default 5000)
+//   --jitter-seed N    backoff jitter seed (default 0xC11E57; fix for tests)
+//   --json             machine-readable output
+//
+// Exit codes:
+//   0  terminal reply received (Ok, or Deadline with a usable superset)
+//   1  request failed (server Error reply, retry budget exhausted, protocol
+//      garbage)
+//   2  usage error
+//   3  --log file not found
+//   5  reply unresolved (deadline degraded or widened superset) — the
+//      candidates printed are a sound superset, same meaning as scandiag's
+//      exit 5
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/json.hpp"
+#include "serve/client.hpp"
+
+using namespace scandiag;
+
+namespace {
+
+enum ExitCode {
+  kExitOk = 0,
+  kExitFailure = 1,
+  kExitUsage = 2,
+  kExitFileNotFound = 3,
+  kExitUnresolved = 5,
+};
+
+struct Args {
+  std::map<std::string, std::string> options;
+  std::map<std::string, bool> flags;
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a.rfind("--", 0) != 0)
+        throw std::invalid_argument("unexpected positional argument '" + a + "'");
+      const std::string key = a.substr(2);
+      if (key == "ping" || key == "stats" || key == "json") {
+        args.flags[key] = true;
+      } else if (i + 1 < argc) {
+        args.options[key] = argv[++i];
+      } else {
+        throw std::invalid_argument("option --" + key + " needs a value");
+      }
+    }
+    return args;
+  }
+
+  std::string get(const std::string& key, const std::string& def) const {
+    const auto it = options.find(key);
+    return it == options.end() ? def : it->second;
+  }
+  std::size_t getN(const std::string& key, std::size_t def) const {
+    const auto it = options.find(key);
+    return it == options.end() ? def : std::strtoull(it->second.c_str(), nullptr, 0);
+  }
+  bool getFlag(const std::string& key) const {
+    const auto it = flags.find(key);
+    return it != flags.end() && it->second;
+  }
+};
+
+serve::ClientOptions clientOptionsFrom(const Args& args) {
+  serve::ClientOptions options;
+  options.socketPath = args.get("socket", "");
+  if (options.socketPath.empty())
+    throw std::invalid_argument("scandiag_client needs --socket <path>");
+  options.maxAttempts = args.getN("retries", 5);
+  options.ioTimeoutMs = args.getN("timeout-ms", 5000);
+  options.jitterSeed = args.getN("jitter-seed", 0xC11E57);
+  return options;
+}
+
+int printReply(const serve::DiagnoseReply& reply, bool json) {
+  if (json) {
+    JsonWriter out(std::cout);
+    out.beginObject()
+        .field("status", serve::replyStatusName(reply.status))
+        .field("requestId", reply.requestId)
+        .field("detected", reply.detected)
+        .field("resolved", reply.resolved)
+        .field("confidence", reply.confidence)
+        .field("partitionsUsed", static_cast<std::uint64_t>(reply.partitionsUsed))
+        .field("partitionsTotal", static_cast<std::uint64_t>(reply.partitionsTotal))
+        .field("message", reply.message);
+    out.key("candidateCells").beginArray();
+    for (std::uint32_t c : reply.candidateCells) out.value(static_cast<std::uint64_t>(c));
+    out.endArray().endObject();
+    std::printf("\n");
+  } else if (reply.status == serve::ReplyStatus::Error) {
+    std::fprintf(stderr, "error: request %llu failed: %s\n",
+                 static_cast<unsigned long long>(reply.requestId), reply.message.c_str());
+  } else if (!reply.detected) {
+    std::printf("request %llu: fault not detected under the server's patterns\n",
+                static_cast<unsigned long long>(reply.requestId));
+  } else {
+    std::printf("request %llu [%s]: %zu candidate(s), confidence %.3f, "
+                "partitions %u/%u%s\n",
+                static_cast<unsigned long long>(reply.requestId),
+                serve::replyStatusName(reply.status), reply.candidateCells.size(),
+                reply.confidence, reply.partitionsUsed, reply.partitionsTotal,
+                reply.resolved ? "" : " (unresolved superset)");
+    std::printf("candidates:");
+    for (std::uint32_t c : reply.candidateCells) std::printf(" %u", c);
+    std::printf("\n");
+  }
+  if (reply.status == serve::ReplyStatus::Error) return kExitFailure;
+  return reply.resolved ? kExitOk : kExitUnresolved;
+}
+
+int run(const Args& args) {
+  const serve::ClientOptions options = clientOptionsFrom(args);
+
+  if (args.getFlag("ping")) {
+    serve::ping(options);
+    std::printf("pong\n");
+    return kExitOk;
+  }
+
+  if (args.getFlag("stats")) {
+    const serve::StatsReply stats = serve::fetchStats(options);
+    if (args.getFlag("json")) {
+      JsonWriter out(std::cout);
+      out.beginObject()
+          .field("accepted", stats.accepted)
+          .field("ok", stats.ok)
+          .field("shed", stats.shed)
+          .field("degraded", stats.degraded)
+          .field("aborted", stats.aborted)
+          .field("framesRejected", stats.framesRejected)
+          .endObject();
+      std::printf("\n");
+    } else {
+      std::printf("accepted %llu  ok %llu  shed %llu  degraded %llu  aborted %llu  "
+                  "frames-rejected %llu\n",
+                  static_cast<unsigned long long>(stats.accepted),
+                  static_cast<unsigned long long>(stats.ok),
+                  static_cast<unsigned long long>(stats.shed),
+                  static_cast<unsigned long long>(stats.degraded),
+                  static_cast<unsigned long long>(stats.aborted),
+                  static_cast<unsigned long long>(stats.framesRejected));
+    }
+    return kExitOk;
+  }
+
+  serve::DiagnoseRequest request;
+  const std::string gate = args.get("fault", "");
+  const std::string logPath = args.get("log", "");
+  if (!gate.empty() && logPath.empty()) {
+    request.kind = serve::DiagnoseRequest::Kind::InjectFault;
+    request.gateName = gate;
+    request.stuckAt1 = args.getN("sa", 1) != 0;
+  } else if (gate.empty() && !logPath.empty()) {
+    std::ifstream in(logPath);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open log file '%s'\n", logPath.c_str());
+      return kExitFileNotFound;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    request.kind = serve::DiagnoseRequest::Kind::TesterLog;
+    request.logText = text.str();
+  } else {
+    throw std::invalid_argument(
+        "pick exactly one mode: --fault <gate>, --log <file>, --ping, or --stats");
+  }
+
+  return printReply(serve::requestDiagnosis(options, request), args.getFlag("json"));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(Args::parse(argc, argv));
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    std::fprintf(stderr,
+                 "usage: scandiag_client --socket PATH "
+                 "(--fault GATE [--sa 0|1] | --log FILE | --ping | --stats) "
+                 "[--retries N] [--timeout-ms N] [--json]\n");
+    return kExitUsage;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return kExitFailure;
+  }
+}
