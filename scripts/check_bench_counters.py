@@ -34,11 +34,14 @@ Usage:
 
       Escape hatch (documented, deliberate): thread-scaling ratios are
       meaningless on small or noisy runners. The gate SKIPS a --min-ratio
-      check, with a loud warning, when the report's timing section says
-      hardware_concurrency < 8 (the bench records it), or when the
-      environment sets SCANDIAG_SKIP_SCALING_GATE=1 (for runners that have
-      the cores but not the isolation). Counter comparison still runs —
-      only the wall-clock ratio gate is waived.
+      check, with a loud warning, when the environment sets
+      SCANDIAG_SKIP_SCALING_GATE=1 (for runners that have the cores but not
+      the isolation), or — for "threads_*" fields ONLY — when the report's
+      timing section says hardware_concurrency < 8 (the bench records it).
+      Ratios that do not depend on core count (dedup_speedup_growth,
+      stream_rss_flat) are gated everywhere: a 1-core box can still prove
+      dedup speeds sweeps up and streaming holds memory flat. Counter
+      comparison always runs — only wall-clock ratio gates are waived.
 
 Exit status: 0 = counters identical, 1 = drift or missing file, 2 = usage.
 """
@@ -53,20 +56,26 @@ from pathlib import Path
 GOLDEN_KEYS = ("schema_version", "bench", "counters")
 
 
+class LoadError(Exception):
+    """An unusable result/golden file. Raised (not SystemExit) so the per-name
+    comparison loop can report it and keep going — one missing bench result
+    must not hide every other bench's drift."""
+
+
 def load(path: Path) -> dict:
     try:
         with open(path) as f:
             return json.load(f)
     except FileNotFoundError:
-        raise SystemExit(f"error: {path} not found (run the bench first?)")
+        raise LoadError(f"{path} not found (run the bench first?)")
     except json.JSONDecodeError as e:
-        raise SystemExit(f"error: {path} is not valid JSON: {e}")
+        raise LoadError(f"{path} is not valid JSON: {e}")
 
 
 def counters_of(doc: dict, path: Path) -> dict:
     counters = doc.get("counters")
     if not isinstance(counters, dict):
-        raise SystemExit(f"error: {path} has no counters object")
+        raise LoadError(f"{path} has no counters object")
     return counters
 
 
@@ -143,10 +152,15 @@ def check_min_ratios(name: str, doc: dict, specs: list) -> bool:
         return True
     hw = timing.get("hardware_concurrency")
     if isinstance(hw, (int, float)) and hw < 8:
-        print(f"  {name}: WARNING: runner has hardware_concurrency={int(hw)} "
-              f"(< 8) — thread-scaling ratios cannot materialize here; "
-              f"skipping {len(specs)} --min-ratio check(s)", file=sys.stderr)
-        return True
+        # Only "threads_*" ratios need cores to materialize; core-count-
+        # independent ratios (dedup speedup growth, RSS flatness) stay gated.
+        scaling = [s for s in specs if s[0].startswith("threads_")]
+        if scaling:
+            print(f"  {name}: WARNING: runner has hardware_concurrency="
+                  f"{int(hw)} (< 8) — thread-scaling ratios cannot "
+                  f"materialize here; skipping "
+                  f"{', '.join(s[0] for s in scaling)}", file=sys.stderr)
+        specs = [s for s in specs if not s[0].startswith("threads_")]
     ok = True
     for field, minimum in specs:
         value = timing.get(field)
@@ -192,8 +206,13 @@ def main() -> int:
 
     if args.diff:
         a, b = args.diff
-        if diff_counters(f"{a} vs {b}", counters_of(load(a), a),
-                         counters_of(load(b), b), ignore):
+        try:
+            identical = diff_counters(f"{a} vs {b}", counters_of(load(a), a),
+                                      counters_of(load(b), b), ignore)
+        except LoadError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 1
+        if identical:
             print("counters identical")
             return 0
         return 1
@@ -209,22 +228,38 @@ def main() -> int:
 
     if args.update:
         args.golden.mkdir(parents=True, exist_ok=True)
+        update_failed = []
         for name in names:
-            doc = load(args.results / f"BENCH_{name}.json")
-            golden = {k: doc[k] for k in GOLDEN_KEYS if k in doc}
-            counters_of(golden, args.results / f"BENCH_{name}.json")
+            try:
+                doc = load(args.results / f"BENCH_{name}.json")
+                golden = {k: doc[k] for k in GOLDEN_KEYS if k in doc}
+                counters_of(golden, args.results / f"BENCH_{name}.json")
+            except LoadError as e:
+                print(f"  {name}: {e}")
+                update_failed.append(name)
+                continue
             out = args.golden / f"BENCH_{name}.json"
             write_atomic(out, golden)
             print(f"wrote {out}")
+        if update_failed:
+            print(f"FAIL: could not regenerate: {', '.join(update_failed)}",
+                  file=sys.stderr)
+            return 1
         return 0
 
     failed = []
     for name in names:
         result_path = args.results / f"BENCH_{name}.json"
-        ok = compare(name, result_path, args.golden / f"BENCH_{name}.json", ignore)
-        result_doc = load(result_path)
-        ok &= check_min_ratios(name, result_doc, min_ratios)
-        counters = counters_of(result_doc, result_path)
+        try:
+            ok = compare(name, result_path, args.golden / f"BENCH_{name}.json",
+                         ignore)
+            result_doc = load(result_path)
+            ok &= check_min_ratios(name, result_doc, min_ratios)
+            counters = counters_of(result_doc, result_path)
+        except LoadError as e:
+            print(f"  {name}: {e}")
+            failed.append(name)
+            continue
         for counter in args.require_nonzero:
             value = counters.get(counter)
             if not isinstance(value, int) or value <= 0:

@@ -162,9 +162,14 @@ std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
 }
 
 std::uint64_t fnv1a64(const std::string& text, std::uint64_t seed) {
+  return fnv1a64(text.data(), text.size(), seed);
+}
+
+std::uint64_t fnv1a64(const void* data, std::size_t size, std::uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
   std::uint64_t h = seed;
-  for (const unsigned char ch : text) {
-    h ^= ch;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
     h *= 0x100000001b3ULL;
   }
   return h;

@@ -69,6 +69,10 @@ std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed = 0);
 /// platforms, unlike std::hash).
 std::uint64_t fnv1a64(const std::string& text, std::uint64_t seed = 0xcbf29ce484222325ULL);
 std::uint64_t fnv1a64(std::uint64_t value, std::uint64_t seed);
+/// Raw-bytes form — the structural netlist hasher folds gate/fanin arrays
+/// through this without materializing intermediate strings.
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
 
 struct JournalRecord {
   std::uint16_t type = 0;

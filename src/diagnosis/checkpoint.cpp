@@ -1,13 +1,13 @@
 #include "diagnosis/checkpoint.hpp"
 
+#include <algorithm>
+
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 
 namespace scandiag {
 
 namespace {
-
-constexpr std::uint16_t kFaultRecordType = 1;
 
 void putU16(std::string& out, std::uint16_t v) {
   out.push_back(static_cast<char>(v & 0xFF));
@@ -103,6 +103,69 @@ FaultRecord decodeFaultRecord(const std::string& payload) {
   return record;
 }
 
+std::string encodeShardMetaRecord(const ShardMetaRecord& record) {
+  std::string out;
+  out.reserve(20 + record.socSpec.size());
+  putU32(out, record.shardIndex);
+  putU32(out, record.shardCount);
+  putU64(out, record.baseDigest);
+  putU32(out, static_cast<std::uint32_t>(record.socSpec.size()));
+  out.append(record.socSpec);
+  return out;
+}
+
+ShardMetaRecord decodeShardMetaRecord(const std::string& payload) {
+  Cursor cur(payload);
+  ShardMetaRecord record;
+  record.shardIndex = cur.u32();
+  record.shardCount = cur.u32();
+  record.baseDigest = cur.u64();
+  const std::uint32_t specLen = cur.u32();
+  if (specLen != cur.remaining()) {
+    throw JournalCorruptError("checkpoint: shard meta claims a " + std::to_string(specLen) +
+                              "-byte spec but " + std::to_string(cur.remaining()) +
+                              " bytes remain");
+  }
+  record.socSpec = payload.substr(payload.size() - specLen);
+  if (record.shardCount == 0 || record.shardIndex >= record.shardCount) {
+    throw JournalCorruptError("checkpoint: shard meta names shard " +
+                              std::to_string(record.shardIndex) + " of " +
+                              std::to_string(record.shardCount));
+  }
+  return record;
+}
+
+std::string encodeSweepManifestRecord(const SweepManifestRecord& record) {
+  std::string out;
+  out.reserve(32 + record.className.size());
+  putU64(out, record.sweepId);
+  putU64(out, record.classHash);
+  putU32(out, record.classOrdinal);
+  putU32(out, record.responseCount);
+  putU32(out, record.instanceCount);
+  putU32(out, static_cast<std::uint32_t>(record.className.size()));
+  out.append(record.className);
+  return out;
+}
+
+SweepManifestRecord decodeSweepManifestRecord(const std::string& payload) {
+  Cursor cur(payload);
+  SweepManifestRecord record;
+  record.sweepId = cur.u64();
+  record.classHash = cur.u64();
+  record.classOrdinal = cur.u32();
+  record.responseCount = cur.u32();
+  record.instanceCount = cur.u32();
+  const std::uint32_t nameLen = cur.u32();
+  if (nameLen != cur.remaining()) {
+    throw JournalCorruptError("checkpoint: sweep manifest claims a " +
+                              std::to_string(nameLen) + "-byte name but " +
+                              std::to_string(cur.remaining()) + " bytes remain");
+  }
+  record.className = payload.substr(payload.size() - nameLen);
+  return record;
+}
+
 std::uint64_t setupDigestPiece(const std::string& name, std::uint64_t value,
                                std::uint64_t digest) {
   return fnv1a64(value, fnv1a64(name, digest));
@@ -157,39 +220,75 @@ void SweepCheckpoint::record(const FaultRecord& record) {
   obs::count(obs::Counter::JournalRecordsWritten);
 }
 
+void SweepCheckpoint::appendAux(std::uint16_t type, const std::string& payload) {
+  writer_->append(type, payload);
+  obs::count(obs::Counter::JournalRecordsWritten);
+}
+
+void MemoryRecordSink::record(const FaultRecord& record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  records_[std::make_pair(record.sweepId, record.faultIndex)] = record;
+}
+
+const FaultRecord* TeeRecordSink::find(std::uint64_t sweepId, std::uint32_t faultIndex) const {
+  const FaultRecord* prior = primary_ ? primary_->find(sweepId, faultIndex) : nullptr;
+  // A replayed fault never reaches record(), so copy it into the collector
+  // here — the collector ends the sweep with the complete record set either
+  // way.
+  if (prior && collector_) collector_->record(*prior);
+  return prior;
+}
+
+void TeeRecordSink::record(const FaultRecord& record) {
+  if (primary_) primary_->record(record);
+  if (collector_) collector_->record(record);
+}
+
 DrReport evaluateWithCheckpoint(const DiagnosisPipeline& pipeline,
                                 const std::vector<FaultResponse>& responses,
-                                SweepCheckpoint* checkpoint, std::uint64_t sweepId,
+                                FaultRecordSink* sink, std::uint64_t sweepId,
                                 const RunControl& control) {
-  if (!checkpoint) return pipeline.evaluate(responses, control);
+  if (!sink) return pipeline.evaluate(responses, control);
+  return evaluateWithCheckpointRange(pipeline, responses, sink, sweepId, 0, responses.size(),
+                                     control);
+}
 
+DrReport evaluateWithCheckpointRange(const DiagnosisPipeline& pipeline,
+                                     const std::vector<FaultResponse>& responses,
+                                     FaultRecordSink* sink, std::uint64_t sweepId,
+                                     std::size_t rangeLo, std::size_t rangeHi,
+                                     const RunControl& control) {
   // Mirrors DiagnosisPipeline::evaluate — disjoint per-fault slots filled in
   // parallel, then an ordered reduction — with two extra per-fault paths:
   // replay (fault already journaled: re-apply its counter deltas, skip the
-  // diagnosis) and record (journal the completed fault before the slot is
-  // published). Both keep slot values and counter totals identical to the
+  // diagnosis) and record (publish the completed fault before the slot is
+  // filled). Both keep slot values and counter totals identical to the
   // uninterrupted run.
+  rangeHi = std::min(rangeHi, responses.size());
+  rangeLo = std::min(rangeLo, rangeHi);
+  const std::size_t count = rangeHi - rangeLo;
   struct Slot {
     std::size_t candidates = 0;
     std::size_t actual = 0;
     bool detected = false;
   };
-  std::vector<Slot> slots(responses.size());
-  globalPool().parallelFor(responses.size(), [&](std::size_t i) {
+  std::vector<Slot> slots(count);
+  globalPool().parallelFor(count, [&](std::size_t slot) {
+    const std::size_t i = rangeLo + slot;
     const FaultResponse& r = responses[i];
     if (!r.detected()) return;
     const std::uint32_t faultIndex = static_cast<std::uint32_t>(i);
-    if (const FaultRecord* prior = checkpoint->find(sweepId, faultIndex)) {
+    if (const FaultRecord* prior = sink ? sink->find(sweepId, faultIndex) : nullptr) {
       for (const auto& [counter, delta] : prior->counterDeltas) {
         obs::count(static_cast<obs::Counter>(counter), delta);
       }
       obs::count(obs::Counter::JournalRecordsReplayed);
-      slots[i] = Slot{static_cast<std::size_t>(prior->candidateCount),
-                      static_cast<std::size_t>(prior->actualCount), true};
+      slots[slot] = Slot{static_cast<std::size_t>(prior->candidateCount),
+                         static_cast<std::size_t>(prior->actualCount), true};
       return;
     }
     // Cancellation lands here, never after the diagnosis below starts: each
-    // journaled record is a fault that ran to completion.
+    // published record is a fault that ran to completion.
     control.throwIfStopped();
     FaultRecord record;
     record.sweepId = sweepId;
@@ -206,9 +305,9 @@ DrReport evaluateWithCheckpoint(const DiagnosisPipeline& pipeline,
         }
       }
     }
-    checkpoint->record(record);
-    slots[i] = Slot{static_cast<std::size_t>(record.candidateCount),
-                    static_cast<std::size_t>(record.actualCount), true};
+    if (sink) sink->record(record);
+    slots[slot] = Slot{static_cast<std::size_t>(record.candidateCount),
+                       static_cast<std::size_t>(record.actualCount), true};
   });
   DrAccumulator acc;
   for (const Slot& s : slots) {

@@ -80,6 +80,8 @@ enum class Counter : unsigned {
   ServeRequestsShed,        // serve: connections shed BUSY at admission
   ServeDeadlineDegraded,    // serve: requests degraded to a partial DEADLINE reply
   ServeFramesRejected,      // serve: malformed/corrupt protocol frames rejected
+  CoreClassHits,            // SOC core instances served by an existing class
+  CoreClassMisses,          // SOC core isomorphism classes built from scratch
   kCount,
 };
 
@@ -123,6 +125,8 @@ constexpr const char* counterName(Counter c) {
     case Counter::ServeRequestsShed: return "serve_requests_shed";
     case Counter::ServeDeadlineDegraded: return "serve_deadline_degraded";
     case Counter::ServeFramesRejected: return "serve_frames_rejected";
+    case Counter::CoreClassHits: return "core_class_hits";
+    case Counter::CoreClassMisses: return "core_class_misses";
     case Counter::kCount: break;
   }
   return "unknown_counter";

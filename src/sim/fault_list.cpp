@@ -29,34 +29,69 @@ bool branchCollapses(GateType type, bool stuckAt) {
 
 std::vector<FaultSite> enumerateSites(const Netlist& netlist, bool collapse) {
   std::vector<FaultSite> faults;
-  const auto& fanouts = netlist.fanouts();
-  for (GateId id = 0; id < netlist.gateCount(); ++id) {
-    const Gate& g = netlist.gate(id);
-    if (g.type == GateType::Const0 || g.type == GateType::Const1) continue;
-    // Stem faults. A stem that drives nothing is unobservable; skip it so the
-    // sampler never wastes budget on structurally undetectable faults.
-    const bool observedStem = !fanouts[id].empty() ||
-                              std::find(netlist.outputs().begin(), netlist.outputs().end(), id) !=
-                                  netlist.outputs().end();
-    if (observedStem) {
-      faults.push_back({id, FaultSite::kOutputPin, false});
-      faults.push_back({id, FaultSite::kOutputPin, true});
-    }
-    // Branch faults where the driver fans out.
-    for (std::size_t k = 0; k < g.fanins.size(); ++k) {
-      const GateId driver = g.fanins[k];
-      SCANDIAG_REQUIRE(driver != kInvalidGate, "dangling fanin during fault enumeration");
-      if (fanouts[driver].size() <= 1) continue;
-      for (bool sa : {false, true}) {
-        if (collapse && branchCollapses(g.type, sa)) continue;
-        faults.push_back({id, static_cast<int>(k), sa});
-      }
-    }
-  }
+  FaultEnumerator en(netlist, collapse);
+  while (const std::optional<FaultSite> site = en.next()) faults.push_back(*site);
   return faults;
 }
 
 }  // namespace
+
+FaultEnumerator::FaultEnumerator(const Netlist& netlist, bool collapse)
+    : netlist_(&netlist), collapse_(collapse) {
+  netlist.fanouts();  // build the (netlist-owned) fanout index up front
+}
+
+std::optional<FaultSite> FaultEnumerator::next() {
+  const Netlist& netlist = *netlist_;
+  const auto& fanouts = netlist.fanouts();
+  while (gate_ < netlist.gateCount()) {
+    const Gate& g = netlist.gate(gate_);
+    if (g.type == GateType::Const0 || g.type == GateType::Const1) {
+      ++gate_;
+      continue;
+    }
+    // Stem faults. A stem that drives nothing is unobservable; skip it so the
+    // sampler never wastes budget on structurally undetectable faults.
+    if (stemPhase_ < 2) {
+      const bool observedStem =
+          !fanouts[gate_].empty() ||
+          std::find(netlist.outputs().begin(), netlist.outputs().end(), gate_) !=
+              netlist.outputs().end();
+      if (!observedStem) {
+        stemPhase_ = 2;
+      } else {
+        const bool sa = stemPhase_ == 1;
+        ++stemPhase_;
+        ++yielded_;
+        return FaultSite{gate_, FaultSite::kOutputPin, sa};
+      }
+    }
+    // Branch faults where the driver fans out.
+    while (pin_ < g.fanins.size()) {
+      const GateId driver = g.fanins[pin_];
+      SCANDIAG_REQUIRE(driver != kInvalidGate, "dangling fanin during fault enumeration");
+      if (fanouts[driver].size() <= 1) {
+        ++pin_;
+        pinPhase_ = 0;
+        continue;
+      }
+      while (pinPhase_ < 2) {
+        const bool sa = pinPhase_ == 1;
+        ++pinPhase_;
+        if (collapse_ && branchCollapses(g.type, sa)) continue;
+        ++yielded_;
+        return FaultSite{gate_, static_cast<int>(pin_), sa};
+      }
+      ++pin_;
+      pinPhase_ = 0;
+    }
+    ++gate_;
+    stemPhase_ = 0;
+    pin_ = 0;
+    pinPhase_ = 0;
+  }
+  return std::nullopt;
+}
 
 FaultList::FaultList(std::vector<FaultSite> faults) : faults_(std::move(faults)) {}
 

@@ -12,11 +12,39 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "sim/logic_simulator.hpp"
 
 namespace scandiag {
+
+/// Streaming fault enumeration: yields the exact sequence
+/// FaultList::enumerateCollapsed / enumerateAll materializes, one site per
+/// next() call, from O(1) enumerator state (a gate cursor plus pin/polarity
+/// counters — no per-site storage). Million-cell meta-chain sweeps walk the
+/// universe through this so per-fault memory stays flat regardless of
+/// circuit size; FaultList::enumerate* is now a thin collector over it, so
+/// the two can never disagree.
+class FaultEnumerator {
+ public:
+  FaultEnumerator(const Netlist& netlist, bool collapse);
+
+  /// Next fault site in enumeration order, or nullopt when exhausted.
+  std::optional<FaultSite> next();
+
+  /// Sites yielded so far.
+  std::uint64_t yielded() const { return yielded_; }
+
+ private:
+  const Netlist* netlist_;
+  bool collapse_;
+  GateId gate_ = 0;       // current gate under enumeration
+  unsigned stemPhase_ = 0;  // 0 = sa0 pending, 1 = sa1 pending, 2 = stems done
+  std::size_t pin_ = 0;     // current fanin pin
+  unsigned pinPhase_ = 0;   // 0 = sa0 pending, 1 = sa1 pending
+  std::uint64_t yielded_ = 0;
+};
 
 class FaultList {
  public:

@@ -1,0 +1,69 @@
+#include "soc/core_class.hpp"
+
+#include "common/journal.hpp"
+#include "obs/metrics.hpp"
+
+namespace scandiag {
+
+namespace {
+
+std::uint64_t foldU64(std::uint64_t value, std::uint64_t h) { return fnv1a64(value, h); }
+
+std::uint64_t foldIdList(const std::vector<GateId>& ids, std::uint64_t h) {
+  h = foldU64(ids.size(), h);
+  // GateId is a fixed-width integer, so the raw array is a platform-stable
+  // byte sequence (little-endian everywhere this project builds).
+  static_assert(sizeof(GateId) == 4);
+  if (!ids.empty()) h = fnv1a64(ids.data(), ids.size() * sizeof(GateId), h);
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t structuralNetlistHash(const Netlist& netlist) {
+  std::uint64_t h = fnv1a64(std::string("netlist-structure-v1"));
+  h = foldU64(netlist.gateCount(), h);
+  for (GateId id = 0; id < netlist.gateCount(); ++id) {
+    const Gate& g = netlist.gate(id);
+    h = foldU64(static_cast<std::uint64_t>(g.type), h);
+    h = foldIdList(g.fanins, h);
+  }
+  h = foldIdList(netlist.inputs(), h);
+  h = foldIdList(netlist.dffs(), h);
+  h = foldIdList(netlist.outputs(), h);
+  return h;
+}
+
+CoreClassIndex::CoreClassIndex(const Soc& soc) {
+  classOf_.reserve(soc.coreCount());
+  for (std::size_t k = 0; k < soc.coreCount(); ++k) {
+    const Netlist* netlist = soc.core(k).netlist.get();
+    // Identity fast path: the soc_builder arena aliases replicated modules,
+    // so siblings match by pointer without rehashing a million-cell SOC.
+    std::size_t found = classes_.size();
+    for (std::size_t c = 0; c < classes_.size(); ++c) {
+      if (classes_[c].netlist == netlist) {
+        found = c;
+        break;
+      }
+    }
+    if (found == classes_.size()) {
+      const std::uint64_t hash = structuralNetlistHash(*netlist);
+      for (std::size_t c = 0; c < classes_.size(); ++c) {
+        if (classes_[c].hash == hash) {
+          found = c;
+          break;
+        }
+      }
+      if (found == classes_.size()) {
+        classes_.push_back(ClassInfo{hash, netlist, {}});
+        obs::count(obs::Counter::CoreClassMisses);
+      }
+    }
+    if (!classes_[found].instances.empty()) obs::count(obs::Counter::CoreClassHits);
+    classes_[found].instances.push_back(k);
+    classOf_.push_back(found);
+  }
+}
+
+}  // namespace scandiag

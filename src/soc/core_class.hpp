@@ -1,0 +1,72 @@
+// Structural isomorphism classes over SOC core netlists.
+//
+// Real SOCs replicate identical cores many times (Wang/Wu/Ivanov's
+// distributed identical blocks, PAPERS.md). Everything the diagnosis stack
+// derives from a core's *structure* — cone analysis, collapsed fault lists,
+// PreparedPartitionSets, fault-simulation responses — is identical for every
+// instance of a structural class, so it should be computed once per class and
+// shared read-only across instances.
+//
+// structuralNetlistHash() fingerprints a netlist's structure and nothing
+// else: gate types, fanin wiring, and the input/DFF/output orderings, all in
+// construction-id space. Instance names never enter the hash (two copies of
+// s38584 hash equal regardless of what the SOC calls them); changing one gate
+// type or one fanin changes the hash. The synthetic generator is
+// deterministic, so equal (module, options) implies equal ids and therefore
+// equal hashes — and unequal hashes always mean structurally different
+// netlists. Equal hashes for *different* structures would need an FNV-1a
+// collision; CoreClassIndex additionally short-circuits on shared-pointer
+// identity, which is how replicated SOCs (soc_builder arena) dedup without
+// hashing every sibling.
+//
+// Class ordinals are assigned in order of first appearance over ascending
+// core index — permuting instances of existing classes never changes which
+// class a module maps to, and the per-class counters core_class_misses (new
+// class built) / core_class_hits (instance served by an existing class) are
+// deterministic for a given SOC.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "soc/core_instance.hpp"
+
+namespace scandiag {
+
+/// Order-sensitive structural fingerprint of `netlist` (names excluded).
+std::uint64_t structuralNetlistHash(const Netlist& netlist);
+
+class CoreClassIndex {
+ public:
+  /// Partitions `soc`'s cores into structural classes. Counts one
+  /// core_class_miss per class and one core_class_hit per additional
+  /// instance beyond its class representative.
+  explicit CoreClassIndex(const Soc& soc);
+
+  std::size_t classCount() const { return classes_.size(); }
+  /// Class ordinal of core `coreIndex` (first-appearance order).
+  std::size_t classOf(std::size_t coreIndex) const { return classOf_.at(coreIndex); }
+  /// Lowest core index of the class — the instance whose artifacts all
+  /// siblings share.
+  std::size_t representative(std::size_t classId) const {
+    return classes_.at(classId).instances.front();
+  }
+  /// Ascending core indices belonging to the class.
+  const std::vector<std::size_t>& instancesOf(std::size_t classId) const {
+    return classes_.at(classId).instances;
+  }
+  /// Structural hash of the class's netlist.
+  std::uint64_t classHash(std::size_t classId) const { return classes_.at(classId).hash; }
+
+ private:
+  struct ClassInfo {
+    std::uint64_t hash = 0;
+    const Netlist* netlist = nullptr;  // representative's netlist (identity fast path)
+    std::vector<std::size_t> instances;
+  };
+  std::vector<ClassInfo> classes_;
+  std::vector<std::size_t> classOf_;
+};
+
+}  // namespace scandiag

@@ -9,6 +9,7 @@ Soc::Soc(std::string name, std::vector<CoreInstance> cores, ScanTopology topolog
   SCANDIAG_REQUIRE(!cores_.empty(), "SOC needs at least one core");
   std::size_t expectedOffset = 0;
   for (const CoreInstance& c : cores_) {
+    SCANDIAG_REQUIRE(c.netlist != nullptr, "core instance has no netlist");
     SCANDIAG_REQUIRE(c.cellOffset == expectedOffset, "core cell offsets must be contiguous");
     expectedOffset += c.numCells();
   }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,11 +20,16 @@ namespace scandiag {
 
 struct CoreInstance {
   std::string name;
-  Netlist netlist;
+  /// Shared read-only: replicated instances of one module alias a single
+  /// arena-owned netlist (soc_builder dedups by module name), so SOC memory
+  /// scales with distinct modules, not instance count. The shared pointer is
+  /// also the core-class fast path — pointer equality proves isomorphism
+  /// without hashing.
+  std::shared_ptr<const Netlist> netlist;
   /// Global id of this core's scan cell 0.
   std::size_t cellOffset = 0;
 
-  std::size_t numCells() const { return netlist.dffs().size(); }
+  std::size_t numCells() const { return netlist->dffs().size(); }
 };
 
 class Soc {

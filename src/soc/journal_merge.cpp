@@ -1,0 +1,140 @@
+#include "soc/journal_merge.hpp"
+
+#include <algorithm>
+
+#include "common/journal.hpp"
+
+namespace scandiag {
+
+namespace {
+
+bool sameManifest(const SweepManifestRecord& a, const SweepManifestRecord& b) {
+  return a.sweepId == b.sweepId && a.classHash == b.classHash &&
+         a.classOrdinal == b.classOrdinal && a.responseCount == b.responseCount &&
+         a.instanceCount == b.instanceCount && a.className == b.className;
+}
+
+}  // namespace
+
+MergedJournals mergeShardJournals(const std::vector<std::string>& paths) {
+  if (paths.empty()) throw JournalFormatError("merge: no journals given");
+
+  MergedJournals merged;
+  std::map<std::uint64_t, SweepManifestRecord> manifestsBySweep;
+  std::vector<bool> shardSeen;
+  bool first = true;
+
+  for (const std::string& path : paths) {
+    const JournalContents contents = readJournal(path);
+    if (contents.truncatedTail) {
+      throw JournalCorruptError("merge: '" + path +
+                                "' has a torn tail — the shard died mid-append; resume it to "
+                                "completion before merging");
+    }
+
+    // Pass 1: shard meta + manifests (shard-invariant metadata).
+    bool haveMeta = false;
+    ShardMetaRecord meta;
+    for (const JournalRecord& rec : contents.records) {
+      if (rec.type == kShardMetaRecordType) {
+        const ShardMetaRecord m = decodeShardMetaRecord(rec.payload);
+        if (haveMeta && (m.shardIndex != meta.shardIndex || m.shardCount != meta.shardCount ||
+                         m.baseDigest != meta.baseDigest || m.socSpec != meta.socSpec)) {
+          throw JournalCorruptError("merge: '" + path +
+                                    "' carries conflicting shard meta records");
+        }
+        meta = m;
+        haveMeta = true;
+      }
+    }
+    if (!haveMeta) {
+      throw JournalFormatError("merge: '" + path +
+                               "' has no shard meta record — not a sharded-sweep journal");
+    }
+    if (first) {
+      merged.baseDigest = meta.baseDigest;
+      merged.shardCount = meta.shardCount;
+      merged.socSpec = meta.socSpec;
+      shardSeen.assign(meta.shardCount, false);
+      first = false;
+    } else {
+      if (meta.baseDigest != merged.baseDigest || meta.socSpec != merged.socSpec) {
+        throw JournalDigestMismatchError(
+            "merge: '" + path + "' belongs to a different sweep (base digest mismatch)");
+      }
+      if (meta.shardCount != merged.shardCount) {
+        throw JournalCorruptError("merge: '" + path + "' says " +
+                                  std::to_string(meta.shardCount) + " shards; earlier journals said " +
+                                  std::to_string(merged.shardCount));
+      }
+    }
+    if (shardSeen[meta.shardIndex]) {
+      throw JournalCorruptError("merge: shard " + std::to_string(meta.shardIndex) +
+                                " appears in more than one journal ('" + path + "')");
+    }
+    shardSeen[meta.shardIndex] = true;
+
+    for (const JournalRecord& rec : contents.records) {
+      if (rec.type != kSweepManifestRecordType) continue;
+      SweepManifestRecord m = decodeSweepManifestRecord(rec.payload);
+      const auto it = manifestsBySweep.find(m.sweepId);
+      if (it == manifestsBySweep.end()) {
+        manifestsBySweep.emplace(m.sweepId, std::move(m));
+      } else if (!sameManifest(it->second, m)) {
+        throw JournalCorruptError("merge: '" + path + "' disagrees about sweep manifest for class '" +
+                                  m.className + "'");
+      }
+    }
+
+    // Pass 2: fault records. Within this journal duplicates are legal
+    // (crash/resume residue, last write wins); a key already merged from a
+    // DIFFERENT journal means overlapping shard ranges.
+    std::map<std::pair<std::uint64_t, std::uint32_t>, FaultRecord> local;
+    for (const JournalRecord& rec : contents.records) {
+      if (rec.type != kFaultRecordType) continue;
+      FaultRecord fault = decodeFaultRecord(rec.payload);
+      local[std::make_pair(fault.sweepId, fault.faultIndex)] = std::move(fault);
+    }
+    for (auto& [key, fault] : local) {
+      if (merged.records.count(key) != 0) {
+        throw JournalCorruptError("merge: fault " + std::to_string(key.second) +
+                                  " of sweep " + std::to_string(key.first) +
+                                  " appears in more than one journal — overlapping shard ranges");
+      }
+      merged.records.emplace(key, std::move(fault));
+      ++merged.faultRecordsMerged;
+    }
+  }
+
+  for (std::uint32_t s = 0; s < merged.shardCount; ++s) {
+    if (!shardSeen[s]) {
+      throw JournalCorruptError("merge: shard " + std::to_string(s) + " of " +
+                                std::to_string(merged.shardCount) +
+                                " is missing from the given journals");
+    }
+  }
+
+  // Validate record keys against the manifests before anyone renders.
+  for (const auto& [key, fault] : merged.records) {
+    const auto it = manifestsBySweep.find(key.first);
+    if (it == manifestsBySweep.end()) {
+      throw JournalCorruptError("merge: fault record for unknown sweep " +
+                                std::to_string(key.first));
+    }
+    if (key.second >= it->second.responseCount) {
+      throw JournalCorruptError("merge: fault index " + std::to_string(key.second) +
+                                " out of range for class '" + it->second.className + "' (" +
+                                std::to_string(it->second.responseCount) + " faults)");
+    }
+  }
+
+  merged.manifests.reserve(manifestsBySweep.size());
+  for (auto& [sweepId, m] : manifestsBySweep) merged.manifests.push_back(std::move(m));
+  std::sort(merged.manifests.begin(), merged.manifests.end(),
+            [](const SweepManifestRecord& a, const SweepManifestRecord& b) {
+              return a.classOrdinal < b.classOrdinal;
+            });
+  return merged;
+}
+
+}  // namespace scandiag

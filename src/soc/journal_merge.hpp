@@ -1,0 +1,54 @@
+// Merging sharded sweep journals back into one report.
+//
+// Input: the N journals of one sharded class sweep (any order). The merge is
+// pure validation + reassembly — no diagnosis reruns — and is deliberately
+// paranoid, because combining shards hides exactly the failures a single
+// journal's digest check would catch:
+//
+//  * torn tail          → refused (JournalCorruptError). A torn tail means
+//                         the shard died mid-append; resume that shard to
+//                         completion first (resume truncates the tail), then
+//                         merge. Merging would silently drop its last fault.
+//  * missing shard meta → refused (not a shard journal).
+//  * foreign digest     → refused (JournalDigestMismatchError) when base
+//                         digests differ across journals — the shards come
+//                         from different sweeps.
+//  * duplicate shard    → refused; so are shardCount disagreements, a
+//                         missing shard index, and manifest disagreements.
+//  * overlapping ranges → refused: the same (sweepId, faultIndex) appearing
+//                         in two *different* journals means the shard ranges
+//                         overlapped — records could disagree, and which one
+//                         wins would be input-order-dependent. Within ONE
+//                         journal duplicates are the normal crash/resume
+//                         artifact and resolve last-write-wins, exactly as
+//                         SweepCheckpoint replays them.
+//  * range overflow     → refused when a fault index is outside its
+//                         manifest's [0, responseCount).
+//  * incomplete sweep   → renderSocReport throws when a manifest's fault
+//                         range has holes (a shard was never run/finished).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "diagnosis/checkpoint.hpp"
+
+namespace scandiag {
+
+struct MergedJournals {
+  std::uint64_t baseDigest = 0;
+  std::uint32_t shardCount = 0;
+  std::string socSpec;
+  std::vector<SweepManifestRecord> manifests;  // class-ordinal order
+  std::map<std::pair<std::uint64_t, std::uint32_t>, FaultRecord> records;
+  std::uint64_t faultRecordsMerged = 0;
+};
+
+/// Reads, validates, and merges `paths` (one complete shard set). Throws the
+/// typed journal errors documented above.
+MergedJournals mergeShardJournals(const std::vector<std::string>& paths);
+
+}  // namespace scandiag

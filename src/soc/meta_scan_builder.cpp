@@ -39,6 +39,22 @@ ScanTopology buildMetaChains(const std::vector<std::size_t>& cellCounts, std::si
   return ScanTopology::fromChains(std::move(chains));
 }
 
+ScanTopology coreLocalTopology(std::size_t cellCount, std::size_t tamWidth) {
+  SCANDIAG_REQUIRE(tamWidth >= 1, "TAM width must be >= 1");
+  SCANDIAG_REQUIRE(cellCount >= 1, "core has no scan cells");
+  std::vector<std::vector<std::size_t>> chains(tamWidth);
+  std::size_t local = 0;
+  for (std::size_t c = 0; c < tamWidth; ++c) {
+    const std::size_t len = subChainLength(cellCount, tamWidth, c);
+    for (std::size_t i = 0; i < len; ++i) chains[c].push_back(local++);
+  }
+  SCANDIAG_ASSERT(local == cellCount, "sub-chain split lost cells");
+  chains.erase(std::remove_if(chains.begin(), chains.end(),
+                              [](const auto& c) { return c.empty(); }),
+               chains.end());
+  return ScanTopology::fromChains(std::move(chains));
+}
+
 CoreSpan coreSpanOnMetaChains(const std::vector<std::size_t>& cellCounts, std::size_t tamWidth,
                               std::size_t coreIndex) {
   SCANDIAG_REQUIRE(coreIndex < cellCounts.size(), "core index out of range");

@@ -30,4 +30,11 @@ struct CoreSpan {
 CoreSpan coreSpanOnMetaChains(const std::vector<std::size_t>& cellCounts, std::size_t tamWidth,
                               std::size_t coreIndex);
 
+/// The topology one core contributes to a W-bit TAM, in *local* cell ids:
+/// the same W balanced sub-chains buildMetaChains would thread through it
+/// (empty sub-chains dropped). Every instance of a structural class yields
+/// the same local topology, which is what lets the class-deduped sweep
+/// diagnose once per class and transfer the result to all siblings.
+ScanTopology coreLocalTopology(std::size_t cellCount, std::size_t tamWidth);
+
 }  // namespace scandiag

@@ -1,0 +1,93 @@
+// Class-deduped, shardable SOC fault sweeps.
+//
+// The class-sweep protocol diagnoses each structural core class ONCE on its
+// *core-local* topology (the W balanced sub-chains every instance of the
+// class contributes to the TAM — see coreLocalTopology). Because siblings
+// are structurally identical and the class workload is keyed by the class's
+// structural hash (not the instance index), the representative's patterns,
+// fault list, responses, PreparedPartitionSet, and per-fault diagnoses are
+// *exactly* what any sibling would produce — one class evaluation is the
+// diagnosis of every instance, and the report carries the instance
+// multiplicity. This is deliberately a different protocol from
+// evaluateSocDr (paper §5, Tables 3-4), which diagnoses each core through
+// the global meta-chain partitions with per-index seeds; that path is
+// unchanged.
+//
+// Sharding: a sweep over F faults splits into N contiguous fault ranges
+// (shard i owns [i*F/N, (i+1)*F/N) of every class). Each shard process runs
+// with its own journal; every shard writes the same shard-invariant metadata
+// (one ShardMetaRecord carrying the sweep's unsharded base digest, one
+// SweepManifestRecord per class) plus fault records for its range only.
+// merge-journals (journal_merge.*) reassembles N such journals into the
+// complete record set and renders the same report an unsharded `--report`
+// run writes, byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "diagnosis/checkpoint.hpp"
+#include "diagnosis/experiment_driver.hpp"
+#include "soc/core_instance.hpp"
+
+namespace scandiag {
+
+struct SocShardSpec {
+  std::uint32_t index = 0;
+  std::uint32_t count = 1;
+};
+
+/// Parses "i/N" (0-based, i < N). Throws std::invalid_argument on nonsense.
+SocShardSpec parseShardSpec(const std::string& text);
+
+struct SocSweepOptions {
+  SocShardSpec shard{};
+  /// False disables structural dedup: every instance becomes its own class
+  /// and is evaluated from scratch (the A/B baseline bench_soc_scale times
+  /// dedup speedup against).
+  bool dedupClasses = true;
+  /// Digest of the unsharded setup (no shard pieces) — stamped into the
+  /// shard meta record so merge-journals can prove sibling journals belong
+  /// to one sweep.
+  std::uint64_t baseDigest = 0;
+  /// SOC spec string (e.g. "rep:s5378x32:w8") — stamped into the shard meta
+  /// record so merged reports carry the same label as live ones.
+  std::string socSpec;
+};
+
+/// One structural class's sweep outcome for this run's fault range.
+struct SocClassRow {
+  std::size_t classOrdinal = 0;
+  std::string className;  // representative instance's name
+  std::uint64_t classHash = 0;
+  std::size_t instanceCount = 0;
+  std::size_t responseCount = 0;  // full (unsharded) fault count of the class sweep
+  DrReport report;                // this shard's range only
+};
+
+struct SocSweepResult {
+  std::vector<SocClassRow> classes;             // class-ordinal order
+  std::vector<SweepManifestRecord> manifests;   // class-ordinal order
+  std::size_t coreCount = 0;
+  std::size_t classCount = 0;
+  std::size_t totalCells = 0;
+};
+
+/// Sweep id of one class's fault sweep. Mixes the class's structural hash
+/// AND its ordinal, so a no-dedup run (N identical-hash classes) still
+/// journals each instance under a distinct sweep.
+std::uint64_t socClassSweepId(const DiagnosisConfig& config, std::uint64_t classHash,
+                              std::size_t classOrdinal);
+
+/// Runs the class sweep. `checkpoint` (optional) journals shard meta +
+/// manifests + this range's fault records and replays on resume;
+/// `collector` (optional) accumulates the complete record set in memory for
+/// live report rendering. `control` is polled per fault.
+SocSweepResult runSocClassSweep(const Soc& soc, const WorkloadConfig& workload,
+                                const DiagnosisConfig& config, const SocSweepOptions& options,
+                                const RunControl& control = {},
+                                SweepCheckpoint* checkpoint = nullptr,
+                                MemoryRecordSink* collector = nullptr);
+
+}  // namespace scandiag

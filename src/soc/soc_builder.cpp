@@ -1,26 +1,46 @@
 #include "soc/soc_builder.hpp"
 
+#include <map>
+#include <stdexcept>
+
+#include "common/assert.hpp"
 #include "soc/meta_scan_builder.hpp"
 
 namespace scandiag {
 
-Soc buildSocFromModules(const std::string& socName, const std::vector<std::string>& modules,
-                        std::size_t tamWidth, const GeneratorOptions& options) {
-  std::vector<CoreInstance> cores;
-  cores.reserve(modules.size());
+namespace {
+
+Soc assembleSoc(const std::string& socName, std::vector<CoreInstance> cores,
+                std::size_t tamWidth) {
   std::vector<std::size_t> cellCounts;
-  cellCounts.reserve(modules.size());
+  cellCounts.reserve(cores.size());
   std::size_t offset = 0;
-  for (const std::string& m : modules) {
-    CoreInstance core;
-    core.name = m;
-    core.netlist = generateNamedCircuit(m, options);
+  for (CoreInstance& core : cores) {
     core.cellOffset = offset;
     offset += core.numCells();
     cellCounts.push_back(core.numCells());
-    cores.push_back(std::move(core));
   }
   return Soc(socName, std::move(cores), buildMetaChains(cellCounts, tamWidth));
+}
+
+}  // namespace
+
+Soc buildSocFromModules(const std::string& socName, const std::vector<std::string>& modules,
+                        std::size_t tamWidth, const GeneratorOptions& options) {
+  // Arena: one generated netlist per distinct module name; repeated names
+  // alias it (the generator is deterministic, so the dedup is exact).
+  std::map<std::string, std::shared_ptr<const Netlist>> arena;
+  std::vector<CoreInstance> cores;
+  cores.reserve(modules.size());
+  for (const std::string& m : modules) {
+    auto it = arena.find(m);
+    if (it == arena.end()) {
+      it = arena.emplace(m, std::make_shared<const Netlist>(generateNamedCircuit(m, options)))
+               .first;
+    }
+    cores.push_back(CoreInstance{m, it->second, 0});
+  }
+  return assembleSoc(socName, std::move(cores), tamWidth);
 }
 
 Soc buildSoc1(const GeneratorOptions& options) {
@@ -29,6 +49,57 @@ Soc buildSoc1(const GeneratorOptions& options) {
 
 Soc buildD695(const GeneratorOptions& options, std::size_t tamWidth) {
   return buildSocFromModules("d695", d695Iscas89Modules(), tamWidth, options);
+}
+
+Soc buildReplicatedSoc(const std::string& module, std::size_t replication,
+                       std::size_t tamWidth, const GeneratorOptions& options) {
+  SCANDIAG_REQUIRE(replication >= 1, "replication must be >= 1");
+  const auto shared =
+      std::make_shared<const Netlist>(generateNamedCircuit(module, options));
+  std::vector<CoreInstance> cores;
+  cores.reserve(replication);
+  for (std::size_t k = 0; k < replication; ++k) {
+    cores.push_back(CoreInstance{module + "#" + std::to_string(k), shared, 0});
+  }
+  return assembleSoc("rep-" + module + "x" + std::to_string(replication), std::move(cores),
+                     tamWidth);
+}
+
+Soc buildSocFromSpec(const std::string& spec, const GeneratorOptions& options) {
+  if (spec == "soc1") return buildSoc1(options);
+  if (spec == "d695") return buildD695(options);
+  if (spec.rfind("rep:", 0) == 0) {
+    // rep:<module>x<R>[:w<W>]
+    std::string body = spec.substr(4);
+    std::size_t tamWidth = 1;
+    const std::size_t colon = body.find(':');
+    if (colon != std::string::npos) {
+      const std::string w = body.substr(colon + 1);
+      if (w.size() < 2 || w[0] != 'w') {
+        throw std::invalid_argument("bad SOC spec '" + spec + "': expected ':w<W>' suffix");
+      }
+      tamWidth = std::stoul(w.substr(1));
+      body = body.substr(0, colon);
+    }
+    const std::size_t x = body.rfind('x');
+    if (x == std::string::npos || x == 0 || x + 1 == body.size()) {
+      throw std::invalid_argument("bad SOC spec '" + spec +
+                                  "': expected rep:<module>x<R>[:w<W>]");
+    }
+    const std::string module = body.substr(0, x);
+    std::size_t replication = 0;
+    try {
+      replication = std::stoul(body.substr(x + 1));
+    } catch (const std::exception&) {
+      throw std::invalid_argument("bad SOC spec '" + spec + "': replication is not a number");
+    }
+    if (replication == 0) {
+      throw std::invalid_argument("bad SOC spec '" + spec + "': replication must be >= 1");
+    }
+    return buildReplicatedSoc(module, replication, tamWidth, options);
+  }
+  throw std::invalid_argument("unknown SOC spec '" + spec +
+                              "' (expected soc1, d695, or rep:<module>x<R>[:w<W>])");
 }
 
 }  // namespace scandiag

@@ -1,10 +1,15 @@
-// Builders for the paper's two evaluation SOCs (§5).
+// Builders for the paper's two evaluation SOCs (§5) plus replicated SOCs.
 //
 //  * SOC-1: the six largest ISCAS-89 circuits stitched behind a single meta
 //    scan chain (one TestRail wire). 32 groups per partition in the paper.
 //  * d695 variant: the eight full-scan ISCAS-89 modules of the ITC'02 d695
 //    benchmark on an 8-bit TAM with 8 balanced meta chains, cores daisy-
 //    chained in Fig. 4 order. 8 groups per partition in the paper.
+//  * Replicated SOCs ("rep:<module>x<R>[:w<W>]"): R instances of one module —
+//    the distributed-identical-blocks shape of Wang/Wu/Ivanov — used by the
+//    million-cell dedup sweeps. All R instances share ONE arena-owned netlist
+//    (memory is flat in R), and buildSocFromModules likewise generates each
+//    distinct module name once and aliases repeats.
 //
 // Core netlists come from the synthetic generator (DESIGN.md §5); pass a
 // custom module list to build any other core mix.
@@ -15,8 +20,9 @@
 
 namespace scandiag {
 
-/// Generic builder: generates one core per named ISCAS-89 profile (daisy-
-/// chain order as given) and threads `tamWidth` meta chains through them.
+/// Generic builder: generates one netlist per *distinct* ISCAS-89 profile
+/// name (repeated names alias the same arena netlist) and threads `tamWidth`
+/// meta chains through the instances in daisy-chain order.
 Soc buildSocFromModules(const std::string& socName, const std::vector<std::string>& modules,
                         std::size_t tamWidth, const GeneratorOptions& options = {});
 
@@ -25,5 +31,15 @@ Soc buildSoc1(const GeneratorOptions& options = {});
 
 /// d695 variant: 8 ISCAS-89 modules, 8-bit TAM.
 Soc buildD695(const GeneratorOptions& options = {}, std::size_t tamWidth = 8);
+
+/// `replication` instances of one module (named "<module>#<k>") sharing a
+/// single generated netlist, behind a `tamWidth`-bit TAM.
+Soc buildReplicatedSoc(const std::string& module, std::size_t replication,
+                       std::size_t tamWidth, const GeneratorOptions& options = {});
+
+/// SOC spec grammar shared by the CLI and benches:
+///   "soc1" | "d695" | "rep:<module>x<R>[:w<W>]"  (e.g. "rep:s38584x702:w8").
+/// Throws std::invalid_argument on a malformed spec or unknown module.
+Soc buildSocFromSpec(const std::string& spec, const GeneratorOptions& options = {});
 
 }  // namespace scandiag

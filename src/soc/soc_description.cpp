@@ -2,6 +2,8 @@
 
 #include <cctype>
 #include <fstream>
+#include <map>
+#include <memory>
 #include <sstream>
 
 #include "common/assert.hpp"
@@ -166,10 +168,20 @@ Soc buildSocFromDescription(const SocDescription& description,
   std::vector<CoreInstance> cores;
   std::vector<std::size_t> cellCounts;
   std::size_t offset = 0;
+  // Arena: instances referencing the same library profile share one netlist
+  // (generateCircuit is deterministic in (profile, options)).
+  std::map<std::string, std::shared_ptr<const Netlist>> arena;
   for (const CoreDescription& cd : description.cores) {
     CoreInstance core;
     core.name = cd.instanceName;
-    core.netlist = generateCircuit(cd.profile, options);
+    auto it = arena.find(cd.profile.name);
+    if (it == arena.end()) {
+      it = arena
+               .emplace(cd.profile.name,
+                        std::make_shared<const Netlist>(generateCircuit(cd.profile, options)))
+               .first;
+    }
+    core.netlist = it->second;
     core.cellOffset = offset;
     offset += core.numCells();
     cellCounts.push_back(core.numCells());

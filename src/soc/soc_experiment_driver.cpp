@@ -16,9 +16,9 @@ std::vector<FaultResponse> socResponsesForFailingCore(const Soc& soc, std::size_
   local.prpg.seed = config.prpg.seed ^ (0x9e3779b97f4a7c15ULL * (coreIndex + 1));
   local.faultSeed = config.faultSeed ^ (0xc2b2ae3d27d4eb4fULL * (coreIndex + 1));
 
-  const PatternSet patterns = generatePatterns(core.netlist, local.numPatterns, local.prpg);
-  const FaultSimulator sim(core.netlist, patterns);
-  const FaultList universe = FaultList::enumerateCollapsed(core.netlist);
+  const PatternSet patterns = generatePatterns(*core.netlist, local.numPatterns, local.prpg);
+  const FaultSimulator sim(*core.netlist, patterns);
+  const FaultList universe = FaultList::enumerateCollapsed(*core.netlist);
   const std::vector<FaultSite> candidates =
       universe.sample(std::min(universe.size(), local.numFaults * 4), local.faultSeed);
   std::vector<FaultResponse> responses = sim.collectDetected(candidates, local.numFaults);

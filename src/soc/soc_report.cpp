@@ -1,0 +1,66 @@
+#include "soc/soc_report.hpp"
+
+#include <array>
+#include <sstream>
+
+#include "common/json.hpp"
+#include "diagnosis/metrics.hpp"
+#include "obs/metrics.hpp"
+
+namespace scandiag {
+
+std::string renderSocReport(const SocReportMeta& meta,
+                            const std::vector<SweepManifestRecord>& manifests,
+                            const std::map<std::pair<std::uint64_t, std::uint32_t>,
+                                           FaultRecord>& records) {
+  std::array<std::uint64_t, obs::kNumCounters> counterSums{};
+  std::ostringstream os;
+  {
+    JsonWriter writer(os);
+    writer.beginObject();
+    writer.field("schema_version", std::uint64_t{1});
+    writer.field("report", "soc-class-sweep");
+    writer.field("soc", meta.soc);
+    writer.field("setup_digest", meta.baseDigest);
+    writer.key("classes");
+    writer.beginArray();
+    for (const SweepManifestRecord& m : manifests) {
+      DrAccumulator acc;
+      for (std::uint32_t f = 0; f < m.responseCount; ++f) {
+        const auto it = records.find(std::make_pair(m.sweepId, f));
+        if (it == records.end()) {
+          throw JournalCorruptError("soc report: class '" + m.className + "' is missing fault " +
+                                    std::to_string(f) + " of " +
+                                    std::to_string(m.responseCount));
+        }
+        const FaultRecord& rec = it->second;
+        acc.add(static_cast<std::size_t>(rec.candidateCount),
+                static_cast<std::size_t>(rec.actualCount));
+        for (const auto& [counter, delta] : rec.counterDeltas) counterSums[counter] += delta;
+      }
+      writer.beginObject();
+      writer.field("class", std::uint64_t{m.classOrdinal});
+      writer.field("name", m.className);
+      writer.field("class_hash", m.classHash);
+      writer.field("instances", std::uint64_t{m.instanceCount});
+      writer.field("faults", std::uint64_t{m.responseCount});
+      writer.field("sum_candidates", acc.sumCandidates());
+      writer.field("sum_actual", acc.sumActual());
+      writer.field("dr", acc.dr());
+      writer.endObject();
+    }
+    writer.endArray();
+    // Summed per-fault counter deltas — the shard-invariant counter view.
+    writer.key("counters");
+    writer.beginObject();
+    for (std::size_t i = 0; i < obs::kNumCounters; ++i) {
+      writer.field(obs::counterName(static_cast<obs::Counter>(i)), counterSums[i]);
+    }
+    writer.endObject();
+    writer.endObject();
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace scandiag

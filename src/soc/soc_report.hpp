@@ -1,0 +1,42 @@
+// Canonical SOC class-sweep report rendering.
+//
+// ONE function renders the report JSON from (manifests, per-fault records) —
+// `scandiag soc-dr --report` feeds it the records its MemoryRecordSink
+// collected live, `scandiag merge-journals` feeds it the records reassembled
+// from N shard journals. Byte-identity of the two outputs is therefore a
+// property of the *data*, not of two renderers staying in sync: if the
+// merged record set equals the live record set, the bytes are equal.
+//
+// Everything in the report is deterministic: DR is an exact function of the
+// journaled candidate/actual sums, and the counters section is the sum of
+// the per-fault counter deltas (NOT a registry snapshot — a shard process's
+// registry also counts its own workload prep, which legitimately differs
+// between a 1-process and an N-process sweep).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "diagnosis/checkpoint.hpp"
+
+namespace scandiag {
+
+struct SocReportMeta {
+  std::string soc;                // SOC spec/name
+  std::uint64_t baseDigest = 0;   // unsharded setup digest
+};
+
+/// Renders the report. `manifests` must be in class-ordinal order; `records`
+/// is the complete (sweepId, faultIndex) → FaultRecord map covering
+/// [0, responseCount) for every manifest. Throws JournalCorruptError when a
+/// manifest's coverage is incomplete or a record's index is out of range —
+/// rendering never invents partial numbers.
+std::string renderSocReport(const SocReportMeta& meta,
+                            const std::vector<SweepManifestRecord>& manifests,
+                            const std::map<std::pair<std::uint64_t, std::uint32_t>,
+                                           FaultRecord>& records);
+
+}  // namespace scandiag

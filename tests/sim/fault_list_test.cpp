@@ -119,5 +119,52 @@ TEST(FaultList, UniverseScalesWithCircuit) {
             FaultList::enumerateCollapsed(small).size() * 10);
 }
 
+// The streaming enumerator exists so million-cell sweeps never materialize a
+// fault vector; its one correctness obligation is exact agreement — order
+// included — with the materialized lists (which are now built THROUGH it, so
+// a disagreement would be a self-inconsistency, caught here directly).
+TEST(FaultEnumerator, StreamsExactlyTheCollapsedUniverseInOrder) {
+  const Netlist nl = generateNamedCircuit("s1488");
+  const FaultList list = FaultList::enumerateCollapsed(nl);
+  FaultEnumerator en(nl, /*collapse=*/true);
+  for (const FaultSite& expected : list.faults()) {
+    const auto got = en.next();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->gate, expected.gate);
+    EXPECT_EQ(got->pin, expected.pin);
+    EXPECT_EQ(got->stuckAt, expected.stuckAt);
+  }
+  EXPECT_FALSE(en.next().has_value());
+  EXPECT_FALSE(en.next().has_value());  // exhausted stays exhausted
+  EXPECT_EQ(en.yielded(), list.size());
+}
+
+TEST(FaultEnumerator, StreamsExactlyTheUncollapsedUniverseInOrder) {
+  FanoutFixture f;
+  const FaultList list = FaultList::enumerateAll(f.nl);
+  FaultEnumerator en(f.nl, /*collapse=*/false);
+  std::size_t n = 0;
+  while (const auto got = en.next()) {
+    ASSERT_LT(n, list.size());
+    EXPECT_EQ(got->gate, list.faults()[n].gate);
+    EXPECT_EQ(got->pin, list.faults()[n].pin);
+    EXPECT_EQ(got->stuckAt, list.faults()[n].stuckAt);
+    ++n;
+  }
+  EXPECT_EQ(n, list.size());
+}
+
+TEST(FaultEnumerator, StateIsFlatPerFault) {
+  // The whole point: advancing costs O(1) memory. The cursor is a handful of
+  // scalars — if someone adds a per-fault vector to it, this breaks loudly.
+  static_assert(sizeof(FaultEnumerator) <= 64,
+                "FaultEnumerator must hold a flat cursor, not materialized state");
+  const Netlist nl = generateNamedCircuit("s298");
+  FaultEnumerator en(nl, true);
+  while (en.next()) {
+  }
+  EXPECT_EQ(en.yielded(), FaultList::enumerateCollapsed(nl).size());
+}
+
 }  // namespace
 }  // namespace scandiag

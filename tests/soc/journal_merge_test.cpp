@@ -1,0 +1,184 @@
+// merge-journals corruption suite (test_soc).
+//
+// Merging hides exactly the failures a single journal's digest check would
+// catch, so every refusal documented in journal_merge.hpp gets a test. The
+// journals are crafted record by record through the same SweepCheckpoint
+// writer the shard driver uses — real frames, real CRCs.
+
+#include "soc/journal_merge.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/journal.hpp"
+#include "soc/soc_report.hpp"
+
+namespace scandiag {
+namespace {
+
+constexpr std::uint64_t kBase = 0xBA5ED157ULL;
+constexpr std::uint64_t kSweep = 42;
+
+std::string tempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove(path);
+  return path;
+}
+
+SweepManifestRecord manifest(std::uint32_t responseCount = 4) {
+  SweepManifestRecord m;
+  m.sweepId = kSweep;
+  m.classHash = 7;
+  m.classOrdinal = 0;
+  m.responseCount = responseCount;
+  m.instanceCount = 2;
+  m.className = "s298#0";
+  return m;
+}
+
+FaultRecord fault(std::uint32_t index, std::uint64_t candidates = 10) {
+  FaultRecord f;
+  f.sweepId = kSweep;
+  f.faultIndex = index;
+  f.candidateCount = candidates;
+  f.actualCount = 1;
+  f.verdictDigest = 0xD16E57 + index;
+  f.counterDeltas = {{0, 3}, {2, 1}};
+  return f;
+}
+
+/// Writes one shard journal: meta + manifest + the given fault records.
+std::string writeShard(const std::string& name, std::uint32_t shardIndex,
+                       std::uint32_t shardCount, const std::vector<FaultRecord>& faults,
+                       std::uint64_t baseDigest = kBase,
+                       const SweepManifestRecord& m = manifest(),
+                       const std::string& spec = "rep:s298x2:w1") {
+  const std::string path = tempPath(name);
+  SweepCheckpoint checkpoint(path, baseDigest + shardIndex, "merge test", false);
+  ShardMetaRecord meta;
+  meta.shardIndex = shardIndex;
+  meta.shardCount = shardCount;
+  meta.baseDigest = baseDigest;
+  meta.socSpec = spec;
+  checkpoint.appendAux(kShardMetaRecordType, encodeShardMetaRecord(meta));
+  checkpoint.appendAux(kSweepManifestRecordType, encodeSweepManifestRecord(m));
+  for (const FaultRecord& f : faults) checkpoint.record(f);
+  return path;
+}
+
+TEST(JournalMerge, MergesACleanShardSet) {
+  const std::string a = writeShard("clean-0.journal", 0, 2, {fault(0), fault(1)});
+  const std::string b = writeShard("clean-1.journal", 1, 2, {fault(2), fault(3)});
+  const MergedJournals merged = mergeShardJournals({b, a});  // order-independent
+  EXPECT_EQ(merged.shardCount, 2u);
+  EXPECT_EQ(merged.baseDigest, kBase);
+  EXPECT_EQ(merged.socSpec, "rep:s298x2:w1");
+  EXPECT_EQ(merged.faultRecordsMerged, 4u);
+  ASSERT_EQ(merged.manifests.size(), 1u);
+  EXPECT_EQ(merged.manifests[0].className, "s298#0");
+  SocReportMeta meta{merged.socSpec, merged.baseDigest};
+  const std::string report = renderSocReport(meta, merged.manifests, merged.records);
+  EXPECT_NE(report.find("\"soc\": \"rep:s298x2:w1\""), std::string::npos);
+}
+
+TEST(JournalMerge, TornShardTailIsRefused) {
+  const std::string a = writeShard("torn-0.journal", 0, 2, {fault(0), fault(1)});
+  const std::string b = writeShard("torn-1.journal", 1, 2, {fault(2), fault(3)});
+  {
+    std::ofstream out(b, std::ios::binary | std::ios::app);
+    out.write("\xde\xad\xbe", 3);  // half a frame: the shard died mid-append
+  }
+  EXPECT_THROW(mergeShardJournals({a, b}), JournalCorruptError);
+}
+
+TEST(JournalMerge, OverlappingFaultRangesAreRefused) {
+  const std::string a = writeShard("overlap-0.journal", 0, 2, {fault(0), fault(1)});
+  const std::string b = writeShard("overlap-1.journal", 1, 2, {fault(1), fault(2)});
+  EXPECT_THROW(mergeShardJournals({a, b}), JournalCorruptError);
+}
+
+TEST(JournalMerge, ForeignBaseDigestIsRefused) {
+  const std::string a = writeShard("foreign-0.journal", 0, 2, {fault(0)});
+  const std::string b = writeShard("foreign-1.journal", 1, 2, {fault(2)}, kBase + 1);
+  EXPECT_THROW(mergeShardJournals({a, b}), JournalDigestMismatchError);
+}
+
+TEST(JournalMerge, MissingShardIsRefused) {
+  const std::string a = writeShard("missing-0.journal", 0, 2, {fault(0), fault(1)});
+  EXPECT_THROW(mergeShardJournals({a}), JournalCorruptError);
+}
+
+TEST(JournalMerge, ShardCountDisagreementIsRefused) {
+  const std::string a = writeShard("count-0.journal", 0, 2, {fault(0)});
+  const std::string b = writeShard("count-1.journal", 1, 3, {fault(2)});
+  EXPECT_THROW(mergeShardJournals({a, b}), JournalCorruptError);
+}
+
+TEST(JournalMerge, DuplicateShardIndexIsRefused) {
+  const std::string a = writeShard("dup-a.journal", 0, 2, {fault(0)});
+  const std::string b = writeShard("dup-b.journal", 0, 2, {fault(1)});
+  EXPECT_THROW(mergeShardJournals({a, b}), JournalCorruptError);
+}
+
+TEST(JournalMerge, JournalWithoutShardMetaIsRefused) {
+  const std::string path = tempPath("no-meta.journal");
+  {
+    SweepCheckpoint checkpoint(path, kBase, "merge test", false);
+    checkpoint.appendAux(kSweepManifestRecordType, encodeSweepManifestRecord(manifest()));
+    checkpoint.record(fault(0));
+  }
+  EXPECT_THROW(mergeShardJournals({path}), JournalFormatError);
+}
+
+TEST(JournalMerge, ManifestDisagreementIsRefused) {
+  const std::string a = writeShard("mandis-0.journal", 0, 2, {fault(0)});
+  const std::string b =
+      writeShard("mandis-1.journal", 1, 2, {fault(2)}, kBase, manifest(/*responseCount=*/8));
+  EXPECT_THROW(mergeShardJournals({a, b}), JournalCorruptError);
+}
+
+TEST(JournalMerge, WithinJournalDuplicatesResolveLastWriteWins) {
+  // Crash/resume residue: the same fault journaled twice in ONE journal is
+  // legal and the later record wins — exactly SweepCheckpoint's replay rule.
+  const std::string a =
+      writeShard("dupfault-0.journal", 0, 2, {fault(0, 10), fault(1), fault(0, 99)});
+  const std::string b = writeShard("dupfault-1.journal", 1, 2, {fault(2), fault(3)});
+  const MergedJournals merged = mergeShardJournals({a, b});
+  EXPECT_EQ(merged.records.at({kSweep, 0}).candidateCount, 99u);
+  EXPECT_EQ(merged.faultRecordsMerged, 4u);
+}
+
+TEST(JournalMerge, FaultIndexBeyondManifestRangeIsRefused) {
+  const std::string a = writeShard("range-0.journal", 0, 2, {fault(0), fault(9)});
+  const std::string b = writeShard("range-1.journal", 1, 2, {fault(2)});
+  EXPECT_THROW(mergeShardJournals({a, b}), JournalCorruptError);
+}
+
+TEST(JournalMerge, RecordForUnknownSweepIsRefused) {
+  FaultRecord stray = fault(0);
+  stray.sweepId = 99;  // no manifest for sweep 99
+  const std::string a = writeShard("stray-0.journal", 0, 2, {fault(0), stray});
+  const std::string b = writeShard("stray-1.journal", 1, 2, {fault(2), fault(3)});
+  EXPECT_THROW(mergeShardJournals({a, b}), JournalCorruptError);
+}
+
+TEST(JournalMerge, IncompleteSweepFailsAtRender) {
+  // A missing fault index is not a merge error (the journals are internally
+  // consistent) — but rendering must refuse to invent partial numbers.
+  const std::string a = writeShard("hole-0.journal", 0, 2, {fault(0)});  // fault 1 never ran
+  const std::string b = writeShard("hole-1.journal", 1, 2, {fault(2), fault(3)});
+  const MergedJournals merged = mergeShardJournals({a, b});
+  SocReportMeta meta{merged.socSpec, merged.baseDigest};
+  EXPECT_THROW(renderSocReport(meta, merged.manifests, merged.records), JournalCorruptError);
+}
+
+TEST(JournalMerge, NoJournalsIsRefused) {
+  EXPECT_THROW(mergeShardJournals({}), JournalFormatError);
+}
+
+}  // namespace
+}  // namespace scandiag

@@ -80,14 +80,14 @@ TEST(SocBuilder, CoresOccupyContiguousPositionRuns) {
 
 TEST(SocBuilder, ValidatesCoreNetlists) {
   const Soc soc = smallSoc();
-  for (const CoreInstance& core : soc.cores()) EXPECT_NO_THROW(core.netlist.validate());
+  for (const CoreInstance& core : soc.cores()) EXPECT_NO_THROW(core.netlist->validate());
 }
 
 TEST(Soc, ConstructionInvariantsEnforced) {
   std::vector<CoreInstance> cores;
   CoreInstance c;
   c.name = "a";
-  c.netlist = generateNamedCircuit("s298");
+  c.netlist = std::make_shared<const Netlist>(generateNamedCircuit("s298"));
   c.cellOffset = 5;  // wrong: must start at 0
   cores.push_back(std::move(c));
   EXPECT_THROW(Soc("bad", std::move(cores), ScanTopology::singleChain(14)),

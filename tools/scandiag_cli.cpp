@@ -5,7 +5,18 @@
 //   emit <circuit> --o <file.bench>      write a synthetic circuit as .bench
 //   diagnose <circuit> --fault <site>    diagnose one injected stuck-at fault
 //   dr <circuit>                         DR experiment on one circuit
-//   soc-dr (soc1|d695)                   DR per failing core on a built-in SOC
+//   soc-dr <soc-spec>                    DR per failing core on a built-in SOC
+//                                        (soc1|d695|rep:<module>x<R>[:w<W>]);
+//                                        --shard/--report/--class-sweep (or a
+//                                        rep: spec) switch to the class-sweep
+//                                        protocol: each structural core class
+//                                        is diagnosed once on its core-local
+//                                        topology and the result transfers to
+//                                        every sibling instance
+//   merge-journals <j0> <j1> ... [--out F]  merge the N journals of a sharded
+//                                        class sweep into one report,
+//                                        byte-identical to the unsharded
+//                                        `soc-dr --report` output
 //   plan <circuit>                       calibrate (groups, partitions) for a DR target
 //   offline --log <file> --cells N       diagnose from a tester session log
 //   partitions <length>                  print a partition sequence
@@ -30,6 +41,18 @@
 //                     timers, worker utilization) to F as JSON after the
 //                     command finishes (any command; also flushed when the
 //                     command is interrupted and exits with code 6)
+//
+// Class-sweep / shard options (soc-dr, merge-journals):
+//   --class-sweep     force the class-sweep protocol for soc1/d695 (rep:
+//                     specs always use it)
+//   --shard i/N       run fault-range shard i of N (0-based); requires
+//                     --checkpoint (each shard owns its own journal)
+//   --report F        write the class-sweep report JSON to F (atomic);
+//                     unsharded runs only — shards publish via their journal
+//   --no-dedup        disable structural dedup (every instance evaluated
+//                     from scratch; the A/B baseline for dedup speedup)
+//   --out F           merge-journals: write the merged report to F instead
+//                     of stdout
 //
 // Crash safety / long-run options (dr, soc-dr):
 //   --deadline-ms N   watchdog: cancel the run after N milliseconds of wall
@@ -125,7 +148,8 @@ struct Args {
       std::string a = argv[i];
       if (a.rfind("--", 0) == 0) {
         const std::string key = a.substr(2);
-        if (key == "prune" || key == "json" || key == "resume") {
+        if (key == "prune" || key == "json" || key == "resume" || key == "class-sweep" ||
+            key == "no-dedup") {
           args.flags[key] = true;
         } else if (i + 1 < argc) {
           args.options[key] = argv[++i];
@@ -452,21 +476,89 @@ int cmdDr(const Args& args) {
   return kExitOk;
 }
 
+/// The class-sweep leg of soc-dr: structural dedup, optional --shard i/N,
+/// optional --report. The journal's own digest mixes the shard spec (wrong
+/// shard → refused resume); the unsharded base digest travels in the shard
+/// meta record so merge-journals can match sibling journals.
+int socClassSweepCmd(const Args& args, const std::string& spec, const Soc& soc,
+                     const WorkloadConfig& workload, const DiagnosisConfig& config) {
+  SocSweepOptions options;
+  options.socSpec = spec;
+  options.dedupClasses = !args.getFlag("no-dedup");
+  const std::string shardText = args.get("shard", "");
+  if (!shardText.empty()) options.shard = parseShardSpec(shardText);
+  if (!shardText.empty() && args.get("checkpoint", "").empty())
+    throw std::invalid_argument("--shard requires --checkpoint <file> (one journal per shard)");
+  if (options.shard.count != 1 && args.options.count("report"))
+    throw std::invalid_argument(
+        "--report needs the full sweep; run unsharded, or merge the shard journals with "
+        "merge-journals");
+
+  std::uint64_t base = fnv1a64(std::string("scandiag soc-class-sweep"));
+  base = setupDigestPiece("soc", spec, base);
+  base = setupDigestPiece("cores", soc.coreCount(), base);
+  base = setupDigestPiece("cells", soc.totalCells(), base);
+  base = setupDigestPiece("patterns", workload.numPatterns, base);
+  base = setupDigestPiece("faults", workload.numFaults, base);
+  base = setupDigestPiece("fault_seed", workload.faultSeed, base);
+  base = setupDigestPiece("config", sweepIdFor(config), base);
+  base = setupDigestPiece("dedup", options.dedupClasses ? 1 : 0, base);
+  base = setupDigestPiece("schema", obs::kMetricsSchemaVersion, base);
+  options.baseDigest = base;
+  std::uint64_t digest = setupDigestPiece("shard_index", options.shard.index, base);
+  digest = setupDigestPiece("shard_count", options.shard.count, digest);
+
+  CliRunState run = cliRunFrom(args, digest,
+                               "scandiag soc-dr " + spec + " --shard " +
+                                   std::to_string(options.shard.index) + "/" +
+                                   std::to_string(options.shard.count));
+  MemoryRecordSink collector;
+  const SocSweepResult result = runSocClassSweep(soc, workload, config, options, run.control(),
+                                                 run.checkpoint.get(), &collector);
+
+  std::printf("%s: %zu cores, %zu cells, %zu classes — %s%s, shard %u/%u%s\n",
+              soc.name().c_str(), result.coreCount, result.totalCells, result.classCount,
+              schemeName(config.scheme).c_str(), config.pruning ? " + pruning" : "",
+              options.shard.index, options.shard.count,
+              options.dedupClasses ? "" : ", no dedup");
+  for (const SocClassRow& row : result.classes) {
+    std::printf("  class %-9s x%-4zu DR = %8.3f (%zu of %zu faults)\n", row.className.c_str(),
+                row.instanceCount, row.report.dr, row.report.faults, row.responseCount);
+  }
+
+  const std::string reportPath = args.get("report", "");
+  if (!reportPath.empty()) {
+    SocReportMeta meta;
+    meta.soc = spec;
+    meta.baseDigest = base;
+    atomicWriteFile(reportPath, renderSocReport(meta, result.manifests, collector.records()));
+    std::printf("report: %s\n", reportPath.c_str());
+  }
+  return kExitOk;
+}
+
 int cmdSocDr(const Args& args) {
-  const std::string which = args.positionalAt(1, "soc name");
-  const Soc soc = which == "soc1"   ? buildSoc1()
-                  : which == "d695" ? buildD695()
-                                    : throw std::invalid_argument("soc-dr takes soc1|d695");
+  const std::string which = args.positionalAt(1, "soc spec");
+  const Soc soc = buildSocFromSpec(which);
   WorkloadConfig workload = presets::socWorkload();
   workload.numFaults = args.getN("faults", 500);
   workload.numPatterns = args.getN("patterns", 128);
+  const bool preset = which == "soc1" || which == "d695";
   DiagnosisConfig config =
-      which == "soc1" ? presets::soc1Config(parseSchemeKind(args.get("scheme", "two-step")),
-                                            args.getFlag("prune"))
-                      : presets::d695Config(parseSchemeKind(args.get("scheme", "two-step")),
-                                            args.getFlag("prune"));
+      which == "soc1"   ? presets::soc1Config(parseSchemeKind(args.get("scheme", "two-step")),
+                                              args.getFlag("prune"))
+      : which == "d695" ? presets::d695Config(parseSchemeKind(args.get("scheme", "two-step")),
+                                              args.getFlag("prune"))
+                        : configFrom(args);
   config.numPartitions = args.getN("partitions", config.numPartitions);
   config.groupsPerPartition = args.getN("groups", config.groupsPerPartition);
+
+  // rep: SOCs only make sense class-deduped; for the presets the legacy
+  // per-failing-core protocol (paper Tables 3-4) stays the default.
+  const bool classSweep = !preset || args.getFlag("class-sweep") || args.getFlag("no-dedup") ||
+                          args.options.count("shard") || args.options.count("report");
+  if (classSweep) return socClassSweepCmd(args, which, soc, workload, config);
+
   std::uint64_t digest = fnv1a64(std::string("scandiag soc-dr"));
   digest = setupDigestPiece("soc", which, digest);
   digest = setupDigestPiece("cores", soc.coreCount(), digest);
@@ -483,6 +575,27 @@ int cmdSocDr(const Args& args) {
        evaluateSocDr(soc, workload, config, run.control(), run.checkpoint.get())) {
     std::printf("  failing %-9s DR = %8.3f (%zu faults)\n", row.failingCore.c_str(),
                 row.report.dr, row.report.faults);
+  }
+  return kExitOk;
+}
+
+int cmdMergeJournals(const Args& args) {
+  if (args.positional.size() < 2)
+    throw std::invalid_argument("merge-journals needs at least one journal path");
+  const std::vector<std::string> paths(args.positional.begin() + 1, args.positional.end());
+  const MergedJournals merged = mergeShardJournals(paths);
+  SocReportMeta meta;
+  meta.soc = merged.socSpec;
+  meta.baseDigest = merged.baseDigest;
+  const std::string report = renderSocReport(meta, merged.manifests, merged.records);
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fputs(report.c_str(), stdout);
+  } else {
+    atomicWriteFile(out, report);
+    std::printf("merged %zu journals (%llu fault records, %u shards) -> %s\n", paths.size(),
+                static_cast<unsigned long long>(merged.faultRecordsMerged), merged.shardCount,
+                out.c_str());
   }
   return kExitOk;
 }
@@ -679,8 +792,8 @@ int cmdServeLedger(const Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: scandiag <info|emit|diagnose|dr|soc-dr|plan|offline|partitions|"
-               "serve|serve-ledger> ... (see header)\n");
+               "usage: scandiag <info|emit|diagnose|dr|soc-dr|merge-journals|plan|offline|"
+               "partitions|serve|serve-ledger> ... (see header)\n");
   return kExitUsage;
 }
 
@@ -691,6 +804,7 @@ int dispatch(const Args& args) {
   if (cmd == "diagnose") return cmdDiagnose(args);
   if (cmd == "dr") return cmdDr(args);
   if (cmd == "soc-dr") return cmdSocDr(args);
+  if (cmd == "merge-journals") return cmdMergeJournals(args);
   if (cmd == "plan") return cmdPlan(args);
   if (cmd == "offline") return cmdOffline(args);
   if (cmd == "partitions") return cmdPartitions(args);
