@@ -27,4 +27,11 @@ DiagnosisCost repeatedSessionsCost(std::size_t numSessions, std::size_t numPatte
   return total;
 }
 
+DiagnosisCost adaptiveRunCost(std::size_t sessionsSpent, std::size_t numPatterns,
+                              std::size_t chainLength) {
+  // Every adaptive session is a standard BIST session (same patterns, same
+  // shift/capture cadence) — only the schedule is data-dependent.
+  return repeatedSessionsCost(sessionsSpent, numPatterns, chainLength);
+}
+
 }  // namespace scandiag

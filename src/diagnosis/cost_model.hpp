@@ -41,4 +41,12 @@ DiagnosisCost partitionRunCost(std::size_t numPartitions, std::size_t groupsPerP
 DiagnosisCost repeatedSessionsCost(std::size_t numSessions, std::size_t numPatterns,
                                    std::size_t chainLength);
 
+/// Tester time of an adaptive (data-dependent) schedule: `sessionsSpent`
+/// sessions at the standard per-session rate. Identical accounting to
+/// partitionRunCost when the counts match — adaptive and fixed runs compare
+/// on the same tester-time axis, which is what "equal session budget" means
+/// in the bench_adaptive DR-vs-sessions curves.
+DiagnosisCost adaptiveRunCost(std::size_t sessionsSpent, std::size_t numPatterns,
+                              std::size_t chainLength);
+
 }  // namespace scandiag

@@ -3,12 +3,11 @@
 #include "common/assert.hpp"
 #include "common/journal.hpp"
 #include "common/thread_pool.hpp"
+#include "diagnosis/adaptive_planner.hpp"
 #include "obs/metrics.hpp"
 #include "sim/fault_list.hpp"
 
 namespace scandiag {
-
-namespace {
 
 SessionConfig sessionConfigFor(const DiagnosisConfig& config) {
   SessionConfig sc;
@@ -22,8 +21,6 @@ SessionConfig sessionConfigFor(const DiagnosisConfig& config) {
   return sc;
 }
 
-}  // namespace
-
 std::vector<Partition> buildPartitions(const DiagnosisConfig& config, std::size_t chainLength) {
   auto scheme =
       makeScheme(config.scheme, config.schemeConfig, chainLength, config.groupsPerPartition);
@@ -33,12 +30,50 @@ std::vector<Partition> buildPartitions(const DiagnosisConfig& config, std::size_
 DiagnosisPipeline::DiagnosisPipeline(const ScanTopology& topology, const DiagnosisConfig& config)
     : topology_(&topology),
       config_(config),
-      prepared_(buildPartitions(config, topology.maxChainLength())),
+      prepared_(config.scheme == SchemeKind::Adaptive
+                    ? PreparedPartitionSet{}
+                    : PreparedPartitionSet(buildPartitions(config, topology.maxChainLength()))),
       engine_(topology, sessionConfigFor(config)),
       analyzer_(topology),
-      pruner_(topology) {}
+      pruner_(topology) {
+  if (config.scheme == SchemeKind::Adaptive) {
+    adaptive_ = std::make_unique<AdaptivePlanner>(topology, config);
+  }
+}
+
+DiagnosisPipeline::~DiagnosisPipeline() = default;
+
+FaultDiagnosis DiagnosisPipeline::adaptiveDiagnose(const FaultResponse& response,
+                                                   std::uint64_t* verdictDigest) const {
+  obs::count(obs::Counter::FaultsDiagnosed);
+  AdaptiveOutcome outcome = adaptive_->run(response);
+  if (verdictDigest) {
+    // Audit fingerprint over the *realized* schedule: which pool candidate
+    // each step picked, plus its verdict row — a resumed run replays the same
+    // greedy trajectory or the digest mismatch flags it.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (std::size_t s = 0; s < outcome.chosen.size(); ++s) {
+      h = fnv1a64(static_cast<std::uint64_t>(outcome.chosen[s]), h);
+      const BitVector& row = outcome.verdicts.failing[s];
+      for (std::size_t w = 0; w < row.wordCount(); ++w) h = fnv1a64(row.word(w), h);
+    }
+    *verdictDigest = h;
+  }
+  FaultDiagnosis out;
+  out.candidates = std::move(outcome.candidates);
+  out.candidateCount = out.candidates.cellCount();
+  out.actualCount = response.failingCellCount();
+  out.sessionsSpent = outcome.sessionsUsed;
+  return out;
+}
 
 FaultDiagnosis DiagnosisPipeline::diagnose(const FaultResponse& response) const {
+  if (adaptive_) {
+    // Session runs dominate the adaptive loop; scoring rides along in the
+    // same phase (the loop interleaves compare and intersection by design).
+    obs::PhaseScope phase(obs::Phase::SignatureCompare);
+    return adaptiveDiagnose(response, nullptr);
+  }
   // The public single-fault entry point carries the phase timers; the batch
   // drivers below go through diagnoseUntimed() because per-fault clock reads
   // cost ~5-10% of a microsecond-scale diagnosis (counters are relaxed
@@ -64,6 +99,7 @@ FaultDiagnosis DiagnosisPipeline::diagnose(const FaultResponse& response) const 
 
 FaultDiagnosis DiagnosisPipeline::diagnoseUntimed(const FaultResponse& response,
                                                   SessionBatchScratch* scratch) const {
+  if (adaptive_) return adaptiveDiagnose(response, nullptr);
   obs::count(obs::Counter::FaultsDiagnosed);
   const GroupVerdicts verdicts = engine_.run(prepared_, response, scratch);
   FaultDiagnosis out;
@@ -78,6 +114,7 @@ FaultDiagnosis DiagnosisPipeline::diagnoseUntimed(const FaultResponse& response,
 
 FaultDiagnosis DiagnosisPipeline::diagnoseDigested(const FaultResponse& response,
                                                    std::uint64_t* verdictDigest) const {
+  if (adaptive_) return adaptiveDiagnose(response, verdictDigest);
   obs::count(obs::Counter::FaultsDiagnosed);
   const GroupVerdicts verdicts = engine_.run(prepared_, response);
   if (verdictDigest) {
@@ -131,6 +168,50 @@ DrReport DiagnosisPipeline::evaluate(const std::vector<FaultResponse>& responses
 
 std::vector<double> DiagnosisPipeline::evaluateSweep(
     const std::vector<FaultResponse>& responses, const RunControl& control) const {
+  if (adaptive_) {
+    // Anytime curve of the greedy trajectory: prefix p is the candidate count
+    // once the cumulative session spend reaches (p+1) * groupsPerPartition —
+    // the same tester-time grid the fixed schemes' prefixes sit on. One run
+    // per fault serves every prefix (the trajectory does not depend on where
+    // it will be cut; candidates are never filtered by remaining budget
+    // within a step).
+    const std::size_t prefixes = config_.numPartitions;
+    const std::size_t sessionsPerPrefix = config_.groupsPerPartition;
+    const std::size_t allCells = topology_->numCells();
+    std::vector<std::vector<std::size_t>> prefixCandidates(responses.size());
+    globalPool().parallelForRange(responses.size(), [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const FaultResponse& r = responses[i];
+        if (!r.detected()) continue;
+        control.throwIfStopped();
+        obs::count(obs::Counter::FaultsDiagnosed);
+        const AdaptiveOutcome outcome = adaptive_->run(r);
+        std::vector<std::size_t>& counts = prefixCandidates[i];
+        counts.reserve(prefixes);
+        std::size_t step = 0;
+        std::size_t current = allCells;
+        for (std::size_t p = 0; p < prefixes; ++p) {
+          const std::size_t budget = (p + 1) * sessionsPerPrefix;
+          while (step < outcome.steps.size() &&
+                 outcome.steps[step].cumulativeSessions <= budget) {
+            current = outcome.steps[step].survivorCells;
+            ++step;
+          }
+          counts.push_back(current);
+        }
+      }
+    });
+    std::vector<DrAccumulator> acc(prefixes);
+    for (std::size_t i = 0; i < responses.size(); ++i) {
+      if (!responses[i].detected()) continue;
+      const std::size_t actual = responses[i].failingCellCount();
+      for (std::size_t p = 0; p < prefixes; ++p) acc[p].add(prefixCandidates[i][p], actual);
+    }
+    std::vector<double> dr;
+    dr.reserve(acc.size());
+    for (const DrAccumulator& a : acc) dr.push_back(a.dr());
+    return dr;
+  }
   const std::size_t length = topology_->maxChainLength();
   // Per fault, the candidate count after each partition prefix; reduced into
   // the per-prefix accumulators in fault-index order below (same ordered-

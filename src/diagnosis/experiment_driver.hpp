@@ -46,12 +46,23 @@ struct FaultDiagnosis {
   CandidateSet candidates;
   std::size_t candidateCount = 0;
   std::size_t actualCount = 0;
+  /// Sessions actually run for this fault. 0 on the fixed schemes (their
+  /// count is the static numPartitions * groupsPerPartition); the adaptive
+  /// scheme reports its data-dependent spend here (CostModel::adaptiveRunCost).
+  std::size_t sessionsSpent = 0;
 };
+
+class AdaptivePlanner;
 
 class DiagnosisPipeline {
  public:
   DiagnosisPipeline(const ScanTopology& topology, const DiagnosisConfig& config);
+  ~DiagnosisPipeline();
+  DiagnosisPipeline(DiagnosisPipeline&&) = default;
+  DiagnosisPipeline& operator=(DiagnosisPipeline&&) = default;
 
+  /// Empty for SchemeKind::Adaptive (the schedule is chosen online per fault;
+  /// see adaptive()).
   const std::vector<Partition>& partitions() const { return prepared_.partitions(); }
   /// The pre-indexed schedule (group tables built once at construction);
   /// shared read-only with the resilience layer and across pool workers.
@@ -62,6 +73,10 @@ class DiagnosisPipeline {
   /// the same engine; checked analysis through the same analyzer.
   const SessionEngine& engine() const { return engine_; }
   const CandidateAnalyzer& analyzer() const { return analyzer_; }
+  /// Non-null iff config().scheme == SchemeKind::Adaptive: the online
+  /// entropy-greedy scheduler the diagnose/evaluate entry points route
+  /// through (see adaptive_planner.hpp).
+  const AdaptivePlanner* adaptive() const { return adaptive_.get(); }
 
   /// Diagnoses one fault: sessions → inclusion-exclusion → optional pruning.
   FaultDiagnosis diagnose(const FaultResponse& response) const;
@@ -81,6 +96,9 @@ class DiagnosisPipeline {
   /// DR after each partition-count prefix 1..numPartitions (pruning is not
   /// applied — matches the paper's Figure 5 protocol "without pruning").
   /// `control` is polled at fault granularity, as in evaluate().
+  /// For the adaptive scheme, prefix p reads the greedy trajectory at session
+  /// budget (p+1) * groupsPerPartition — the planner's anytime curve, not a
+  /// re-run per budget (identical by construction for uniform group counts).
   std::vector<double> evaluateSweep(const std::vector<FaultResponse>& responses,
                                     const RunControl& control = {}) const;
 
@@ -92,6 +110,10 @@ class DiagnosisPipeline {
   /// across the faults of its chunk.
   FaultDiagnosis diagnoseUntimed(const FaultResponse& response,
                                  SessionBatchScratch* scratch = nullptr) const;
+  /// The adaptive-scheme body behind diagnose/diagnoseUntimed/diagnoseDigested
+  /// (the greedy loop replaces the run-schedule-then-intersect pipeline).
+  FaultDiagnosis adaptiveDiagnose(const FaultResponse& response,
+                                  std::uint64_t* verdictDigest) const;
 
   const ScanTopology* topology_;
   DiagnosisConfig config_;
@@ -99,10 +121,17 @@ class DiagnosisPipeline {
   SessionEngine engine_;
   CandidateAnalyzer analyzer_;
   SuperpositionPruner pruner_;
+  std::unique_ptr<AdaptivePlanner> adaptive_;  // non-null iff scheme == Adaptive
 };
 
 /// Builds the partition sequence a config implies (exposed for tests/benches).
+/// Throws std::invalid_argument for SchemeKind::Adaptive, which has no fixed
+/// sequence — its schedule is chosen online per fault.
 std::vector<Partition> buildPartitions(const DiagnosisConfig& config, std::size_t chainLength);
+
+/// The SessionConfig a DiagnosisConfig implies — shared by DiagnosisPipeline
+/// and AdaptivePlanner so both run sessions under identical settings.
+SessionConfig sessionConfigFor(const DiagnosisConfig& config);
 
 // ---------------------------------------------------------------------------
 // Workload preparation (pattern generation + fault selection + fault sim).

@@ -1,6 +1,7 @@
 #include "diagnosis/planner.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/assert.hpp"
@@ -26,12 +27,28 @@ PlanResult planDiagnosis(const ScanTopology& topology,
   SCANDIAG_REQUIRE(!sample.empty(), "planner needs a calibration sample");
   SCANDIAG_REQUIRE(request.maxPartitions >= 1, "need at least one partition");
 
-  std::vector<std::size_t> groups = request.groupCandidates;
+  // Candidates are clamped to the chain: a partition cannot have more groups
+  // than selection-axis positions (recommendGroupCount applies the same cap —
+  // a 1-cell chain admits exactly one degenerate group, not the 2-group
+  // fallback this code used to propose). The clamp also normalizes to a power
+  // of two, because random-selection labels are bit fields: an explicit
+  // candidate of 8 on a 3-cell chain must become 2, not the 3 that the
+  // random-selection partitioner rejects. Clamping can collide explicit
+  // candidates, so duplicates are dropped to avoid re-evaluating a config.
+  const std::size_t maxGroups = topology.maxChainLength();
+  std::vector<std::size_t> groups;
+  for (std::size_t g : request.groupCandidates) {
+    const std::size_t clamped =
+        std::max<std::size_t>(std::bit_floor(std::min(g, maxGroups)), 1);
+    if (std::find(groups.begin(), groups.end(), clamped) == groups.end()) {
+      groups.push_back(clamped);
+    }
+  }
   if (groups.empty()) {
     for (std::size_t g : {4u, 8u, 16u, 32u, 64u}) {
-      if (g <= topology.maxChainLength()) groups.push_back(g);
+      if (g <= maxGroups) groups.push_back(g);
     }
-    if (groups.empty()) groups.push_back(2);
+    if (groups.empty()) groups.push_back(std::min<std::size_t>(2, maxGroups));
   }
 
   PlanResult best;
@@ -45,15 +62,18 @@ PlanResult planDiagnosis(const ScanTopology& topology,
     const std::vector<double> sweep = pipeline.evaluateSweep(sample);
     for (std::size_t p = 0; p < sweep.size(); ++p) {
       if (sweep[p] > request.targetDr) continue;
-      DiagnosisCost cost = partitionRunCost(p + 1, g, request.numPatterns,
-                                            topology.maxChainLength());
+      // Cost of the *chosen* plan: p + 1 partitions, not the maxPartitions
+      // budget the sweep pipeline was built with. config.numPartitions is set
+      // before the copy so the reported cost and config can never diverge.
+      const DiagnosisCost cost = partitionRunCost(p + 1, g, request.numPatterns,
+                                                  topology.maxChainLength());
       const bool better =
           !best.feasible || cost.sessions < best.cost.sessions ||
           (cost.sessions == best.cost.sessions && cost.clockCycles < best.cost.clockCycles);
       if (better) {
         best.feasible = true;
+        config.numPartitions = p + 1;
         best.config = config;
-        best.config.numPartitions = p + 1;
         best.achievedDr = sweep[p];
         best.cost = cost;
       }

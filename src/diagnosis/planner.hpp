@@ -29,6 +29,9 @@ struct PlanRequest {
   SchemeKind scheme = SchemeKind::TwoStep;
   std::size_t numPatterns = 128;
   /// Candidate group counts; empty = {4, 8, 16, 32, 64} clamped to the chain.
+  /// Explicit candidates are clamped to the chain length and rounded down to
+  /// a power of two (random-selection labels are bit fields); collisions
+  /// after clamping are evaluated once.
   std::vector<std::size_t> groupCandidates;
 };
 

@@ -133,7 +133,9 @@ RecoveredDiagnosis DiagnosisRecovery::recover(const std::vector<Partition>& part
                                 static_cast<double>(partitions.size());
   for (std::size_t i = 0; i < repairedPartitions; ++i) confidence *= 0.95;
   for (std::size_t i = 0; i < phantoms; ++i) confidence *= 0.9;
-  out.confidence = std::clamp(confidence, 0.0, 1.0);
+  // Floored, not clamped to 0: a produced diagnosis is always distinguishable
+  // from "no diagnosis", however degraded (kConfidenceFloor doc in header).
+  out.confidence = std::clamp(confidence, kConfidenceFloor, 1.0);
   return out;
 }
 

@@ -35,6 +35,18 @@
 
 namespace scandiag {
 
+/// Lower bound on RecoveredDiagnosis::confidence. The degradation penalties
+/// are multiplicative (0.95 per repaired partition, 0.9 per surviving
+/// phantom), so a large SOC schedule with hundreds of repairs would underflow
+/// to 0.0 — indistinguishable from "no diagnosis at all", even though the
+/// result is still a guaranteed superset under the single-liar assumption.
+/// Any produced diagnosis therefore reports at least this much confidence;
+/// a value at the floor means "maximally degraded, treat as a superset only".
+/// The scale: 1.0 = clean and consistent; ~0.9 = one repair or one phantom;
+/// the floor (1e-6, ~130 compounded penalties) = take nothing but the
+/// superset guarantee.
+inline constexpr double kConfidenceFloor = 1e-6;
+
 struct RetryPolicy {
   /// Re-runs per suspect partition; verdicts are majority-voted across the
   /// original row plus these re-runs (2 gives a clean 1-of-3 vote).
@@ -63,7 +75,8 @@ struct RecoveredDiagnosis {
   std::size_t retrySessions = 0;
   /// 1.0 for a clean, consistent diagnosis; multiplied by 0.95 per repaired
   /// partition, by 0.9 per unresolved phantom group, and scaled by the
-  /// fraction of partitions that stayed in the intersection.
+  /// fraction of partitions that stayed in the intersection — never below
+  /// kConfidenceFloor (see above for the scale).
   double confidence = 1.0;
   /// False when degradation was needed (a partition was dropped or a phantom
   /// group survived the budget) — the CLI maps this to its own exit code.

@@ -16,6 +16,8 @@ std::string schemeName(SchemeKind kind) {
       return "two-step";
     case SchemeKind::DeterministicInterval:
       return "deterministic-interval";
+    case SchemeKind::Adaptive:
+      return "adaptive";
   }
   throw std::logic_error("unknown SchemeKind");
 }
@@ -26,8 +28,9 @@ SchemeKind parseSchemeKind(const std::string& name) {
   if (name == "two-step") return SchemeKind::TwoStep;
   if (name == "deterministic" || name == "deterministic-interval")
     return SchemeKind::DeterministicInterval;
+  if (name == "adaptive") return SchemeKind::Adaptive;
   throw std::invalid_argument("unknown scheme '" + name +
-                              "' (interval|random|two-step|deterministic)");
+                              "' (interval|random|two-step|deterministic|adaptive)");
 }
 
 TwoStepScheme::TwoStepScheme(const SchemeConfig& config, std::size_t chainLength,
@@ -60,6 +63,10 @@ std::unique_ptr<PartitionScheme> makeScheme(SchemeKind kind, const SchemeConfig&
     case SchemeKind::DeterministicInterval:
       return std::make_unique<DeterministicIntervalPartitioner>(DeterministicIntervalConfig{},
                                                                 chainLength, groupCount);
+    case SchemeKind::Adaptive:
+      throw std::invalid_argument(
+          "adaptive has no fixed partition sequence: partitions are chosen online per fault "
+          "(use --scheme adaptive on dr/soc-dr, or AdaptivePlanner directly)");
   }
   throw std::logic_error("unknown SchemeKind");
 }

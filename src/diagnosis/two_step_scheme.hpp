@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "diagnosis/interval_partitioner.hpp"
 #include "diagnosis/random_selection_partitioner.hpp"
@@ -23,14 +24,50 @@ enum class SchemeKind {
   TwoStep,
   /// Fixed-length rotated intervals (Bayraktaroglu & Orailoglu [8] baseline).
   DeterministicInterval,
+  /// Online entropy-greedy scheduling: the next partition is chosen per fault
+  /// from a deterministic candidate pool after observing each verdict row
+  /// (AdaptivePlanner; docs/ARCHITECTURE.md §14). Has no fixed schedule, so
+  /// makeScheme()/buildPartitions() reject it.
+  Adaptive,
 };
 
 std::string schemeName(SchemeKind kind);
 
 /// Inverse of schemeName, also accepting the CLI short names
-/// (interval|random|two-step|deterministic). Throws std::invalid_argument
-/// with the accepted spellings on anything else.
+/// (interval|random|two-step|deterministic|adaptive). Throws
+/// std::invalid_argument with the accepted spellings on anything else.
 SchemeKind parseSchemeKind(const std::string& name);
+
+/// Candidate-pool and scoring knobs for SchemeKind::Adaptive. Every field is
+/// a deterministic input to pool construction and scoring: two runs with
+/// equal configs choose identical schedules for identical verdicts, at any
+/// thread count.
+struct AdaptivePoolConfig {
+  /// Independent random-selection seed streams per group count. Seed k of the
+  /// pool is randomSeed advanced by k odd strides, so streams never collide.
+  std::size_t seedPool = 3;
+  /// Interval partitions per group count (successive covering seeds, same
+  /// rule as the fixed interval scheme).
+  std::size_t intervalCandidates = 2;
+  /// Group counts offered to the scorer; empty = {groupsPerPartition}. Mixed
+  /// counts trade per-step information against per-step session cost.
+  std::vector<std::size_t> groupCandidates;
+  /// Total session budget per fault; 0 = numPartitions * groupsPerPartition
+  /// (equal tester time to the fixed schedule it replaces).
+  std::size_t sessionBudget = 0;
+  /// Score bonus (bits/session) for interval candidates while no verdict has
+  /// been observed yet. The uniform-survivor model cannot see that fault
+  /// cones cluster on the chain (the paper's §2.2 argument for step 1), so
+  /// the blind first pick gets a thumb on the interval side of the scale.
+  double intervalPrior = 0.1;
+  /// Assumed failing-position spread before the first observed verdict row
+  /// (afterwards the max observed failing-group count takes over).
+  std::size_t spreadPrior = 2;
+  /// Test hook: take the pool in index order instead of by score, with the
+  /// pool reduced to the fixed TwoStep schedule — reproduces
+  /// SchemeKind::TwoStep bit-for-bit (parity tests).
+  bool forceFixedOrder = false;
+};
 
 struct SchemeConfig {
   LfsrConfig lfsr{/*degree=*/16, /*tapMask=*/0};
@@ -40,6 +77,8 @@ struct SchemeConfig {
   /// Partitions taken from the interval step before switching to random
   /// selection (the paper uses 1 in its simulations).
   std::size_t intervalPartitions = 1;
+  /// Knobs for SchemeKind::Adaptive (ignored by the fixed schemes).
+  AdaptivePoolConfig adaptive{};
 };
 
 class TwoStepScheme final : public PartitionScheme {

@@ -2,6 +2,7 @@
 
 #include "common/assert.hpp"
 #include "common/thread_pool.hpp"
+#include "diagnosis/adaptive_planner.hpp"
 #include "diagnosis/metrics.hpp"
 #include "obs/metrics.hpp"
 
@@ -26,8 +27,58 @@ ResilientDiagnosis NoisyPipeline::diagnose(const FaultResponse& response,
   if (!corruptor_.config().enabled()) {
     // Zero noise: the resilience layer is bit-identical to the base pipeline.
     FaultDiagnosis clean = base_.diagnose(response);
+    if (base_.adaptive()) {
+      // The adaptive spend is data-dependent; charge what actually ran.
+      out.cost = adaptiveRunCost(clean.sessionsSpent, config.numPatterns, chainLength);
+    }
     out.candidates = std::move(clean.candidates);
     out.candidateCount = clean.candidateCount;
+    out.emptyCandidates = out.candidateCount == 0;
+    out.misdiagnosed = !response.failingCells.isSubsetOf(out.candidates.cells);
+    return out;
+  }
+
+  if (const AdaptivePlanner* planner = base_.adaptive()) {
+    // Adaptive under noise: the planner decides on the *corrupted* rows,
+    // exactly as a scheduler driving a real noisy tester would — then the
+    // standard recovery pass (detect, bounded retry, degrade) runs over the
+    // realized schedule. Noise streams key on the step ordinal of that
+    // schedule, so a retry of step p (attempt >= 1) draws the stream a fixed
+    // schedule's partition p would.
+    obs::count(obs::Counter::FaultsDiagnosed);
+    const SessionEngine& engine = planner->engine();
+    const BitVector failingPositions = topology_->collapseCells(response.failingCells);
+    const AdaptivePlanner::RowObserver observer = [&](std::size_t step, std::size_t poolIndex,
+                                                      PartitionVerdictRow& row) {
+      const CorruptionTrace trace =
+          corruptor_.corruptRow(row, planner->pool().partition(poolIndex), step,
+                                failingPositions, faultKey, /*attempt=*/0);
+      out.injected.events.insert(out.injected.events.end(), trace.events.begin(),
+                                 trace.events.end());
+    };
+    const AdaptiveOutcome outcome = planner->run(response, observer);
+    if (out.injected.count() > 0) {
+      obs::count(obs::Counter::NoiseEventsInjected, out.injected.count());
+    }
+    const std::vector<Partition> schedule = planner->schedule(outcome);
+    const PartitionRerun rerun = [&](std::size_t p, std::size_t attempt) {
+      PartitionVerdictRow row = engine.runPartition(planner->pool(), outcome.chosen[p], response);
+      const CorruptionTrace trace =
+          corruptor_.corruptRow(row, schedule[p], p, failingPositions, faultKey, attempt);
+      if (trace.count() > 0) {
+        obs::count(obs::Counter::NoiseEventsInjected, trace.count());
+      }
+      return row;
+    };
+    RecoveredDiagnosis recovered = recovery_.recover(schedule, outcome.verdicts, rerun);
+    out.candidates = std::move(recovered.candidates);
+    out.candidateCount = out.candidates.cellCount();
+    out.confidence = recovered.confidence;
+    out.resolved = recovered.resolved;
+    out.inconsistencies = recovered.inconsistencies.size();
+    out.retrySessions = recovered.retrySessions;
+    out.cost = adaptiveRunCost(outcome.sessionsUsed, config.numPatterns, chainLength);
+    out.cost += repeatedSessionsCost(recovered.retrySessions, config.numPatterns, chainLength);
     out.emptyCandidates = out.candidateCount == 0;
     out.misdiagnosed = !response.failingCells.isSubsetOf(out.candidates.cells);
     return out;

@@ -82,6 +82,8 @@ enum class Counter : unsigned {
   ServeFramesRejected,      // serve: malformed/corrupt protocol frames rejected
   CoreClassHits,            // SOC core instances served by an existing class
   CoreClassMisses,          // SOC core isomorphism classes built from scratch
+  AdaptiveSessionsSaved,    // budgeted sessions the adaptive planner left unspent
+  AdaptiveCandidatesPruned, // candidate positions eliminated by adaptive steps
   kCount,
 };
 
@@ -127,6 +129,8 @@ constexpr const char* counterName(Counter c) {
     case Counter::ServeFramesRejected: return "serve_frames_rejected";
     case Counter::CoreClassHits: return "core_class_hits";
     case Counter::CoreClassMisses: return "core_class_misses";
+    case Counter::AdaptiveSessionsSaved: return "adaptive_sessions_saved";
+    case Counter::AdaptiveCandidatesPruned: return "adaptive_candidates_pruned";
     case Counter::kCount: break;
   }
   return "unknown_counter";

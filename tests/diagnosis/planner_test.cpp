@@ -104,5 +104,67 @@ TEST(Planner, EmptySampleRejected) {
   EXPECT_THROW(planDiagnosis(topo, {}, PlanRequest{}), std::invalid_argument);
 }
 
+FaultResponse tinyResponse(std::size_t numCells, std::size_t failing) {
+  FaultResponse r;
+  r.failingCells = BitVector(numCells);
+  r.failingCells.set(failing);
+  r.failingCellOrdinals.push_back(failing);
+  BitVector stream(4);
+  stream.set(0);
+  r.errorStreams.push_back(stream);
+  return r;
+}
+
+TEST(Planner, TinyChainExplicitCandidatesClampedToFeasibleGroups) {
+  // Regression: explicit candidates larger than the chain used to reach
+  // buildPartitions unclamped (8 groups on a 3-cell chain), which the
+  // random-selection partitioner rejects. The clamp must both cap at the
+  // chain length and round down to a power of two.
+  const ScanTopology topo = ScanTopology::singleChain(3);
+  PlanRequest request;
+  request.targetDr = 10.0;  // trivially reachable: exercise every candidate
+  request.maxPartitions = 2;
+  request.numPatterns = 4;
+  request.groupCandidates = {8, 16};
+  PlanResult plan;
+  ASSERT_NO_THROW(plan = planDiagnosis(topo, {tinyResponse(3, 1)}, request));
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.config.groupsPerPartition, 2u);
+}
+
+TEST(Planner, TinyChainFallbackProposesFeasibleGroups) {
+  // Same regression for the default candidate list: on a 2-cell chain every
+  // default candidate (4..64) exceeds the chain, so the fallback must offer
+  // the 2-group floor rather than an empty (or infeasible) candidate set.
+  const ScanTopology topo = ScanTopology::singleChain(2);
+  PlanRequest request;
+  request.targetDr = 10.0;
+  request.maxPartitions = 2;
+  request.numPatterns = 4;
+  PlanResult plan;
+  ASSERT_NO_THROW(plan = planDiagnosis(topo, {tinyResponse(2, 0)}, request));
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.config.groupsPerPartition, 2u);
+}
+
+TEST_F(PlannerFixture, ReportedCostMatchesChosenConfigExactly) {
+  // Regression: the reported cost used to be computed from the chosen p + 1
+  // while best.config still carried the maxPartitions sweep budget, so cost
+  // and config could diverge. Pin the invariant and the exact cycle count.
+  PlanRequest request;
+  request.targetDr = 0.5;
+  request.maxPartitions = 12;
+  const PlanResult plan = planDiagnosis(work().topology, work().responses, request);
+  ASSERT_TRUE(plan.feasible);
+  EXPECT_EQ(plan.cost.sessions, plan.config.numPartitions * plan.config.groupsPerPartition);
+  const DiagnosisCost recomputed =
+      partitionRunCost(plan.config.numPartitions, plan.config.groupsPerPartition,
+                       plan.config.numPatterns, work().topology.maxChainLength());
+  EXPECT_EQ(plan.cost.sessions, recomputed.sessions);
+  EXPECT_EQ(plan.cost.clockCycles, recomputed.clockCycles);
+  // The chosen partition count is what the sweep found, never the budget.
+  EXPECT_LE(plan.config.numPartitions, request.maxPartitions);
+}
+
 }  // namespace
 }  // namespace scandiag

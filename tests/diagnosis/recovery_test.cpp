@@ -201,6 +201,49 @@ TEST(DiagnosisRecovery, MultiCellLostFailVerdictWidensWhenDetected) {
   }
 }
 
+TEST(DiagnosisRecovery, ManyRepairsNeverUnderflowConfidenceBelowFloor) {
+  // The degradation penalties are multiplicative; a long schedule where every
+  // partition carries a persistent phantom fail would drive the product to
+  // 0.0 and make a maximally degraded (but still superset-sound) diagnosis
+  // indistinguishable from "no diagnosis". kConfidenceFloor is the lower
+  // bound: the confidence must land exactly on it here, never at 0.
+  const ScanTopology topo = ScanTopology::singleChain(24);
+  DiagnosisConfig config;
+  config.scheme = SchemeKind::TwoStep;
+  config.numPartitions = 160;  // 0.9^160 alone is ~5e-8, far below the floor
+  config.groupsPerPartition = 4;
+  config.numPatterns = 4;
+  const std::vector<Partition> parts = buildPartitions(config, topo.maxChainLength());
+  const SessionEngine engine(topo, SessionConfig{SignatureMode::Exact, 4});
+  const FaultResponse response = makeResponse(24, {7});
+
+  GroupVerdicts noisy = engine.run(parts, response);
+  for (std::size_t p = 0; p < parts.size(); ++p) {
+    // One extra (phantom) failing group per partition, never the true one.
+    const std::size_t truthful = noisy.failing[p].findFirst();
+    noisy.failing[p].set((truthful + 1) % parts[p].groupCount());
+  }
+
+  RetryPolicy policy;
+  policy.maxRetriesPerSession = 2;
+  policy.sessionBudget = 4000;
+  const DiagnosisRecovery recovery(topo, policy);
+  // Persistent lie: re-runs reproduce the corrupted rows, so majority voting
+  // repairs nothing and every phantom survives to the degradation pass.
+  const RecoveredDiagnosis d = recovery.recover(
+      parts, noisy, [&](std::size_t p, std::size_t) {
+        PartitionVerdictRow row = engine.runPartition(parts[p], response);
+        row.failing = noisy.failing[p];
+        return row;
+      });
+  EXPECT_GE(d.confidence, kConfidenceFloor);
+  EXPECT_GT(d.confidence, 0.0);
+  EXPECT_DOUBLE_EQ(d.confidence, kConfidenceFloor);
+  // Degraded, not destroyed: the result still covers the true failing cell.
+  EXPECT_TRUE(d.candidates.cells.test(7));
+  EXPECT_FALSE(d.resolved);
+}
+
 // Adaptive baseline: a lying interval session is caught by the parent-fails/
 // both-halves-pass check and repaired by majority re-query.
 TEST(BinarySearchDiagnoser, OracleFlipRepairedByRequery) {

@@ -27,7 +27,10 @@
 // ISCAS-89 profile name (s27, s953, ..., s38584).
 //
 // Common options:
-//   --scheme interval|random|two-step|deterministic   (default two-step)
+//   --scheme interval|random|two-step|deterministic|adaptive  (default
+//                     two-step; adaptive picks each next partition online per
+//                     fault — dr/soc-dr/diagnose/plan only, and incompatible
+//                     with --prune and the `partitions` command)
 //   --partitions N    (default 8)      --groups N      (default 16)
 //   --patterns N      (default 128)    --faults N      (default 500)
 //   --chains N        (default 1)      --prune         (off by default)
