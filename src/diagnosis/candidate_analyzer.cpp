@@ -122,4 +122,40 @@ CheckedAnalysis CandidateAnalyzer::analyzeChecked(const std::vector<Partition>& 
   return out;
 }
 
+UnionAnalysis CandidateAnalyzer::analyzeUnion(const std::vector<Partition>& partitions,
+                                              const GroupVerdicts& verdicts,
+                                              std::size_t maxFaults) const {
+  SCANDIAG_REQUIRE(partitions.size() == verdicts.failing.size(),
+                   "verdicts do not match partitions");
+  const std::size_t length = topology_->maxChainLength();
+
+  UnionAnalysis out;
+  out.supersetFloor.positions = BitVector(length);
+  for (std::size_t p = 0; p < partitions.size(); ++p) {
+    BitVector failingUnion(length);
+    for (std::size_t g = 0; g < partitions[p].groupCount(); ++g) {
+      if (verdicts.failing[p].test(g)) failingUnion |= partitions[p].groups[g];
+    }
+    if (failingUnion.none()) continue;  // a pass exonerates nothing here
+    out.supersetFloor.positions |= failingUnion;
+    bool merged = false;
+    for (BitVector& cluster : out.clusterPositions) {
+      if (cluster.intersects(failingUnion)) {
+        cluster &= failingUnion;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) out.clusterPositions.push_back(std::move(failingUnion));
+  }
+
+  out.clusters = out.clusterPositions.size();
+  out.withinBudget = out.clusters <= maxFaults;
+  out.candidates.positions = BitVector(length);
+  for (const BitVector& cluster : out.clusterPositions) out.candidates.positions |= cluster;
+  out.candidates.cells = topology_->expandPositions(out.candidates.positions);
+  out.supersetFloor.cells = topology_->expandPositions(out.supersetFloor.positions);
+  return out;
+}
+
 }  // namespace scandiag

@@ -75,6 +75,26 @@ struct CheckedAnalysis {
   bool consistent() const { return inconsistencies.empty(); }
 };
 
+/// Result of the checked union mode (analyzeUnion): failing-group patterns
+/// interpreted as unions of per-fault cones instead of one cone.
+struct UnionAnalysis {
+  /// Union of the per-cluster intersections (see analyzeUnion).
+  CandidateSet candidates;
+  /// Per-cluster intersections on the selection axis, in formation order.
+  std::vector<BitVector> clusterPositions;
+  /// Union over partitions of the failing unions — contains every position
+  /// that ever manifested an error, whatever the defect count. This is the
+  /// degrade-never-lie floor: candidates ⊆ supersetFloor always holds, and
+  /// for observed (manifested) failing cells supersetFloor is a guaranteed
+  /// superset with no modeling assumption at all.
+  CandidateSet supersetFloor;
+  std::size_t clusters = 0;
+  /// clusters <= the maxFaults budget passed in. When false the clustering
+  /// explanation needs more simultaneous faults than the caller is willing
+  /// to resolve — degrade to supersetFloor.
+  bool withinBudget = true;
+};
+
 class CandidateAnalyzer {
  public:
   explicit CandidateAnalyzer(const ScanTopology& topology) : topology_(&topology) {}
@@ -86,6 +106,21 @@ class CandidateAnalyzer {
   /// verdicts this returns exactly analyze()'s candidates and no reports.
   CheckedAnalysis analyzeChecked(const std::vector<Partition>& partitions,
                                  const GroupVerdicts& verdicts) const;
+
+  /// Checked union mode: each partition's failing union is attributed to a
+  /// cluster of co-observed faults by greedy intersection — a partition
+  /// joins the first cluster its union overlaps (shrinking that cluster's
+  /// intersection) and otherwise opens a new cluster. Candidates are the
+  /// union of the cluster intersections. For a single permanent fault this
+  /// collapses to exactly analyze()'s intersection (one cluster); for a
+  /// k-fault union whose partitions each saw every fault it likewise
+  /// collapses to the plain intersection, while partitions that saw only a
+  /// subset of the faults (intermittency, aliasing) form their own clusters
+  /// instead of wrongly exonerating the other faults' cells. Fully passing
+  /// partitions contribute nothing (with an intermittent defect a pass does
+  /// not exonerate).
+  UnionAnalysis analyzeUnion(const std::vector<Partition>& partitions,
+                             const GroupVerdicts& verdicts, std::size_t maxFaults) const;
 
  private:
   const ScanTopology* topology_;

@@ -34,4 +34,8 @@ DiagnosisCost adaptiveRunCost(std::size_t sessionsSpent, std::size_t numPatterns
   return repeatedSessionsCost(sessionsSpent, numPatterns, chainLength);
 }
 
+DiagnosisCost distinguishingSessionCost(std::size_t numPatterns, std::size_t chainLength) {
+  return sessionCost(numPatterns, chainLength);
+}
+
 }  // namespace scandiag

@@ -49,4 +49,10 @@ DiagnosisCost repeatedSessionsCost(std::size_t numSessions, std::size_t numPatte
 DiagnosisCost adaptiveRunCost(std::size_t sessionsSpent, std::size_t numPatterns,
                               std::size_t chainLength);
 
+/// Tester time of `numPatterns` PODEM distinguishing patterns applied as one
+/// extra session (defect-zoo stall breaking): a distinguishing set is tiny
+/// (one pattern per unresolved cube), so it is charged as a single session
+/// over just those patterns rather than a full pattern-set re-application.
+DiagnosisCost distinguishingSessionCost(std::size_t numPatterns, std::size_t chainLength);
+
 }  // namespace scandiag

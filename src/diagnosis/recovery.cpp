@@ -1,6 +1,7 @@
 #include "diagnosis/recovery.hpp"
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "common/assert.hpp"
@@ -44,9 +45,13 @@ RecoveredDiagnosis DiagnosisRecovery::recover(const std::vector<Partition>& part
   }
 
   // Suspect partitions, ascending so the budget is spent deterministically.
+  // Remember each partition's first-reported kind: DisjointFailingUnion gets
+  // the replay-stability short-circuit below.
   std::set<std::size_t> suspects;
+  std::map<std::size_t, InconsistencyKind> suspectKind;
   for (const InconsistencyReport& report : checked.inconsistencies) {
     suspects.insert(report.partition);
+    suspectKind.emplace(report.partition, report.kind);
   }
 
   GroupVerdicts repaired = verdicts;
@@ -57,10 +62,13 @@ RecoveredDiagnosis DiagnosisRecovery::recover(const std::vector<Partition>& part
 
   std::size_t budget = policy_.sessionBudget;
   std::size_t repairedPartitions = 0;
+  std::set<std::size_t> deterministic;
   if (policy_.enabled() && rerun) {
     for (const std::size_t p : suspects) {
       const std::size_t perRerun = partitions[p].groupCount();
       if (perRerun > budget) continue;  // cannot afford even one re-run
+      const bool disjointUnion =
+          suspectKind.at(p) == InconsistencyKind::DisjointFailingUnion;
       std::vector<BitVector> rows;
       for (std::size_t attempt = 1;
            attempt <= policy_.maxRetriesPerSession && perRerun <= budget; ++attempt) {
@@ -70,16 +78,52 @@ RecoveredDiagnosis DiagnosisRecovery::recover(const std::vector<Partition>& part
         budget -= perRerun;
         out.retrySessions += perRerun;
         obs::count(obs::Counter::RetrySessionsSpent, perRerun);
+        const bool replayStable =
+            disjointUnion && attempt == 1 && row.failing == repaired.failing[p];
         rows.push_back(std::move(row.failing));
+        if (replayStable) {
+          // The disjoint union reproduced exactly: deterministic condition
+          // (a genuine multi-fault union), not noise. Keep the row, stop
+          // burning budget on majority votes.
+          deterministic.insert(p);
+          break;
+        }
       }
       if (rows.empty()) continue;
       out.retriedPartitions.push_back(p);
+      if (deterministic.count(p) != 0) continue;
       const BitVector voted = majorityRow(repaired.failing[p], rows);
       if (voted != repaired.failing[p]) {
         repaired.failing[p] = voted;
         ++repairedPartitions;
       }
     }
+  }
+
+  if (!deterministic.empty()) {
+    // Short-circuit to the checked union mode: the replay-stable disjoint
+    // partitions are evidence of simultaneous faults, so the single-fault
+    // intersection model no longer applies to any partition. Cluster the
+    // failing unions instead; over the fault budget, fall back to the
+    // degrade-never-lie superset floor.
+    out.deterministicPartitions = deterministic.size();
+    out.unionDiagnosis = true;
+    UnionAnalysis analysis =
+        analyzer_.analyzeUnion(partitions, repaired, policy_.maxUnionFaults);
+    out.unionClusters = analysis.clusters;
+    if (analysis.clusters > 1) {
+      obs::count(obs::Counter::UnionSplits, analysis.clusters - 1);
+    }
+    out.candidates = analysis.withinBudget ? std::move(analysis.candidates)
+                                           : std::move(analysis.supersetFloor);
+    out.resolved = analysis.withinBudget;
+    if (!analysis.withinBudget) obs::count(obs::Counter::DegradedSupersets);
+    double confidence = 1.0;
+    for (std::size_t i = 0; i < repairedPartitions; ++i) confidence *= 0.95;
+    for (std::size_t i = 1; i < analysis.clusters; ++i) confidence *= 0.9;
+    if (!analysis.withinBudget) confidence *= 0.5;
+    out.confidence = std::clamp(confidence, kConfidenceFloor, 1.0);
+    return out;
   }
 
   CheckedAnalysis finalAnalysis = analyzer_.analyzeChecked(partitions, repaired);

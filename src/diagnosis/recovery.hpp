@@ -10,6 +10,14 @@
 //      re-runs. Ties vote "fail" — the superset-preserving direction, since
 //      a wrong fail verdict only inflates candidates while a wrong pass
 //      verdict exonerates true failing cells.
+//      Exception: a DisjointFailingUnion partition whose first re-run
+//      reproduces the original row bit-for-bit is a *deterministic* model
+//      violation (a genuine multi-fault union), not noise — retrying it
+//      further is wasted budget. Recovery short-circuits after that single
+//      confirming re-run and re-analyzes the whole schedule in the checked
+//      union mode (CandidateAnalyzer::analyzeUnion), degrading to the
+//      superset floor when the cluster count exceeds
+//      RetryPolicy::maxUnionFaults.
 //   2. Graceful degradation: partitions still inconsistent after the budget
 //      are excluded from the intersection entirely (analyzeChecked's skip),
 //      widening the candidate set instead of emptying it. If phantom groups
@@ -55,6 +63,12 @@ struct RetryPolicy {
   /// re-run costs its groupCount). 0 disables retrying: inconsistent
   /// partitions are dropped immediately.
   std::size_t sessionBudget = 0;
+  /// Simultaneous-fault budget for the checked union mode: when a
+  /// disjoint-failing-union partition replays bit-identically (a model
+  /// violation, not noise), recovery re-analyzes the schedule as a union of
+  /// up to this many per-fault cone clusters instead of burning the retry
+  /// budget. More clusters than this degrade to the superset floor.
+  std::size_t maxUnionFaults = 4;
 
   bool enabled() const { return sessionBudget > 0 && maxRetriesPerSession > 0; }
 };
@@ -78,9 +92,18 @@ struct RecoveredDiagnosis {
   /// fraction of partitions that stayed in the intersection — never below
   /// kConfidenceFloor (see above for the scale).
   double confidence = 1.0;
-  /// False when degradation was needed (a partition was dropped or a phantom
-  /// group survived the budget) — the CLI maps this to its own exit code.
+  /// False when degradation was needed (a partition was dropped, a phantom
+  /// group survived the budget, or a union analysis exceeded maxUnionFaults)
+  /// — the CLI maps this to its own exit code.
   bool resolved = true;
+  /// Suspect partitions whose re-run reproduced the original row bit-for-bit
+  /// — a deterministic model violation (multi-fault union), not tester noise.
+  std::size_t deterministicPartitions = 0;
+  /// True when the candidates came from the checked union mode
+  /// (CandidateAnalyzer::analyzeUnion) instead of the single-fault
+  /// intersection; unionClusters is the cluster count it settled on.
+  bool unionDiagnosis = false;
+  std::size_t unionClusters = 0;
 
   bool consistent() const { return inconsistencies.empty(); }
 };

@@ -84,6 +84,10 @@ enum class Counter : unsigned {
   CoreClassMisses,          // SOC core isomorphism classes built from scratch
   AdaptiveSessionsSaved,    // budgeted sessions the adaptive planner left unspent
   AdaptiveCandidatesPruned, // candidate positions eliminated by adaptive steps
+  DefectScenariosRun,       // defect-zoo scenarios diagnosed (k-fault unions)
+  UnionSplits,              // interval splits spent resolving union candidates
+  AtpgPatternsGenerated,    // PODEM distinguishing patterns applied to a stall
+  DegradedSupersets,        // diagnoses that fell back to a superset-only answer
   kCount,
 };
 
@@ -131,6 +135,10 @@ constexpr const char* counterName(Counter c) {
     case Counter::CoreClassMisses: return "core_class_misses";
     case Counter::AdaptiveSessionsSaved: return "adaptive_sessions_saved";
     case Counter::AdaptiveCandidatesPruned: return "adaptive_candidates_pruned";
+    case Counter::DefectScenariosRun: return "defect_scenarios_run";
+    case Counter::UnionSplits: return "union_splits";
+    case Counter::AtpgPatternsGenerated: return "atpg_patterns_generated";
+    case Counter::DegradedSupersets: return "degraded_supersets";
     case Counter::kCount: break;
   }
   return "unknown_counter";

@@ -12,6 +12,7 @@ namespace {
 constexpr std::size_t kMaxGateName = 1024;
 constexpr std::size_t kMaxLogText = kMaxFramePayload / 2;
 constexpr std::size_t kMaxMessage = 4096;
+constexpr std::size_t kMaxDefectSpec = 256;
 
 }  // namespace
 
@@ -31,6 +32,11 @@ std::string encodeDiagnoseRequest(const DiagnoseRequest& request) {
   wire::putString(out, request.gateName);
   wire::putU16(out, request.stuckAt1 ? 1 : 0);
   wire::putString(out, request.logText);
+  if (request.kind == DiagnoseRequest::Kind::DefectScenario) {
+    wire::putString(out, request.defectSpec);
+    wire::putU64(out, request.defectSeed);
+    wire::putU32(out, request.defectIndex);
+  }
   return out;
 }
 
@@ -38,13 +44,18 @@ DiagnoseRequest decodeDiagnoseRequest(const std::string& payload) {
   wire::Cursor cur(payload);
   DiagnoseRequest request;
   const std::uint16_t kind = cur.u16();
-  if (kind > static_cast<std::uint16_t>(DiagnoseRequest::Kind::TesterLog)) {
+  if (kind > static_cast<std::uint16_t>(DiagnoseRequest::Kind::DefectScenario)) {
     throw FrameFormatError("diagnose request: unknown kind " + std::to_string(kind));
   }
   request.kind = static_cast<DiagnoseRequest::Kind>(kind);
   request.gateName = cur.str(kMaxGateName);
   request.stuckAt1 = cur.u16() != 0;
   request.logText = cur.str(kMaxLogText);
+  if (request.kind == DiagnoseRequest::Kind::DefectScenario) {
+    request.defectSpec = cur.str(kMaxDefectSpec);
+    request.defectSeed = cur.u64();
+    request.defectIndex = cur.u32();
+  }
   cur.expectExhausted("diagnose request");
   return request;
 }

@@ -40,12 +40,22 @@ struct DiagnoseRequest {
     /// Diagnose a recorded tester session log (text in the tester_log format;
     /// the hardware already ran the sessions).
     TesterLog = 1,
+    /// Diagnose a deterministic defect-zoo scenario: k simultaneous defects
+    /// drawn per `defectSpec`/`defectSeed`/`defectIndex` (simulation-backed;
+    /// the service regenerates the exact scenario and diagnoses its permanent
+    /// union overlay). The extra fields ride after the common ones on the
+    /// wire, present only for this kind.
+    DefectScenario = 2,
   };
 
   Kind kind = Kind::InjectFault;
   std::string gateName;  // InjectFault: gate to fault
   bool stuckAt1 = true;  // InjectFault: SA1 vs SA0
   std::string logText;   // TesterLog: full log text
+  // DefectScenario only:
+  std::string defectSpec;        // "k[,bridge][,open][,intermittent:p]"
+  std::uint64_t defectSeed = 0;  // 0 = the spec/mix default
+  std::uint32_t defectIndex = 0; // scenario index under the seed
 };
 
 enum class ReplyStatus : std::uint16_t {

@@ -3,6 +3,7 @@
 #include "common/errors.hpp"
 #include "bist/prpg.hpp"
 #include "diagnosis/tester_log.hpp"
+#include "inject/defect_zoo.hpp"
 
 namespace scandiag::serve {
 
@@ -74,6 +75,8 @@ DiagnoseReply DiagnosisService::handle(const DiagnoseRequest& request, std::uint
       return handleInject(request, std::move(reply), control, watchdog.get());
     case DiagnoseRequest::Kind::TesterLog:
       return handleLog(request, std::move(reply), control, watchdog.get());
+    case DiagnoseRequest::Kind::DefectScenario:
+      return handleDefect(request, std::move(reply), control, watchdog.get());
   }
   return errorReply(std::move(reply), "unknown request kind");
 }
@@ -91,6 +94,36 @@ DiagnoseReply DiagnosisService::handleInject(const DiagnoseRequest& request, Dia
   {
     SimulatorLease sim(*this);
     response = (*sim).simulate(fault);
+  }
+  if (!response.detected()) {
+    reply.status = ReplyStatus::Ok;
+    reply.detected = false;
+    return reply;
+  }
+  reply.detected = true;
+  return diagnoseResponse(response, std::move(reply), control, deadline);
+}
+
+DiagnoseReply DiagnosisService::handleDefect(const DiagnoseRequest& request, DiagnoseReply reply,
+                                             const RunControl& control,
+                                             const Watchdog* deadline) const {
+  DefectMix mix;
+  try {
+    mix = parseDefectSpec(request.defectSpec);
+  } catch (const std::invalid_argument& e) {
+    return errorReply(std::move(reply), e.what());
+  }
+  if (request.defectSeed != 0) mix.seed = request.defectSeed;
+
+  FaultResponse response;
+  {
+    // Scenario generation fault-simulates every component, so it runs under
+    // a lease like InjectFault's single simulate(). Pool construction per
+    // request is fine at serve scale (one collapsed enumeration + samples).
+    SimulatorLease sim(*this);
+    const DefectScenarioGenerator generator(*sim, mix);
+    const DefectScenario scenario = generator.generate(request.defectIndex);
+    response = scenario.composed;
   }
   if (!response.detected()) {
     reply.status = ReplyStatus::Ok;

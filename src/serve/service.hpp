@@ -78,6 +78,13 @@ class DiagnosisService {
                              const RunControl& control, const Watchdog* deadline) const;
   DiagnoseReply handleLog(const DiagnoseRequest& request, DiagnoseReply reply,
                           const RunControl& control, const Watchdog* deadline) const;
+  /// Defect-zoo scenario: regenerates the (spec, seed, index) scenario
+  /// deterministically and diagnoses its permanent union overlay through the
+  /// same per-partition deadline-aware loop (intermittent components are
+  /// diagnosed at their permanent envelope — the sampling path lives in
+  /// DefectZooPipeline, not the service).
+  DiagnoseReply handleDefect(const DiagnoseRequest& request, DiagnoseReply reply,
+                             const RunControl& control, const Watchdog* deadline) const;
   /// The shared back half: per-partition evaluation of `response` under
   /// `control`, then recovery over the partitions that ran.
   DiagnoseReply diagnoseResponse(const FaultResponse& response, DiagnoseReply reply,

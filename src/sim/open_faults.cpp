@@ -1,0 +1,97 @@
+#include "sim/open_faults.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace scandiag {
+
+std::vector<GateId> enumerateOpenSites(const Netlist& netlist, std::size_t count,
+                                       std::uint64_t seed) {
+  std::vector<GateId> pool;
+  for (GateId id = 0; id < netlist.gateCount(); ++id) {
+    const GateType t = netlist.gate(id).type;
+    if (isSourceType(t)) continue;
+    pool.push_back(id);
+  }
+  Xoroshiro128 rng(seed ^ 0x0be5'0be5ULL);
+  // Partial Fisher-Yates: the first min(count, n) entries are a uniform
+  // distinct sample.
+  const std::size_t take = std::min(count, pool.size());
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.nextBelow(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(take);
+  return pool;
+}
+
+FaultResponse simulateOpen(const FaultSimulator& simulator, GateId site) {
+  const Netlist& netlist = simulator.netlist();
+  SCANDIAG_REQUIRE(site < netlist.gateCount(), "stuck-open site out of range");
+  SCANDIAG_REQUIRE(!isSourceType(netlist.gate(site).type),
+                   "stuck-open sites must be combinational gate outputs");
+  const std::size_t numPatterns = simulator.patterns().numPatterns();
+
+  const FaultResponse sa0 = simulator.simulate({site, FaultSite::kOutputPin, false});
+  const FaultResponse sa1 = simulator.simulate({site, FaultSite::kOutputPin, true});
+
+  // retained.test(t): the floating node holds 1 during pattern t (= good
+  // value of the site at pattern t-1; pattern 0 starts discharged).
+  BitVector retained(numPatterns);
+  for (std::size_t t = 1; t < numPatterns; ++t) {
+    const std::size_t prev = t - 1;
+    const SimWord word = simulator.goodValue(site, prev / 64);
+    if ((word >> (prev % 64)) & 1u) retained.set(t);
+  }
+
+  // Per failing cell, select sa1's error bits where the node retained 1 and
+  // sa0's where it retained 0.
+  std::map<std::size_t, const BitVector*> streams0, streams1;
+  for (std::size_t i = 0; i < sa0.failingCellOrdinals.size(); ++i) {
+    streams0[sa0.failingCellOrdinals[i]] = &sa0.errorStreams[i];
+  }
+  for (std::size_t i = 0; i < sa1.failingCellOrdinals.size(); ++i) {
+    streams1[sa1.failingCellOrdinals[i]] = &sa1.errorStreams[i];
+  }
+
+  FaultResponse out;
+  out.fault = FaultSite{site, FaultSite::kOutputPin, false};
+  out.failingCells = BitVector(std::max(sa0.failingCells.size(), sa1.failingCells.size()));
+  std::map<std::size_t, const BitVector*>::const_iterator it0 = streams0.begin();
+  std::map<std::size_t, const BitVector*>::const_iterator it1 = streams1.begin();
+  while (it0 != streams0.end() || it1 != streams1.end()) {
+    std::size_t ordinal;
+    const BitVector* s0 = nullptr;
+    const BitVector* s1 = nullptr;
+    if (it1 == streams1.end() || (it0 != streams0.end() && it0->first < it1->first)) {
+      ordinal = it0->first;
+      s0 = it0->second;
+      ++it0;
+    } else if (it0 == streams0.end() || it1->first < it0->first) {
+      ordinal = it1->first;
+      s1 = it1->second;
+      ++it1;
+    } else {
+      ordinal = it0->first;
+      s0 = it0->second;
+      s1 = it1->second;
+      ++it0;
+      ++it1;
+    }
+    BitVector merged(numPatterns);
+    for (std::size_t t = 0; t < numPatterns; ++t) {
+      const BitVector* pick = retained.test(t) ? s1 : s0;
+      if (pick != nullptr && pick->test(t)) merged.set(t);
+    }
+    if (merged.none()) continue;
+    out.failingCells.set(ordinal);
+    out.failingCellOrdinals.push_back(ordinal);
+    out.errorStreams.push_back(std::move(merged));
+  }
+  return out;
+}
+
+}  // namespace scandiag

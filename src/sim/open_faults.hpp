@@ -1,0 +1,34 @@
+// Stuck-open (transistor-open) faults — the third defect model.
+//
+// A broken source/drain connection leaves the faulted net floating, and a
+// floating CMOS node *retains* its previous charge for a while. Under the
+// scan-BIST protocol the node's "previous" value is whatever the fault-free
+// machine drove onto it during the preceding pattern — so a stuck-open is a
+// pattern-pair fault: pattern t misbehaves as stuck-at-1 when the good value
+// at pattern t-1 was 1, and as stuck-at-0 when it was 0 (pattern 0 starts
+// from a discharged node, i.e. stuck-at-0).
+//
+// That retention semantics composes from the two stuck-at simulations of the
+// same site — both on FaultSimulator's cone-restricted fast path — by
+// selecting, per pattern, which polarity's error stream applies. Downstream
+// diagnosis consumes the resulting FaultResponse unchanged.
+#pragma once
+
+#include <vector>
+
+#include "sim/fault_simulator.hpp"
+
+namespace scandiag {
+
+/// Deterministically samples up to `count` distinct gate outputs as
+/// stuck-open sites (combinational gates only: a floating PI/DFF output has
+/// no defined previous-pattern charge under this model).
+std::vector<GateId> enumerateOpenSites(const Netlist& netlist, std::size_t count,
+                                       std::uint64_t seed);
+
+/// Simulates the retention fault at `site` against the simulator's good
+/// machine and pattern set. The returned response's `fault` field carries the
+/// site with stuckAt = false, for reporting only.
+FaultResponse simulateOpen(const FaultSimulator& simulator, GateId site);
+
+}  // namespace scandiag

@@ -128,6 +128,84 @@ TEST(MisrLinearity, LineWeightRowsMatchWeightLookups) {
   EXPECT_THROW(model.lineWeights(width), std::invalid_argument);
 }
 
+TEST(MisrLinearity, UnionOfCellDisjointFaultsIsXorOfComponentSignatures) {
+  // The defect-zoo guarantee at the compactor level: a k-fault union whose
+  // components fail *disjoint* cell sets has OR == XOR on the combined error
+  // stream, so sig(union) == XOR of the per-fault signatures. Two verdict
+  // consequences, checked per random case:
+  //   * no phantom fail: sig(union) != 0 implies some component sig != 0;
+  //   * a union can only read PASS despite failing components by aliasing
+  //     (the component signatures XOR to zero) — counted, and required to be
+  //     rare at degree >= 16 — never by any other mechanism.
+  int cases = 0, aliased = 0, detectedUnions = 0;
+  for (unsigned degree : {8u, 16u, 31u}) {
+    const std::uint64_t taps = primitiveTapMask(degree);
+    for (std::uint64_t seed = 7; seed <= 70; seed += 7) {  // 10 seeds
+      Xoroshiro128 rng(seed * 131 + degree);
+      const std::size_t numChains = 1 + rng.nextBelow(degree < 8 ? degree : 8);
+      const std::size_t numCells = numChains * (2 + rng.nextBelow(7));
+      const std::size_t patterns = 1 + rng.nextBelow(16);
+      const std::size_t k = 2 + rng.nextBelow(3);  // 2..4 simultaneous faults
+      const ScanTopology topo = ScanTopology::blockChains(numCells, numChains);
+      const std::size_t chainLen = topo.maxChainLength();
+
+      // Partition the cells among the k faults, then draw sparse streams.
+      std::vector<std::size_t> owner(numCells);
+      for (std::size_t cell = 0; cell < numCells; ++cell) owner[cell] = rng.nextBelow(k);
+      std::vector<BitVector> errors(numCells, BitVector(patterns));
+      for (std::size_t cell = 0; cell < numCells; ++cell) {
+        for (std::size_t t = 0; t < patterns; ++t) {
+          if (rng.nextBelow(3) == 0) errors[cell].set(t);
+        }
+      }
+
+      // One clocked run per fault (only its cells drive the register) plus
+      // one over the union stream.
+      const auto clockedSignature = [&](std::size_t fault) {
+        Misr m(degree, taps, static_cast<unsigned>(topo.numChains()));
+        for (std::size_t t = 0; t < patterns; ++t) {
+          for (std::size_t p = 0; p < chainLen; ++p) {
+            std::uint64_t inputs = 0;
+            for (std::size_t c = 0; c < topo.numChains(); ++c) {
+              if (p >= topo.chainLength(c)) continue;
+              const std::size_t cell = topo.chain(c)[p];
+              if (fault != k && owner[cell] != fault) continue;
+              if (errors[cell].test(t)) inputs |= std::uint64_t{1} << c;
+            }
+            m.clock(inputs);
+          }
+        }
+        return m.signature();
+      };
+
+      std::uint64_t xorOfComponents = 0;
+      bool anyComponentDetected = false;
+      for (std::size_t fault = 0; fault < k; ++fault) {
+        const std::uint64_t sig = clockedSignature(fault);
+        xorOfComponents ^= sig;
+        anyComponentDetected = anyComponentDetected || sig != 0;
+      }
+      const std::uint64_t unionSig = clockedSignature(k);  // k = all faults
+
+      ASSERT_EQ(unionSig, xorOfComponents)
+          << "degree " << degree << " seed " << seed << " k " << k;
+      if (unionSig != 0) {
+        ASSERT_TRUE(anyComponentDetected)
+            << "phantom union fail: degree " << degree << " seed " << seed;
+        ++detectedUnions;
+      } else if (anyComponentDetected) {
+        ++aliased;  // components cancelled in GF(2) — the only escape hatch
+      }
+      ++cases;
+    }
+  }
+  EXPECT_GE(cases, 30);
+  EXPECT_GT(detectedUnions, 0);
+  // Aliasing odds are ~2^-degree per case; across 30 cases at degree >= 8 a
+  // handful is conceivable, a majority is a harness bug.
+  EXPECT_LT(aliased, cases / 4);
+}
+
 TEST(MisrLinearity, EmptyErrorStreamContributesZero) {
   // The additive identity: a clean cell must not perturb any batched sum.
   const MisrLinearModel model(16, primitiveTapMask(16), 2, 40);

@@ -6,6 +6,7 @@
 
 #include "diagnosis/binary_search_diagnoser.hpp"
 #include "diagnosis/experiment_driver.hpp"
+#include "diagnosis/interval_partitioner.hpp"
 #include "diagnosis/recovery.hpp"
 
 namespace scandiag {
@@ -242,6 +243,60 @@ TEST(DiagnosisRecovery, ManyRepairsNeverUnderflowConfidenceBelowFloor) {
   // Degraded, not destroyed: the result still covers the true failing cell.
   EXPECT_TRUE(d.candidates.cells.test(7));
   EXPECT_FALSE(d.resolved);
+}
+
+// Regression for the defect-zoo short-circuit: deterministic compactor
+// aliasing on a two-fault union loses one fail verdict per fault in
+// *different* partitions, which surfaces as a DisjointFailingUnion that
+// replays bit-identically — a model violation, not tester noise. Recovery
+// used to burn the whole retry budget majority-voting rows that never
+// change; it must now stop after the single confirming re-run and re-analyze
+// the schedule in the checked union mode, keeping both true cells.
+TEST(DiagnosisRecovery, ReplayStableDisjointUnionShortCircuitsToUnionAnalysis) {
+  const ScanTopology topo = ScanTopology::singleChain(12);
+  const SessionEngine engine{topo, SessionConfig{SignatureMode::Exact, 4}};
+  // Thirds, halves, pairs — faults at cells 2 and 9.
+  const std::vector<Partition> parts{IntervalPartitioner::fromLengths({4, 4, 4}, 12),
+                                     IntervalPartitioner::fromLengths({6, 6}, 12),
+                                     IntervalPartitioner::fromLengths({2, 2, 2, 2, 2, 2}, 12)};
+  const FaultResponse response = makeResponse(12, {2, 9});
+  GroupVerdicts aliased = engine.run(parts, response);
+  // Deterministic aliasing: cell 2's verdict is lost in the thirds partition
+  // (union collapses to [8..11]) and cell 9's in the pairs partition (union
+  // collapses to [2,3]). Running intersection: {8..11} ∩ all ∩ {2,3} = ∅ —
+  // DisjointFailingUnion at the pairs partition.
+  aliased.failing[0].reset(0);
+  aliased.failing[2].reset(4);
+
+  RetryPolicy policy;
+  policy.maxRetriesPerSession = 2;
+  policy.sessionBudget = 64;
+  const DiagnosisRecovery recovery(topo, policy);
+  std::size_t reruns = 0;
+  // Aliasing is deterministic: every re-run reproduces the corrupted row.
+  const RecoveredDiagnosis d = recovery.recover(
+      parts, aliased, [&](std::size_t p, std::size_t) {
+        ++reruns;
+        PartitionVerdictRow row;
+        row.failing = aliased.failing[p];
+        return row;
+      });
+
+  ASSERT_TRUE(d.unionDiagnosis);
+  EXPECT_EQ(d.deterministicPartitions, 1u);
+  EXPECT_TRUE(d.resolved);
+  // Greedy clustering splits the unions into {8..11} and {2,3}.
+  EXPECT_EQ(d.unionClusters, 2u);
+  EXPECT_TRUE(d.candidates.cells.test(2));
+  EXPECT_TRUE(d.candidates.cells.test(9));
+  EXPECT_TRUE(d.droppedPartitions.empty());
+  // The disjoint partition stops after ONE confirming re-run (6 sessions),
+  // not the full majority vote; other suspects may still vote within budget.
+  EXPECT_GE(d.retrySessions, 6u);
+  EXPECT_LE(d.retrySessions, policy.sessionBudget);
+  // One extra cluster costs a single 0.9 penalty; nothing was repaired.
+  EXPECT_DOUBLE_EQ(d.confidence, 0.9);
+  EXPECT_GT(reruns, 0u);
 }
 
 // Adaptive baseline: a lying interval session is caught by the parent-fails/

@@ -154,8 +154,8 @@ const DiagnosisService& chaosService() {
 
 class RunningServer {
  public:
-  explicit RunningServer(ServeOptions options)
-      : server_(chaosService(), std::move(options)),
+  explicit RunningServer(ServeOptions options, const DiagnosisService& service = chaosService())
+      : server_(service, std::move(options)),
         thread_([this] { exitCode_ = server_.run(); }) {
     if (!server_.waitUntilListening(10000)) {
       stopAndJoin();
@@ -278,6 +278,43 @@ TEST(ServeChaos, SaturationShedsBusyInsteadOfQueueingUnboundedly) {
   EXPECT_TRUE(settle([&] { return running.server().stats().snapshot().shed >= 3; }));
   ::close(filler);
   ::close(held);
+}
+
+TEST(ServeChaos, DefectRequestUnderDeadlinePressureRepliesSupersetNotError) {
+  // Defect-zoo degrade-never-lie at the wire: a k-fault scenario request
+  // whose 1 ms deadline trips mid-work must come back as a typed DEADLINE
+  // reply carrying a non-empty candidate superset (all cells if no partition
+  // ran) — never an Error, never a crash, never an empty candidate list.
+  // A service heavy enough that scenario generation alone outlives the 1 ms
+  // budget: s9234 with a 2048-pattern set means each of the four components
+  // is fault-simulated over 2048 patterns before any partition can run.
+  ServiceConfig heavy;
+  heavy.diagnosis.numPatterns = 2048;
+  const DiagnosisService service(generateNamedCircuit("s9234"), heavy);
+
+  ServeOptions options;
+  options.socketPath = chaosSocketPath("defect_deadline");
+  options.requestDeadlineMs = 1;
+  RunningServer running(options, service);
+
+  ClientOptions client;
+  client.socketPath = options.socketPath;
+  DiagnoseRequest request;
+  request.kind = DiagnoseRequest::Kind::DefectScenario;
+  // k=4 with every permanent kind plus intermittent sampling: the heaviest
+  // generation path, so the deadline trips during the request, not before.
+  request.defectSpec = "4,bridge,open,intermittent:0.5";
+  request.defectIndex = 1;
+
+  const DiagnoseReply reply = requestDiagnosis(client, request);
+  ASSERT_EQ(reply.status, ReplyStatus::Deadline) << reply.message;
+  EXPECT_TRUE(reply.detected);
+  EXPECT_FALSE(reply.resolved);
+  EXPECT_FALSE(reply.candidateCells.empty()) << "degraded reply lost the superset";
+  EXPECT_LT(reply.confidence, 1.0);
+
+  // The handler survived the degraded request: an honest ping still answers.
+  EXPECT_NO_THROW((void)ping(client));
 }
 
 TEST(ServeChaos, DrainReturnsExitSixAndBalancesTheLedger) {

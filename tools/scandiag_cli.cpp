@@ -82,6 +82,23 @@
 //   --journal F       crash-safe request-accounting ledger (fsync'd, CRC-framed)
 //   --metrics F       metrics snapshot written atomically at drain
 //
+// Defect-zoo options (dr, soc-dr):
+//   --defects SPEC    diagnose k-fault union scenarios instead of single
+//                     stuck-at faults. SPEC = k[,bridge][,open][,intermittent:p]
+//                     [,seed:n] — e.g. "2,bridge,open" or "3,intermittent:0.5".
+//                     dr: --faults N scenarios through the full
+//                     detection -> union analysis -> refinement -> degradation
+//                     ladder; soc-dr: k simultaneous failing cores (stuck-at
+//                     only; bridge/open/intermittent are core-local models).
+//                     Takes precedence over the noise flags. Incompatible with
+//                     --scheme adaptive and (dr) with --checkpoint/--resume.
+//   --refine-budget N extra interval sessions per scenario for active union
+//                     refinement (default 96; 0 = passive superset only)
+//   --atpg-budget N   PODEM mini-sessions per scenario when refinement stalls
+//                     (default 16; 0 disables the stall breaker)
+//   --samples N       full-schedule observations for intermittent scenarios
+//                     (default 3)
+//
 // Noise / resilience options (diagnose, dr):
 //   --noise R         raw verdict-flip rate per session (both directions)
 //   --intermittent R  intermittent fail->pass rate per failing session
@@ -103,6 +120,11 @@
 //      journal and any --metrics snapshot were flushed and are valid; for
 //      serve: the drain completed, the request ledger balances
 //   7  server fatal (serve could not bind/listen or open its journal)
+//   8  defect diagnosis resolved only to a guaranteed superset under the
+//      defect budget (--defects: k exceeded the resolvable cluster budget,
+//      the refinement/ATPG budget ran out, or intermittency degraded the
+//      answer; the printed candidates are a sound superset with calibrated
+//      confidence — degrade, never lie)
 
 #include <chrono>
 #include <cstdio>
@@ -133,6 +155,7 @@ enum ExitCode {
   kExitInconsistent = 5,
   kExitInterrupted = 6,
   kExitServerFatal = 7,
+  kExitDefectSuperset = 8,
 };
 
 /// Diagnosis stayed inconsistent after recovery; the CLI maps this to exit 5.
@@ -434,8 +457,80 @@ int drNoisy(const Netlist& nl, const Args& args, const NoiseConfig& noise) {
   return kExitOk;
 }
 
+/// `scandiag dr --defects`: k-fault union scenarios through the defect-zoo
+/// pipeline. No checkpoint support (scenarios are cheap to regenerate and the
+/// journal schema is per-single-fault); degraded scenarios map to exit 8.
+int drDefects(const Netlist& nl, const Args& args) {
+  const DefectMix mix = parseDefectSpec(args.get("defects", ""));
+  if (!args.get("checkpoint", "").empty() || args.getFlag("resume"))
+    throw std::invalid_argument("--defects does not support --checkpoint/--resume");
+  const DiagnosisConfig config = configFrom(args);
+  if (config.scheme == SchemeKind::Adaptive)
+    throw std::invalid_argument("--defects is incompatible with --scheme adaptive");
+  const std::size_t chains = args.getN("chains", 1);
+  const ScanTopology topology = chains <= 1 ? ScanTopology::singleChain(nl.dffs().size())
+                                            : ScanTopology::blockChains(nl.dffs().size(), chains);
+  const PatternSet patterns = generatePatterns(nl, config.numPatterns, PrpgConfig{});
+  const FaultSimulator sim(nl, patterns);
+  const DefectScenarioGenerator generator(sim, mix);
+
+  const std::size_t count = args.getN("faults", 100);
+  std::vector<DefectScenario> scenarios;
+  scenarios.reserve(count);
+  // Serial: generation fault-simulates on the shared simulator (diagnosis
+  // below is the parallel part).
+  for (std::size_t i = 0; i < count; ++i) scenarios.push_back(generator.generate(i));
+
+  DefectPolicy policy;
+  policy.retry.sessionBudget = args.getN("retry-budget", policy.retry.sessionBudget);
+  policy.retry.maxRetriesPerSession = args.getN("max-retries", policy.retry.maxRetriesPerSession);
+  policy.refineSessionBudget = args.getN("refine-budget", policy.refineSessionBudget);
+  policy.atpgSessionBudget = args.getN("atpg-budget", policy.atpgSessionBudget);
+  policy.intermittentSamples = args.getN("samples", policy.intermittentSamples);
+  const DefectZooPipeline zoo(sim, topology, config, policy);
+  const DefectZooReport rep = zoo.evaluate(scenarios);
+
+  if (args.getFlag("json")) {
+    JsonWriter json(std::cout);
+    json.beginObject()
+        .field("circuit", nl.name())
+        .field("scheme", schemeName(config.scheme))
+        .field("defects", describeDefectMix(mix))
+        .field("scenarios", rep.scenarios)
+        .field("dr", rep.dr)
+        .field("sumCandidates", rep.sumCandidates)
+        .field("sumActual", rep.sumActual)
+        .field("misdiagnosisRate", rep.misdiagnosisRate)
+        .field("meanConfidence", rep.meanConfidence)
+        .field("degraded", rep.degraded)
+        .field("inconsistencies", rep.totalInconsistencies)
+        .field("unionSplits", rep.totalUnionSplits)
+        .field("atpgPatterns", rep.totalAtpgPatterns)
+        .field("extraSessions", rep.totalExtraSessions)
+        .endObject();
+    std::printf("\n");
+  } else {
+    std::printf("%s %s defects %s: DR = %.4f over %zu scenarios "
+                "(misdiagnosis %.4f, confidence %.3f, %zu degraded, "
+                "%zu union splits, %zu ATPG patterns, %zu extra sessions)\n",
+                nl.name().c_str(), schemeName(config.scheme).c_str(),
+                describeDefectMix(mix).c_str(), rep.dr, rep.scenarios, rep.misdiagnosisRate,
+                rep.meanConfidence, rep.degraded, rep.totalUnionSplits, rep.totalAtpgPatterns,
+                rep.totalExtraSessions);
+  }
+  if (rep.degraded > 0) {
+    std::fprintf(stderr,
+                 "%zu of %zu scenario(s) resolved only to a guaranteed superset under the "
+                 "defect budget (candidates are sound; confidence is calibrated)\n",
+                 rep.degraded, rep.scenarios);
+    return kExitDefectSuperset;
+  }
+  return kExitOk;
+}
+
 int cmdDr(const Args& args) {
   Netlist nl = loadCircuit(args.positionalAt(1, "circuit"));
+  if (args.options.count("defects")) return drDefects(nl, args);
   if (const std::optional<NoiseConfig> noise = noiseFrom(args)) return drNoisy(nl, args, *noise);
 
   DiagnoserOptions opts;
@@ -540,6 +635,107 @@ int socClassSweepCmd(const Args& args, const std::string& spec, const Soc& soc,
   return kExitOk;
 }
 
+/// `scandiag soc-dr --defects k`: k simultaneous failing cores (the paper's
+/// multiple-spot-defect view). Responses are unions of per-core responses on
+/// the meta topology; diagnosis runs detection + recovery (the union
+/// short-circuit included), and any unresolved scenario maps to exit 8.
+/// Bridge/open/intermittent components are core-local models — rejected here;
+/// use `scandiag dr --defects` on a single circuit for those.
+int socDrDefects(const Args& args, const Soc& soc, const WorkloadConfig& workload,
+                 const DiagnosisConfig& config) {
+  const DefectMix mix = parseDefectSpec(args.get("defects", ""));
+  if (mix.bridges || mix.opens || mix.intermittentP > 0.0)
+    throw std::invalid_argument(
+        "soc-dr --defects models k simultaneous failing cores (stuck-at only); "
+        "bridge/open/intermittent are core-local — use `scandiag dr --defects`");
+  if (mix.k > soc.coreCount())
+    throw std::invalid_argument("soc-dr --defects: k=" + std::to_string(mix.k) + " exceeds " +
+                                std::to_string(soc.coreCount()) + " cores");
+  if (config.scheme == SchemeKind::Adaptive)
+    throw std::invalid_argument("--defects is incompatible with --scheme adaptive");
+
+  std::vector<std::size_t> failingCores(mix.k);
+  for (std::size_t i = 0; i < mix.k; ++i) failingCores[i] = i;
+  const std::vector<FaultResponse> responses =
+      socResponsesForFailingCores(soc, failingCores, workload);
+
+  const ScanTopology& topology = soc.topology();
+  const DiagnosisPipeline pipeline(topology, config);
+  RetryPolicy retry;
+  retry.sessionBudget = args.getN("retry-budget", 256);
+  retry.maxRetriesPerSession = args.getN("max-retries", 2);
+  const DiagnosisRecovery recovery(topology, retry);
+  const PreparedPartitionSet& prepared = pipeline.prepared();
+
+  struct Slot {
+    std::size_t candidates = 0;
+    std::size_t actual = 0;
+    bool misdiagnosed = false;
+    bool resolved = true;
+    double confidence = 1.0;
+    std::size_t unionClusters = 0;
+  };
+  std::vector<Slot> slots(responses.size());
+  globalPool().parallelFor(responses.size(), [&](std::size_t i) {
+    obs::count(obs::Counter::DefectScenariosRun);
+    const FaultResponse& response = responses[i];
+    const GroupVerdicts verdicts = pipeline.engine().run(prepared, response);
+    const PartitionRerun rerun = [&](std::size_t p, std::size_t) {
+      return pipeline.engine().runPartition(prepared, p, response);
+    };
+    const RecoveredDiagnosis recovered = recovery.recover(prepared, verdicts, rerun);
+    slots[i].candidates = recovered.candidates.cellCount();
+    slots[i].actual = response.failingCellCount();
+    slots[i].misdiagnosed = !response.failingCells.isSubsetOf(recovered.candidates.cells);
+    slots[i].resolved = recovered.resolved;
+    slots[i].confidence = recovered.confidence;
+    slots[i].unionClusters = recovered.unionClusters;
+  });
+
+  DrAccumulator acc;
+  std::size_t unresolved = 0;
+  std::size_t misdiagnosed = 0;
+  double confidenceSum = 0.0;
+  for (const Slot& s : slots) {
+    acc.add(s.candidates, s.actual);
+    if (!s.resolved) ++unresolved;
+    if (s.misdiagnosed) ++misdiagnosed;
+    confidenceSum += s.confidence;
+  }
+  const double dr = acc.sumActual() > 0 ? acc.dr() : 0.0;
+  const double meanConfidence =
+      slots.empty() ? 1.0 : confidenceSum / static_cast<double>(slots.size());
+
+  if (args.getFlag("json")) {
+    JsonWriter json(std::cout);
+    json.beginObject()
+        .field("soc", soc.name())
+        .field("scheme", schemeName(config.scheme))
+        .field("failingCores", mix.k)
+        .field("scenarios", slots.size())
+        .field("dr", dr)
+        .field("sumCandidates", acc.sumCandidates())
+        .field("sumActual", acc.sumActual())
+        .field("misdiagnosed", misdiagnosed)
+        .field("meanConfidence", meanConfidence)
+        .field("unresolved", unresolved)
+        .endObject();
+    std::printf("\n");
+  } else {
+    std::printf("%s with %zu failing cores: DR = %.4f over %zu union scenarios "
+                "(misdiagnosed %zu, confidence %.3f, %zu unresolved)\n",
+                soc.name().c_str(), mix.k, dr, slots.size(), misdiagnosed, meanConfidence,
+                unresolved);
+  }
+  if (unresolved > 0) {
+    std::fprintf(stderr,
+                 "%zu of %zu union scenario(s) resolved only to a guaranteed superset\n",
+                 unresolved, slots.size());
+    return kExitDefectSuperset;
+  }
+  return kExitOk;
+}
+
 int cmdSocDr(const Args& args) {
   const std::string which = args.positionalAt(1, "soc spec");
   const Soc soc = buildSocFromSpec(which);
@@ -555,6 +751,8 @@ int cmdSocDr(const Args& args) {
                         : configFrom(args);
   config.numPartitions = args.getN("partitions", config.numPartitions);
   config.groupsPerPartition = args.getN("groups", config.groupsPerPartition);
+
+  if (args.options.count("defects")) return socDrDefects(args, soc, workload, config);
 
   // rep: SOCs only make sense class-deduped; for the presets the legacy
   // per-failing-core protocol (paper Tables 3-4) stays the default.

@@ -3,6 +3,10 @@
 // Modes (exactly one):
 //   --fault <gate> [--sa 0|1]   diagnose an injected stuck-at fault by name
 //   --log <file>                diagnose a recorded tester session log
+//   --defects SPEC              diagnose a generated defect-zoo scenario
+//                               (k[,bridge][,open][,intermittent:p][,seed:n]);
+//                               [--defect-index N] picks the scenario,
+//                               [--defect-seed N] overrides the spec seed
 //   --ping                      liveness probe (one round trip, no retry)
 //   --stats                     fetch the server's live request totals
 //
@@ -24,6 +28,9 @@
 //   5  reply unresolved (deadline degraded or widened superset) — the
 //      candidates printed are a sound superset, same meaning as scandiag's
 //      exit 5
+//   8  --defects reply resolved only to a guaranteed superset under the
+//      defect budget (deadline pressure or union beyond the fault budget) —
+//      same meaning as scandiag's exit 8
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -45,6 +52,7 @@ enum ExitCode {
   kExitUsage = 2,
   kExitFileNotFound = 3,
   kExitUnresolved = 5,
+  kExitDefectSuperset = 8,
 };
 
 struct Args {
@@ -94,7 +102,7 @@ serve::ClientOptions clientOptionsFrom(const Args& args) {
   return options;
 }
 
-int printReply(const serve::DiagnoseReply& reply, bool json) {
+int printReply(const serve::DiagnoseReply& reply, bool json, bool defectRequest) {
   if (json) {
     JsonWriter out(std::cout);
     out.beginObject()
@@ -128,7 +136,11 @@ int printReply(const serve::DiagnoseReply& reply, bool json) {
     std::printf("\n");
   }
   if (reply.status == serve::ReplyStatus::Error) return kExitFailure;
-  return reply.resolved ? kExitOk : kExitUnresolved;
+  if (reply.resolved) return kExitOk;
+  // Same degradation, distinct ladder rung: a defect-scenario superset gets
+  // its own exit code so harnesses can tell "defect budget hit" from a plain
+  // unresolved single-fault reply.
+  return defectRequest ? kExitDefectSuperset : kExitUnresolved;
 }
 
 int run(const Args& args) {
@@ -169,11 +181,18 @@ int run(const Args& args) {
   serve::DiagnoseRequest request;
   const std::string gate = args.get("fault", "");
   const std::string logPath = args.get("log", "");
-  if (!gate.empty() && logPath.empty()) {
+  const std::string defects = args.get("defects", "");
+  const int modes = (gate.empty() ? 0 : 1) + (logPath.empty() ? 0 : 1) + (defects.empty() ? 0 : 1);
+  if (modes != 1) {
+    throw std::invalid_argument(
+        "pick exactly one mode: --fault <gate>, --log <file>, --defects <spec>, --ping, or "
+        "--stats");
+  }
+  if (!gate.empty()) {
     request.kind = serve::DiagnoseRequest::Kind::InjectFault;
     request.gateName = gate;
     request.stuckAt1 = args.getN("sa", 1) != 0;
-  } else if (gate.empty() && !logPath.empty()) {
+  } else if (!logPath.empty()) {
     std::ifstream in(logPath);
     if (!in) {
       std::fprintf(stderr, "error: cannot open log file '%s'\n", logPath.c_str());
@@ -184,11 +203,14 @@ int run(const Args& args) {
     request.kind = serve::DiagnoseRequest::Kind::TesterLog;
     request.logText = text.str();
   } else {
-    throw std::invalid_argument(
-        "pick exactly one mode: --fault <gate>, --log <file>, --ping, or --stats");
+    request.kind = serve::DiagnoseRequest::Kind::DefectScenario;
+    request.defectSpec = defects;
+    request.defectSeed = args.getN("defect-seed", 0);
+    request.defectIndex = static_cast<std::uint32_t>(args.getN("defect-index", 0));
   }
 
-  return printReply(serve::requestDiagnosis(options, request), args.getFlag("json"));
+  return printReply(serve::requestDiagnosis(options, request), args.getFlag("json"),
+                    /*defectRequest=*/!defects.empty());
 }
 
 }  // namespace
@@ -200,7 +222,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     std::fprintf(stderr,
                  "usage: scandiag_client --socket PATH "
-                 "(--fault GATE [--sa 0|1] | --log FILE | --ping | --stats) "
+                 "(--fault GATE [--sa 0|1] | --log FILE | "
+                 "--defects SPEC [--defect-index N] [--defect-seed N] | --ping | --stats) "
                  "[--retries N] [--timeout-ms N] [--json]\n");
     return kExitUsage;
   } catch (const std::exception& e) {
